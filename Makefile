@@ -1,0 +1,36 @@
+# Reproduction of "Bitmap Compression vs. Inverted List Compression"
+# (SIGMOD 2017). See README.md and DESIGN.md.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# One testing.B benchmark per paper table/figure plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure as text tables (see cmd/bvbench -help
+# for scale knobs).
+experiments:
+	$(GO) run ./cmd/bvbench -exp all -summary
+
+# Render the figures as SVG scatter plots under figs/.
+figures:
+	$(GO) run ./cmd/bvbench -exp all -format csv | $(GO) run ./cmd/bvplot -out figs
+
+clean:
+	rm -rf figs

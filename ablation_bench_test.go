@@ -1,0 +1,160 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitmap"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/intlist"
+	"repro/internal/ops"
+)
+
+// Ablation benchmarks for the design constants the paper fixes and
+// DESIGN.md calls out: Roaring's 4096 container threshold, the
+// 128-element block size (footnote 5), PforDelta's 90% regular-value
+// fraction, and the skip-pointer choice (already covered by
+// BenchmarkFig7SkipPointers).
+
+// BenchmarkAblationRoaringThreshold sweeps the array/bitmap container
+// switch point. 4096 is the break-even between 2-byte array entries and
+// the 8 KiB bitmap container; smaller thresholds waste bitmap space on
+// mid-density buckets, larger ones slow membership probes.
+func BenchmarkAblationRoaringThreshold(b *testing.B) {
+	short := gen.Uniform(2000, benchDomain, 10)
+	long := gen.MarkovN(120000, benchDomain, 8, 11)
+	for _, threshold := range []int{512, 1024, 2048, 4096, 8192, 16384} {
+		codec := bitmap.NewRoaringThreshold(threshold)
+		ps := mustCompress(b, codec, short, long)
+		b.Run(fmt.Sprintf("threshold=%d", threshold), func(b *testing.B) {
+			b.ReportMetric(float64(ps[0].SizeBytes()+ps[1].SizeBytes()), "compressed-bytes")
+			for i := 0; i < b.N; i++ {
+				r, err := ops.Intersect(ps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink = r
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBlockSize sweeps elements-per-block for two codecs.
+// Small blocks skip precisely but pay per-block headers and skip
+// pointers; large blocks amortize headers but decode more per probe.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	short := gen.Uniform(300, benchDomain, 12)
+	long := gen.Uniform(100000, benchDomain, 13)
+	blocks := map[string]intlist.BlockCodec{
+		"VB":         intlist.VBBlock(),
+		"PforDelta*": intlist.PforDeltaStarBlock(),
+	}
+	for name, bc := range blocks {
+		for _, size := range []int{16, 32, 64, 128} {
+			codec := intlist.NewBlockedSize(bc, size)
+			ps := mustCompress(b, codec, short, long)
+			b.Run(fmt.Sprintf("%s/block=%d", name, size), func(b *testing.B) {
+				b.ReportMetric(float64(ps[1].SizeBytes()), "compressed-bytes")
+				for i := 0; i < b.N; i++ {
+					r, err := ops.Intersect(ps)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink = r
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationPforThreshold sweeps the regular-value fraction of
+// PforDelta on exception-heavy data: low fractions shrink b but pay for
+// many 32-bit exceptions and forced-exception chains; 1.0 reduces to
+// PforDelta*.
+func BenchmarkAblationPforThreshold(b *testing.B) {
+	list := outlierList(100000, 1<<30)
+	for _, frac := range []float64{0.7, 0.8, 0.9, 0.95, 1.0} {
+		codec := intlist.NewPforDeltaThreshold(frac)
+		ps := mustCompress(b, codec, list)
+		b.Run(fmt.Sprintf("frac=%.2f", frac), func(b *testing.B) {
+			b.ReportMetric(float64(ps[0].SizeBytes()), "compressed-bytes")
+			for i := 0; i < b.N; i++ {
+				sink = ps[0].Decompress()
+			}
+		})
+	}
+}
+
+// outlierList mixes small gaps with ~8% large outliers — the workload
+// PforDelta's exception machinery exists for.
+func outlierList(n int, domain uint32) []uint32 {
+	out := make([]uint32, 0, n)
+	v := uint32(0)
+	for len(out) < n {
+		if len(out)%12 == 7 {
+			v += 1 << 14
+		} else {
+			v += 1 + uint32(len(out)%7)
+		}
+		if v >= domain {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// BenchmarkAblationVALWAHSegments compares VALWAH's per-bitmap segment
+// choice against each fixed segment length, showing why the adaptive
+// choice buys space.
+func BenchmarkAblationVALWAHSegments(b *testing.B) {
+	list := gen.MarkovN(40000, benchDomain, 8, 14)
+	adaptive, err := bitmap.NewVALWAH().Compress(list)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wah, err := bitmap.NewWAH().Compress(list)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, p := range map[string]core.Posting{
+		"VALWAH-adaptive": adaptive,
+		"WAH-31":          wah,
+	} {
+		p := p
+		b.Run(name, func(b *testing.B) {
+			b.ReportMetric(float64(p.SizeBytes()), "compressed-bytes")
+			for i := 0; i < b.N; i++ {
+				sink = p.Decompress()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHybridRun compares plain Roaring against the
+// Roaring+Run hybrid (the unified-codec direction of the paper's lesson
+// 1) on run-heavy (markov) and run-free (uniform) data: the hybrid
+// should win space dramatically on runs and cost nothing elsewhere.
+func BenchmarkAblationHybridRun(b *testing.B) {
+	workloads := map[string][]uint32{
+		"markov-runs": gen.MarkovN(120000, benchDomain, 32, 20),
+		"uniform":     gen.Uniform(120000, benchDomain, 21),
+	}
+	other := gen.Uniform(2000, benchDomain, 22)
+	for wname, vals := range workloads {
+		for _, codec := range []core.Codec{bitmap.NewRoaring(), bitmap.NewRoaringRun()} {
+			ps := mustCompress(b, codec, vals, other)
+			b.Run(wname+"/"+codec.Name(), func(b *testing.B) {
+				b.ReportMetric(float64(ps[0].SizeBytes()), "compressed-bytes")
+				for i := 0; i < b.N; i++ {
+					r, err := ops.Intersect(ps)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink = r
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation as testing.B benchmarks: compression happens in
+// setup; the timed loop runs exactly the operation the paper measures
+// (decompression, intersection, union, or the named query plan).
+//
+// Run everything:   go test -bench=. -benchmem
+// One figure:       go test -bench=BenchmarkFig3 -benchmem
+//
+// The workloads are density-preserving scale-downs of the paper's
+// (DESIGN.md §2); cmd/bvbench runs the same experiments at configurable
+// scale with paper-style table output.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/codecs"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/intlist"
+	"repro/internal/ops"
+)
+
+// benchDomain keeps go test -bench runtimes in seconds while preserving
+// the paper's densities.
+const benchDomain = 1 << 18
+
+// benchDensities mirrors the paper's 10M and 1B list sizes over 2^31.
+var benchDensities = map[string]float64{"10M": 0.00466, "1B": 0.466}
+
+var benchDists = []string{"uniform", "zipf", "markov"}
+
+func synthList(dist string, n int, seed int64) []uint32 {
+	switch dist {
+	case "uniform":
+		return gen.Uniform(n, benchDomain, seed)
+	case "zipf":
+		return gen.Zipf(n, benchDomain, 1.0, seed)
+	default:
+		return gen.MarkovN(n, benchDomain, 8, seed)
+	}
+}
+
+func mustCompress(b *testing.B, c core.Codec, lists ...[]uint32) []core.Posting {
+	b.Helper()
+	out := make([]core.Posting, len(lists))
+	for i, l := range lists {
+		p, err := c.Compress(l)
+		if err != nil {
+			b.Fatalf("%s: %v", c.Name(), err)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// BenchmarkFig3Decompression regenerates Figure 3: decompression across
+// distributions, densities, and all 24 methods. The reported
+// bytes-metric is the compressed size (the figure's x axis).
+func BenchmarkFig3Decompression(b *testing.B) {
+	for _, dist := range benchDists {
+		for label, d := range benchDensities {
+			list := synthList(dist, int(d*benchDomain), 1)
+			for _, c := range codecs.All() {
+				ps := mustCompress(b, c, list)
+				b.Run(fmt.Sprintf("%s/%s/%s", dist, label, c.Name()), func(b *testing.B) {
+					b.ReportMetric(float64(ps[0].SizeBytes()), "compressed-bytes")
+					for i := 0; i < b.N; i++ {
+						sink = ps[0].Decompress()
+					}
+				})
+			}
+		}
+	}
+}
+
+// sink defeats dead-code elimination.
+var sink []uint32
+
+// benchPair builds the Table 1/2 two-list workload at ratio 1000.
+func benchPair(b *testing.B, dist string, d float64) ([]uint32, []uint32) {
+	b.Helper()
+	n2 := int(d * benchDomain)
+	n1 := n2 / 1000
+	if n1 < 1 {
+		n1 = 1
+	}
+	return synthList(dist, n1, 2), synthList(dist, n2, 3)
+}
+
+// BenchmarkTable1Intersection regenerates Table 1.
+func BenchmarkTable1Intersection(b *testing.B) {
+	for _, dist := range benchDists {
+		for label, d := range benchDensities {
+			l1, l2 := benchPair(b, dist, d)
+			for _, c := range codecs.All() {
+				ps := mustCompress(b, c, l1, l2)
+				b.Run(fmt.Sprintf("%s/%s/%s", dist, label, c.Name()), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						r, err := ops.Intersect(ps)
+						if err != nil {
+							b.Fatal(err)
+						}
+						sink = r
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Union regenerates Table 2.
+func BenchmarkTable2Union(b *testing.B) {
+	for _, dist := range benchDists {
+		for label, d := range benchDensities {
+			l1, l2 := benchPair(b, dist, d)
+			for _, c := range codecs.All() {
+				ps := mustCompress(b, c, l1, l2)
+				b.Run(fmt.Sprintf("%s/%s/%s", dist, label, c.Name()), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						r, err := ops.Union(ps)
+						if err != nil {
+							b.Fatal(err)
+						}
+						sink = r
+					}
+				})
+			}
+		}
+	}
+}
+
+// benchWorkload runs every query of a dataset workload under every
+// codec (Figures 4, 5, 8-12).
+func benchWorkload(b *testing.B, w datasets.Workload) {
+	b.Helper()
+	for _, c := range codecs.All() {
+		ps := mustCompress(b, c, w.Lists...)
+		for _, q := range w.Queries {
+			b.Run(fmt.Sprintf("%s/%s/%s", w.Name, q.Name, c.Name()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r, err := ops.Eval(q.Plan, ps)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink = r
+				}
+			})
+		}
+	}
+}
+
+// benchScale shrinks the real datasets for bench runs.
+const benchScale = 1.0 / 256
+
+// BenchmarkFig4SSB regenerates Figure 4 (SF=1 analogue).
+func BenchmarkFig4SSB(b *testing.B) { benchWorkload(b, datasets.SSB(1, benchScale)) }
+
+// BenchmarkFig5TPCH regenerates Figure 5 (SF=1 analogue).
+func BenchmarkFig5TPCH(b *testing.B) { benchWorkload(b, datasets.TPCH(1, benchScale)) }
+
+// BenchmarkFig6Web regenerates Figure 6: average AND/OR over a query
+// log on the web workload.
+func BenchmarkFig6Web(b *testing.B) {
+	w := datasets.Web(benchScale, 100, 20)
+	for _, c := range codecs.All() {
+		ps := mustCompress(b, c, w.Lists...)
+		for _, op := range []string{"and", "or"} {
+			b.Run(fmt.Sprintf("Web/%s/%s", op, c.Name()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, q := range w.Queries {
+						if q.Name != op {
+							continue
+						}
+						r, err := ops.Eval(q.Plan, ps)
+						if err != nil {
+							b.Fatal(err)
+						}
+						sink = r
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig7SkipPointers regenerates Figure 7: intersection with and
+// without skip pointers for the five codecs the paper picks.
+func BenchmarkFig7SkipPointers(b *testing.B) {
+	blocks := map[string]intlist.BlockCodec{
+		"VB":             intlist.VBBlock(),
+		"PforDelta":      intlist.PforDeltaBlock(),
+		"SIMDPforDelta":  intlist.SIMDPforDeltaBlock(),
+		"SIMDPforDelta*": intlist.SIMDPforDeltaStarBlock(),
+		"GroupVB":        intlist.GroupVBBlock(),
+	}
+	for _, dist := range []string{"uniform", "zipf"} {
+		l1, l2 := benchPair(b, dist, benchDensities["10M"])
+		for name, bc := range blocks {
+			for _, mode := range []struct {
+				label string
+				codec core.Codec
+			}{
+				{"with-skips", intlist.NewBlocked(bc)},
+				{"no-skips", intlist.NewBlockedNoSkips(bc)},
+			} {
+				ps := mustCompress(b, mode.codec, l1, l2)
+				b.Run(fmt.Sprintf("%s/%s/%s", dist, name, mode.label), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						r, err := ops.Intersect(ps)
+						if err != nil {
+							b.Fatal(err)
+						}
+						sink = r
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable3Ratio regenerates Table 3: intersection at list size
+// ratios 1 and 10 (the merge regime).
+func BenchmarkTable3Ratio(b *testing.B) {
+	n2 := int(benchDensities["1B"] * benchDomain / 10)
+	for _, dist := range benchDists {
+		for _, theta := range []int{1, 10} {
+			l1 := synthList(dist, n2/theta, 4)
+			l2 := synthList(dist, n2, 5)
+			for _, c := range codecs.All() {
+				ps := mustCompress(b, c, l1, l2)
+				b.Run(fmt.Sprintf("%s/theta=%d/%s", dist, theta, c.Name()), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						r, err := ops.Intersect(ps)
+						if err != nil {
+							b.Fatal(err)
+						}
+						sink = r
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig8Graph regenerates Figure 8.
+func BenchmarkFig8Graph(b *testing.B) { benchWorkload(b, datasets.Graph(benchScale)) }
+
+// BenchmarkFig9KDDCup regenerates Figure 9.
+func BenchmarkFig9KDDCup(b *testing.B) { benchWorkload(b, datasets.KDDCup(benchScale)) }
+
+// BenchmarkFig10Berkeleyearth regenerates Figure 10.
+func BenchmarkFig10Berkeleyearth(b *testing.B) { benchWorkload(b, datasets.Berkeleyearth(benchScale)) }
+
+// BenchmarkFig11Higgs regenerates Figure 11.
+func BenchmarkFig11Higgs(b *testing.B) { benchWorkload(b, datasets.Higgs(benchScale)) }
+
+// BenchmarkFig12Kegg regenerates Figure 12 (unscaled — the dataset is
+// tiny).
+func BenchmarkFig12Kegg(b *testing.B) { benchWorkload(b, datasets.Kegg(1)) }
+
+// BenchmarkCompression measures compression speed itself — not a paper
+// table, but useful for adopters.
+func BenchmarkCompression(b *testing.B) {
+	list := synthList("uniform", int(benchDensities["10M"]*benchDomain), 6)
+	for _, c := range codecs.All() {
+		b.Run(c.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := c.Compress(list)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkPosting = p
+			}
+		})
+	}
+}
+
+var sinkPosting core.Posting

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestGenerate(t *testing.T) {
+	for _, dist := range []string{"uniform", "zipf", "markov"} {
+		vals, err := generate(dist, 500, 18, 1.0, 0.01, 8, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		if len(vals) == 0 {
+			t.Errorf("%s: no values", dist)
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] <= vals[i-1] {
+				t.Fatalf("%s: not strictly increasing at %d", dist, i)
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate("gaussian", 10, 18, 1, 0.1, 8, 1); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if _, err := generate("uniform", 10, 0, 1, 0.1, 8, 1); err == nil {
+		t.Error("domain 2^0 accepted")
+	}
+	if _, err := generate("uniform", 10, 40, 1, 0.1, 8, 1); err == nil {
+		t.Error("domain 2^40 accepted")
+	}
+}

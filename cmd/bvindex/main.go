@@ -1,0 +1,146 @@
+// Command bvindex builds a persistent inverted index over a text file
+// (one document per line) and answers boolean / top-k queries against
+// it — a minimal end-to-end tour of the §A.1 application on top of any
+// codec in the module.
+//
+// Usage:
+//
+//	bvindex -build -in docs.txt -out docs.idx -codec Roaring
+//	bvindex -index docs.idx -query "compressed lists"            # AND
+//	bvindex -index docs.idx -query "bitmap inverted" -mode or
+//	bvindex -index docs.idx -query "compression" -mode topk -k 3
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/codecs"
+	"repro/internal/index"
+)
+
+func main() {
+	var (
+		build     = flag.Bool("build", false, "build an index instead of querying")
+		inFile    = flag.String("in", "", "input documents, one per line (default stdin)")
+		outFile   = flag.String("out", "", "output index file (build mode)")
+		indexFile = flag.String("index", "", "index file to query")
+		codecName = flag.String("codec", "Roaring", "codec for posting lists (build mode)")
+		query     = flag.String("query", "", "space-separated query terms")
+		mode      = flag.String("mode", "and", "query mode: and | or | topk")
+		k         = flag.Int("k", 5, "result count for -mode topk")
+	)
+	flag.Parse()
+
+	switch {
+	case *build:
+		if err := runBuild(*inFile, *outFile, *codecName); err != nil {
+			fatal("%v", err)
+		}
+	case *query != "":
+		if err := runQuery(*indexFile, *query, *mode, *k, os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+	default:
+		fatal("nothing to do: pass -build or -query (see -help)")
+	}
+}
+
+func runBuild(inFile, outFile, codecName string) error {
+	if outFile == "" {
+		return fmt.Errorf("build mode needs -out")
+	}
+	codec, err := codecs.ByName(codecName)
+	if err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	builder := index.NewBuilder(codec)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	docs := 0
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			builder.AddDocument(line)
+			docs++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	idx, err := builder.Build()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(outFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := idx.WriteTo(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d documents, %d terms, %d compressed posting bytes -> %s (%d bytes)\n",
+		docs, idx.Terms(), idx.SizeBytes(), outFile, n)
+	return nil
+}
+
+func runQuery(indexFile, query, mode string, k int, w io.Writer) error {
+	if indexFile == "" {
+		return fmt.Errorf("query mode needs -index")
+	}
+	f, err := os.Open(indexFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	idx, err := index.Read(f)
+	if err != nil {
+		return err
+	}
+	terms := index.Tokenize(query)
+	switch mode {
+	case "and":
+		docs, err := idx.Conjunctive(terms...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "AND%v -> %d docs: %v\n", terms, len(docs), docs)
+	case "or":
+		docs, err := idx.Disjunctive(terms...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "OR%v -> %d docs: %v\n", terms, len(docs), docs)
+	case "topk":
+		results, err := idx.TopK(k, terms...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "TOP%d%v:\n", k, terms)
+		for _, r := range results {
+			fmt.Fprintf(w, "  doc %d (score %d)\n", r.Doc, r.Score)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q (and | or | topk)", mode)
+	}
+	return nil
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "bvindex: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDocs(t *testing.T, docs []string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "docs.txt")
+	if err := os.WriteFile(p, []byte(strings.Join(docs, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildAndQuery(t *testing.T) {
+	docsFile := writeDocs(t, []string{
+		"compressed bitmap indexes",
+		"inverted lists for search",
+		"bitmap and inverted compression compression",
+	})
+	idxFile := filepath.Join(t.TempDir(), "out.idx")
+	if err := runBuild(docsFile, idxFile, "Roaring"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runQuery(idxFile, "bitmap compression", "and", 5, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 docs: [2]") {
+		t.Errorf("AND output = %q", buf.String())
+	}
+	buf.Reset()
+	if err := runQuery(idxFile, "bitmap inverted", "or", 5, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3 docs") {
+		t.Errorf("OR output = %q", buf.String())
+	}
+	buf.Reset()
+	if err := runQuery(idxFile, "compression", "topk", 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "doc 2 (score 2)") {
+		t.Errorf("TOPK output = %q", buf.String())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	docsFile := writeDocs(t, []string{"a doc"})
+	if err := runBuild(docsFile, "", "Roaring"); err == nil {
+		t.Error("missing -out accepted")
+	}
+	out := filepath.Join(t.TempDir(), "x.idx")
+	if err := runBuild(docsFile, out, "NoSuchCodec"); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if err := runBuild(filepath.Join(t.TempDir(), "missing.txt"), out, "Roaring"); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runQuery("", "x", "and", 5, &buf); err == nil {
+		t.Error("missing -index accepted")
+	}
+	docsFile := writeDocs(t, []string{"a doc"})
+	idxFile := filepath.Join(t.TempDir(), "q.idx")
+	if err := runBuild(docsFile, idxFile, "VB"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery(idxFile, "doc", "nonsense", 5, &buf); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := runQuery(docsFile, "doc", "and", 5, &buf); err == nil {
+		t.Error("non-index file accepted")
+	}
+}

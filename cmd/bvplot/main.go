@@ -1,0 +1,148 @@
+// Command bvplot turns experiment CSV (bvbench -format csv) into
+// paper-style SVG figures: one scatter per (experiment, setting, op),
+// compressed space on x, time on y, one labeled point per method —
+// the same visual grammar as the paper's Figures 3-12.
+//
+// Usage:
+//
+//	go run ./cmd/bvbench -exp fig3 -format csv | go run ./cmd/bvplot -out figs/
+//	go run ./cmd/bvplot -in results.csv -out figs/ -linear
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/svgplot"
+)
+
+func main() {
+	var (
+		inFile = flag.String("in", "", "input CSV (default stdin)")
+		outDir = flag.String("out", "figs", "output directory for SVG files")
+		linear = flag.Bool("linear", false, "linear axes instead of log-log")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	rows, err := parseCSV(r)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal("%v", err)
+	}
+	groups, order := groupRows(rows)
+	for _, key := range order {
+		plot := buildPlot(key, groups[key], !*linear)
+		name := sanitize(key) + ".svg"
+		f, err := os.Create(filepath.Join(*outDir, name))
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := plot.Render(f); err != nil {
+			fatal("%s: %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s (%d points)\n", filepath.Join(*outDir, name), len(groups[key]))
+	}
+}
+
+// row is one measurement from the harness CSV.
+type row struct {
+	experiment, setting, method, op string
+	spaceBytes                      float64
+	timeMS                          float64
+}
+
+// parseCSV reads the bvbench CSV format.
+func parseCSV(r io.Reader) ([]row, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("bvplot: no data rows")
+	}
+	header := records[0]
+	want := []string{"experiment", "setting", "method", "op", "space_bytes", "time_ms"}
+	for i, h := range want {
+		if i >= len(header) || header[i] != h {
+			return nil, fmt.Errorf("bvplot: unexpected header %v, want %v", header, want)
+		}
+	}
+	out := make([]row, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		if len(rec) < 6 {
+			return nil, fmt.Errorf("bvplot: row %d has %d fields", i+2, len(rec))
+		}
+		space, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bvplot: row %d space: %w", i+2, err)
+		}
+		ms, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bvplot: row %d time: %w", i+2, err)
+		}
+		out = append(out, row{rec[0], rec[1], rec[2], rec[3], space, ms})
+	}
+	return out, nil
+}
+
+// groupRows buckets rows per figure panel, preserving input order.
+func groupRows(rows []row) (map[string][]row, []string) {
+	groups := map[string][]row{}
+	var order []string
+	for _, r := range rows {
+		key := r.experiment + "/" + r.setting + "/" + r.op
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], r)
+	}
+	return groups, order
+}
+
+// buildPlot makes the scatter for one panel.
+func buildPlot(key string, rows []row, logAxes bool) *svgplot.Plot {
+	points := make([]svgplot.Point, 0, len(rows))
+	for _, r := range rows {
+		points = append(points, svgplot.Point{X: r.spaceBytes, Y: r.timeMS, Label: r.method})
+	}
+	return &svgplot.Plot{
+		Title:  key,
+		XLabel: "compressed size (bytes)",
+		YLabel: "time (ms)",
+		LogX:   logAxes,
+		LogY:   logAxes,
+		Series: []svgplot.Series{{Name: "methods", Points: points}},
+	}
+}
+
+// sanitize turns a panel key into a file name.
+func sanitize(s string) string {
+	r := strings.NewReplacer("/", "_", " ", "-", "(", "", ")", "", "=", "", "*", "star", ",", "")
+	return r.Replace(s)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "bvplot: "+format+"\n", args...)
+	os.Exit(1)
+}

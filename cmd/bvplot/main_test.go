@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `experiment,setting,method,op,space_bytes,time_ms
+fig3,uniform/1M,Roaring,decompress,2048,0.5
+fig3,uniform/1M,WAH,decompress,4096,1.25
+fig3,zipf/1M,Roaring,decompress,1024,0.2
+`
+
+func TestParseCSV(t *testing.T) {
+	rows, err := parseCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].method != "Roaring" || rows[0].spaceBytes != 2048 || rows[0].timeMS != 0.5 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"a,b,c\n1,2,3\n",
+		"experiment,setting,method,op,space_bytes,time_ms\nf,s,m,o,notanumber,1\n",
+		"experiment,setting,method,op,space_bytes,time_ms\nf,s,m,o,1,notanumber\n",
+	}
+	for i, c := range cases {
+		if _, err := parseCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestGroupRowsPreservesOrder(t *testing.T) {
+	rows, _ := parseCSV(strings.NewReader(sampleCSV))
+	groups, order := groupRows(rows)
+	if len(order) != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	if order[0] != "fig3/uniform/1M/decompress" {
+		t.Errorf("order[0] = %s", order[0])
+	}
+	if len(groups[order[0]]) != 2 || len(groups[order[1]]) != 1 {
+		t.Error("group sizes wrong")
+	}
+}
+
+func TestBuildPlotAndSanitize(t *testing.T) {
+	rows, _ := parseCSV(strings.NewReader(sampleCSV))
+	groups, order := groupRows(rows)
+	p := buildPlot(order[0], groups[order[0]], true)
+	if len(p.Series) != 1 || len(p.Series[0].Points) != 2 {
+		t.Fatalf("plot shape wrong: %+v", p)
+	}
+	if !p.LogX || !p.LogY {
+		t.Error("log axes expected")
+	}
+	if got := sanitize("fig4/SSB(SF=1)/Q1.1/query"); strings.ContainsAny(got, "/()= ") {
+		t.Errorf("sanitize left reserved chars: %q", got)
+	}
+	if got := sanitize("SIMDBP128*"); strings.Contains(got, "*") {
+		t.Errorf("sanitize left asterisk: %q", got)
+	}
+}

@@ -1,0 +1,164 @@
+// Command bvserve exposes a compressed inverted index over HTTP — the
+// smallest realistic deployment of the §A.1 search stack: build or load
+// an index, then answer conjunctive/disjunctive/top-k queries as JSON.
+//
+// Usage:
+//
+//	bvserve -in docs.txt -addr :8080 -codec Roaring
+//	bvserve -index docs.idx -addr :8080
+//
+//	GET /search?q=compressed+lists&mode=and
+//	GET /search?q=bitmap&mode=topk&k=3
+//	GET /stats
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/codecs"
+	"repro/internal/index"
+)
+
+func main() {
+	var (
+		inFile    = flag.String("in", "", "documents to index, one per line")
+		indexFile = flag.String("index", "", "pre-built index file (bvindex -build)")
+		codecName = flag.String("codec", "Roaring", "codec for posting lists (with -in)")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	idx, err := loadIndex(*inFile, *indexFile, *codecName)
+	if err != nil {
+		log.Fatalf("bvserve: %v", err)
+	}
+	log.Printf("serving %d documents, %d terms, %d compressed bytes on %s",
+		idx.Docs(), idx.Terms(), idx.SizeBytes(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, newServer(idx)))
+}
+
+// loadIndex builds from raw documents or loads a serialized index.
+func loadIndex(inFile, indexFile, codecName string) (*index.Index, error) {
+	switch {
+	case indexFile != "":
+		f, err := os.Open(indexFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return index.Read(f)
+	case inFile != "":
+		codec, err := codecs.ByName(codecName)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		b := index.NewBuilder(codec)
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			if line := strings.TrimSpace(sc.Text()); line != "" {
+				b.AddDocument(line)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return b.Build()
+	default:
+		return nil, fmt.Errorf("pass -in (documents) or -index (prebuilt index)")
+	}
+}
+
+// newServer wires the HTTP routes around an index.
+func newServer(idx *index.Index) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		handleSearch(idx, w, r)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]int{
+			"documents":       idx.Docs(),
+			"terms":           idx.Terms(),
+			"compressedBytes": idx.SizeBytes(),
+		})
+	})
+	return mux
+}
+
+// searchResponse is the /search JSON shape.
+type searchResponse struct {
+	Query   []string       `json:"query"`
+	Mode    string         `json:"mode"`
+	Docs    []uint32       `json:"docs,omitempty"`
+	Ranked  []index.Result `json:"ranked,omitempty"`
+	Matches int            `json:"matches"`
+}
+
+func handleSearch(idx *index.Index, w http.ResponseWriter, r *http.Request) {
+	terms := index.Tokenize(r.URL.Query().Get("q"))
+	if len(terms) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing or empty q parameter"})
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "and"
+	}
+	resp := searchResponse{Query: terms, Mode: mode}
+	switch mode {
+	case "and":
+		docs, err := idx.Conjunctive(terms...)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		resp.Docs, resp.Matches = docs, len(docs)
+	case "or":
+		docs, err := idx.Disjunctive(terms...)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		resp.Docs, resp.Matches = docs, len(docs)
+	case "topk":
+		k := 10
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			var err error
+			if k, err = strconv.Atoi(ks); err != nil || k < 1 {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad k parameter"})
+				return
+			}
+		}
+		ranked, err := idx.TopK(k, terms...)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		resp.Ranked, resp.Matches = ranked, len(ranked)
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "mode must be and | or | topk"})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("bvserve: encoding response: %v", err)
+	}
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/codecs"
+	"repro/internal/index"
+)
+
+func testIndex(t *testing.T) *index.Index {
+	t.Helper()
+	codec, err := codecs.ByName("Roaring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := index.NewBuilder(codec)
+	for _, d := range []string{
+		"compressed bitmap indexes",
+		"compressed inverted lists",
+		"bitmap and inverted list compression compression",
+	} {
+		b.AddDocument(d)
+	}
+	idx, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body map[string]interface{}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatalf("%s: bad JSON: %v", path, err)
+	}
+	return rec, body
+}
+
+func TestSearchAnd(t *testing.T) {
+	h := newServer(testIndex(t))
+	rec, body := get(t, h, "/search?q=compressed+bitmap&mode=and")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	docs := body["docs"].([]interface{})
+	if len(docs) != 1 || docs[0].(float64) != 0 {
+		t.Fatalf("docs = %v", docs)
+	}
+}
+
+func TestSearchOrAndDefaults(t *testing.T) {
+	h := newServer(testIndex(t))
+	_, body := get(t, h, "/search?q=lists+indexes&mode=or")
+	if body["matches"].(float64) != 2 {
+		t.Fatalf("matches = %v", body["matches"])
+	}
+	// Default mode is AND.
+	_, body = get(t, h, "/search?q=compressed")
+	if body["mode"] != "and" || body["matches"].(float64) != 2 {
+		t.Fatalf("default mode body = %v", body)
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	h := newServer(testIndex(t))
+	rec, body := get(t, h, "/search?q=compression&mode=topk&k=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	ranked := body["ranked"].([]interface{})
+	if len(ranked) != 1 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	top := ranked[0].(map[string]interface{})
+	if top["Doc"].(float64) != 2 || top["Score"].(float64) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	h := newServer(testIndex(t))
+	for _, path := range []string{
+		"/search",                      // missing q
+		"/search?q=x&mode=banana",      // bad mode
+		"/search?q=x&mode=topk&k=zero", // bad k
+		"/search?q=...&mode=and",       // tokenizes to nothing
+	} {
+		rec, _ := get(t, h, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, rec.Code)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	h := newServer(testIndex(t))
+	rec, body := get(t, h, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if body["documents"].(float64) != 3 || body["terms"].(float64) == 0 {
+		t.Fatalf("stats = %v", body)
+	}
+}
+
+func TestLoadIndexPaths(t *testing.T) {
+	dir := t.TempDir()
+	docs := filepath.Join(dir, "docs.txt")
+	if err := os.WriteFile(docs, []byte("alpha beta\ngamma\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := loadIndex(docs, "", "VB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Docs() != 2 {
+		t.Fatalf("docs = %d", idx.Docs())
+	}
+	// Round trip through a serialized index file.
+	idxFile := filepath.Join(dir, "docs.idx")
+	f, err := os.Create(idxFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	loaded, err := loadIndex("", idxFile, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Docs() != 2 {
+		t.Fatalf("loaded docs = %d", loaded.Docs())
+	}
+	// Neither input: error.
+	if _, err := loadIndex("", "", "Roaring"); err == nil {
+		t.Error("expected error with no inputs")
+	}
+	if _, err := loadIndex(docs, "", "NoSuchCodec"); err == nil {
+		t.Error("expected error for unknown codec")
+	}
+	if !strings.Contains(idxFile, dir) {
+		t.Fatal("sanity")
+	}
+}

@@ -1,0 +1,138 @@
+// Command bvzip compresses a sorted integer list with any of the 24
+// codecs and reports size and round-trip timings; with -compare it runs
+// every codec on the same input, producing a one-file version of the
+// paper's space comparison.
+//
+// Input is one unsigned integer per line (strictly increasing) on stdin
+// or in the file named by -in. With -gen N the input is synthesized
+// instead.
+//
+// Usage:
+//
+//	bvzip -codec Roaring -in ids.txt
+//	bvzip -compare -gen 100000 -dist zipf
+//	seq 1 2 99999 | bvzip -codec SIMDBP128*
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/codecs"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		codecName = flag.String("codec", "Roaring", "codec name (see -listcodecs)")
+		inFile    = flag.String("in", "", "input file (default stdin)")
+		compare   = flag.Bool("compare", false, "run all codecs and print a comparison table")
+		listC     = flag.Bool("listcodecs", false, "list codec names and exit")
+		genN      = flag.Int("gen", 0, "generate N values instead of reading input")
+		dist      = flag.String("dist", "uniform", "generator distribution: uniform|zipf|markov")
+		domainLog = flag.Int("domain", 24, "generator domain as a power of two")
+		seed      = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	if *listC {
+		for _, n := range codecs.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	values, err := loadValues(*genN, *dist, *domainLog, *seed, *inFile)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(values) == 0 {
+		fatal("no input values")
+	}
+
+	if *compare {
+		fmt.Printf("%d values, max %d\n", len(values), values[len(values)-1])
+		fmt.Printf("%-16s %6s %14s %12s %14s\n",
+			"codec", "kind", "size", "bits/int", "decompress")
+		for _, c := range codecs.All() {
+			report(c, values)
+		}
+		return
+	}
+	c, err := codecs.ByName(*codecName)
+	if err != nil {
+		fatal("%v (use -listcodecs)", err)
+	}
+	fmt.Printf("%d values, max %d\n", len(values), values[len(values)-1])
+	fmt.Printf("%-16s %6s %14s %12s %14s\n",
+		"codec", "kind", "size", "bits/int", "decompress")
+	report(c, values)
+}
+
+func report(c core.Codec, values []uint32) {
+	p, err := c.Compress(values)
+	if err != nil {
+		fmt.Printf("%-16s %6s %14s\n", c.Name(), c.Kind(), "error: "+err.Error())
+		return
+	}
+	start := time.Now()
+	out := p.Decompress()
+	el := time.Since(start)
+	if len(out) != len(values) {
+		fatal("%s: round trip lost values (%d != %d)", c.Name(), len(out), len(values))
+	}
+	bitsPerInt := float64(p.SizeBytes()) * 8 / float64(len(values))
+	fmt.Printf("%-16s %6s %14d %12.2f %14s\n",
+		c.Name(), c.Kind(), p.SizeBytes(), bitsPerInt, el)
+}
+
+func loadValues(genN int, dist string, domainLog int, seed int64, inFile string) ([]uint32, error) {
+	if genN > 0 {
+		domain := uint32(1) << uint(domainLog)
+		switch dist {
+		case "uniform":
+			return gen.Uniform(genN, domain, seed), nil
+		case "zipf":
+			return gen.Zipf(genN, domain, 1.0, seed), nil
+		case "markov":
+			return gen.MarkovN(genN, domain, 8, seed), nil
+		default:
+			return nil, fmt.Errorf("unknown distribution %q", dist)
+		}
+	}
+	var r io.Reader = os.Stdin
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var values []uint32
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseUint(line, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", line, err)
+		}
+		values = append(values, uint32(v))
+	}
+	return values, sc.Err()
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "bvzip: "+format+"\n", args...)
+	os.Exit(1)
+}

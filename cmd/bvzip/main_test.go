@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadValuesFromFile(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "ids.txt")
+	if err := os.WriteFile(p, []byte("1\n5\n# comment\n\n10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := loadValues(0, "", 0, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{1, 5, 10}
+	if len(vals) != len(want) {
+		t.Fatalf("got %v", vals)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("got %v want %v", vals, want)
+		}
+	}
+}
+
+func TestLoadValuesRejectsBadLines(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(p, []byte("1\nnot-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadValues(0, "", 0, 0, p); err == nil {
+		t.Error("bad line accepted")
+	}
+	// Values above uint32 range.
+	if err := os.WriteFile(p, []byte("4294967296\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadValues(0, "", 0, 0, p); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+}
+
+func TestLoadValuesGenerators(t *testing.T) {
+	for _, dist := range []string{"uniform", "zipf", "markov"} {
+		vals, err := loadValues(500, dist, 20, 1, "")
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		if len(vals) == 0 {
+			t.Errorf("%s: empty", dist)
+		}
+	}
+	if _, err := loadValues(10, "gaussian", 20, 1, ""); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}

@@ -1,0 +1,104 @@
+// Advisor: the paper's §7 decision guidelines as a tool. Feed it a list
+// (synthetic here; swap in your own IDs) and a workload, and it
+// recommends a codec — then validates the recommendation by actually
+// measuring the alternatives on your data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/codecs"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/ops"
+)
+
+type scenario struct {
+	name     string
+	list     []uint32
+	domain   uint64
+	workload core.Workload
+	wname    string
+}
+
+func main() {
+	scenarios := []scenario{
+		{
+			name:     "sparse uniform (search-engine posting list)",
+			list:     gen.Uniform(20_000, 1<<24, 1),
+			domain:   1 << 24,
+			workload: core.WorkloadSpace,
+			wname:    "space",
+		},
+		{
+			name:     "ultra dense (low-cardinality DB column)",
+			list:     gen.MarkovN(5_000_000, 1<<24, 8, 2),
+			domain:   1 << 24,
+			workload: core.WorkloadSpace,
+			wname:    "space",
+		},
+		{
+			name:     "conjunctive query column",
+			list:     gen.Uniform(100_000, 1<<24, 3),
+			domain:   1 << 24,
+			workload: core.WorkloadIntersection,
+			wname:    "intersection",
+		},
+		{
+			name:     "range-query column (union-heavy)",
+			list:     gen.Uniform(100_000, 1<<24, 4),
+			domain:   1 << 24,
+			workload: core.WorkloadUnion,
+			wname:    "union",
+		},
+	}
+
+	for _, sc := range scenarios {
+		stats := core.ComputeStats(sc.list, sc.domain)
+		rec := core.Advise(stats, sc.workload)
+		fmt.Printf("%s\n  n=%d density=%.4f gapCV=%.2f workload=%s\n  -> %s\n     %s\n",
+			sc.name, stats.N, stats.Density, stats.GapCV, sc.wname, rec.Codec, rec.Reason)
+		validate(sc, rec.Codec)
+		fmt.Println()
+	}
+}
+
+// validate measures the recommended codec against two alternatives on
+// the scenario's own data so the advice is checkable, not oracular.
+func validate(sc scenario, recommended string) {
+	alternatives := map[string]bool{recommended: true, "Roaring": true, "SIMDBP128*": true, "WAH": true}
+	other := gen.Uniform(len(sc.list)/10+1, uint32(sc.domain), 99)
+	fmt.Printf("     %-14s %12s %12s\n", "codec", "size", sc.wname+" ms")
+	for name := range alternatives {
+		c, err := codecs.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := c.Compress(sc.list)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q, err := c.Compress(other)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		switch sc.workload {
+		case core.WorkloadUnion:
+			_, err = ops.Union([]core.Posting{p, q})
+		default:
+			_, err = ops.Intersect([]core.Posting{p, q})
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := "  "
+		if name == recommended {
+			marker = "->"
+		}
+		fmt.Printf("   %s %-14s %12d %12.3f\n",
+			marker, name, p.SizeBytes(), float64(time.Since(start).Microseconds())/1000)
+	}
+}

@@ -1,0 +1,95 @@
+// Diskio: the storage experiment the paper deferred (§4.1), made
+// controllable. Postings live on a simulated device that counts every
+// read; a skewed intersection then shows (1) skip pointers fetching a
+// small fraction of the payload, and (2) the seek-vs-bandwidth
+// crossover between per-block list reads and whole-payload bitmap
+// streaming on slow vs fast devices.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bitmap"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/intlist"
+	"repro/internal/iosim"
+	"repro/internal/ops"
+)
+
+func main() {
+	short := gen.Uniform(50, 1<<22, 1)
+	long := gen.Uniform(400_000, 1<<22, 2)
+	fmt.Printf("skewed intersection: |L1|=%d, |L2|=%d over a 2^22 domain\n\n", len(short), len(long))
+
+	devices := []struct {
+		name    string
+		seekUS  float64
+		usPerKB float64
+	}{
+		{"hdd-like  (5ms seek)", 5000, 10},
+		{"ssd-like  (80us read)", 80, 0.25},
+		{"nvme-like (10us read)", 10, 0.25},
+	}
+	for _, dev := range devices {
+		fmt.Printf("%s\n", dev.name)
+		fmt.Printf("  %-22s %14s %10s %14s\n", "method", "bytes fetched", "reads", "device cost")
+
+		// Skip-pointered list: probes fetch only the blocks they touch.
+		d := iosim.NewDisk(dev.seekUS, dev.usPerKB)
+		ps, err := iosim.StoreList(d, intlist.Blocked{BC: intlist.VBBlock()}, short)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pl, err := iosim.StoreList(d, intlist.Blocked{BC: intlist.VBBlock()}, long)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d.Reset()
+		mustIntersect(ps, pl)
+		report(d, "VB + skip pointers")
+
+		// The same list without skips walks every block up to the last
+		// probe.
+		d2 := iosim.NewDisk(dev.seekUS, dev.usPerKB)
+		ps2, _ := iosim.StoreList(d2, intlist.Blocked{BC: intlist.VBBlock(), NoSkips: true}, short)
+		pl2, _ := iosim.StoreList(d2, intlist.Blocked{BC: intlist.VBBlock(), NoSkips: true}, long)
+		d2.Reset()
+		mustIntersect(ps2, pl2)
+		report(d2, "VB, no skips")
+
+		// A compressed bitmap must stream its whole payload.
+		d3 := iosim.NewDisk(dev.seekUS, dev.usPerKB)
+		pa, _ := bitmap.NewRoaring().Compress(short)
+		pb, _ := bitmap.NewRoaring().Compress(long)
+		sa, err := iosim.StoreWhole(d3, pa)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sb, err := iosim.StoreWhole(d3, pb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d3.Reset()
+		mustIntersect(sa, sb)
+		report(d3, "Roaring (whole payload)")
+		fmt.Println()
+	}
+	fmt.Println("lessons: skip pointers cut bytes fetched ~80x versus the no-skip walk,")
+	fmt.Println("but per-probe request latency dominates device cost at this probe count —")
+	fmt.Println("streaming the whole (80x larger) bitmap costs fewer requests. Skip-based")
+	fmt.Println("fetching wins once request latency approaches memory speeds or payloads")
+	fmt.Println("grow faster than probe counts; batching probes per block gets both.")
+}
+
+func mustIntersect(ps ...core.Posting) {
+	if _, err := ops.Intersect(ps); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func report(d *iosim.Disk, label string) {
+	reads, bytes, cost := d.Stats()
+	fmt.Printf("  %-22s %14d %10d %11.2f ms\n", label, bytes, reads, cost/1000)
+}

@@ -1,0 +1,56 @@
+// Quickstart: compress a sorted ID list with a bitmap codec and a list
+// codec, compare their footprints, and run the two operations the study
+// measures — intersection and union — through the unified ops API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codecs"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/ops"
+)
+
+func main() {
+	// Two overlapping sorted sets: "customers who bought an iPhone" and
+	// "customers from California", as in the paper's motivating example.
+	iphone := gen.Uniform(50_000, 1<<20, 1)
+	california := gen.Uniform(200_000, 1<<20, 2)
+
+	for _, name := range []string{"Roaring", "WAH", "SIMDBP128*", "VB"} {
+		codec, err := codecs.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := mustCompress(codec, iphone)
+		b := mustCompress(codec, california)
+
+		both, err := ops.Intersect([]core.Posting{a, b})
+		if err != nil {
+			log.Fatal(err)
+		}
+		either, err := ops.Union([]core.Posting{a, b})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s (%s)  size=%7d+%7d bytes  AND=%6d rows  OR=%7d rows\n",
+			codec.Name(), codec.Kind(), a.SizeBytes(), b.SizeBytes(),
+			len(both), len(either))
+	}
+
+	// Every codec produces identical results; pick by workload with the
+	// advisor (see examples/advisor for the full decision guide).
+	stats := core.ComputeStats(iphone, 1<<20)
+	rec := core.Advise(stats, core.WorkloadIntersection)
+	fmt.Printf("\nadvisor: for intersection-heavy work use %s — %s\n", rec.Codec, rec.Reason)
+}
+
+func mustCompress(c core.Codec, values []uint32) core.Posting {
+	p, err := c.Compress(values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

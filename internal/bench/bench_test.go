@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversAllTablesAndFigures(t *testing.T) {
+	want := []string{"fig3", "tab1", "tab2", "fig4", "fig5", "fig6",
+		"fig7", "tab3", "fig8", "fig9", "fig10", "fig11", "fig12", "extio"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
+	}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID should reject unknown ids")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment end-to-end at the
+// Quick scale and sanity-checks the output shape.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	cfg := Quick()
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			ms, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(ms) == 0 {
+				t.Fatalf("%s: no measurements", e.ID)
+			}
+			methods := map[string]bool{}
+			for _, m := range ms {
+				if m.Experiment != e.ID {
+					t.Errorf("measurement tagged %q, want %q", m.Experiment, e.ID)
+				}
+				if m.SpaceBytes <= 0 {
+					t.Errorf("%s/%s/%s: non-positive space", m.Setting, m.Method, m.Op)
+				}
+				if m.TimeMS < 0 {
+					t.Errorf("%s/%s/%s: negative time", m.Setting, m.Method, m.Op)
+				}
+				methods[m.Method] = true
+			}
+			// fig7 and extio run fixed codec panels; everything else
+			// covers the full table.
+			minMethods := 24
+			if e.ID == "fig7" || e.ID == "extio" {
+				minMethods = 5
+			}
+			if len(methods) < minMethods {
+				t.Errorf("%s: only %d methods measured, want >= %d",
+					e.ID, len(methods), minMethods)
+			}
+			var buf bytes.Buffer
+			PrintTable(&buf, e.Title, ms)
+			out := buf.String()
+			if !strings.Contains(out, "method") || !strings.Contains(out, ms[0].Method) {
+				t.Errorf("%s: table output missing expected content", e.ID)
+			}
+			if s := Summary(ms); !strings.Contains(s, "fastest") {
+				t.Errorf("%s: summary missing", e.ID)
+			}
+		})
+	}
+}
+
+// TestCodecFilter restricts a run to two codecs.
+func TestCodecFilter(t *testing.T) {
+	cfg := Quick()
+	cfg.Codecs = []string{"Roaring", "VB"}
+	e, _ := ByID("fig3")
+	ms, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Method != "Roaring" && m.Method != "VB" {
+			t.Fatalf("unexpected method %s", m.Method)
+		}
+	}
+	cfg.Codecs = []string{"NoSuchCodec"}
+	if _, err := e.Run(cfg); err == nil {
+		t.Error("expected error for unknown codec filter")
+	}
+}
+
+func TestDensityName(t *testing.T) {
+	for d, want := range map[float64]string{
+		0.0004: "1M", 0.004: "10M", 0.04: "100M", 0.4: "1B",
+	} {
+		if got := DensityName(d); got != want {
+			t.Errorf("DensityName(%g) = %s want %s", d, got, want)
+		}
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	for n, want := range map[int]string{
+		512:     "512 B",
+		2048:    "2.00 KB",
+		1 << 21: "2.00 MB",
+		3 << 30: "3.00 GB",
+	} {
+		if got := humanBytes(n); got != want {
+			t.Errorf("humanBytes(%d) = %s want %s", n, got, want)
+		}
+	}
+}

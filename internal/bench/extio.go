@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/intlist"
+	"repro/internal/iosim"
+	"repro/internal/ops"
+)
+
+// extIO is an extension experiment beyond the paper (its §4.1 defers
+// disks to future work): the same skewed intersection run against a
+// simulated storage device, reporting bytes fetched per query. List
+// codecs with skip pointers touch only probed blocks; RLE bitmaps must
+// fetch their whole payload; the no-skip ablation reads everything up
+// to the last probe.
+func extIO() Experiment {
+	return Experiment{
+		ID:    "extio",
+		Title: "Extension: simulated-disk I/O per intersection (bytes fetched)",
+		Run: func(cfg Config) ([]Measurement, error) {
+			d := cfg.Densities[len(cfg.Densities)/2]
+			n2 := int(d * float64(cfg.Domain))
+			n1 := n2 / cfg.Ratio
+			if n1 < 1 {
+				n1 = 1
+			}
+			short := gen.Uniform(n1, cfg.Domain, 600)
+			long := gen.Uniform(n2, cfg.Domain, 601)
+			var ms []Measurement
+
+			listVariants := []struct {
+				name string
+				b    intlist.Blocked
+			}{
+				{"VB", intlist.Blocked{BC: intlist.VBBlock()}},
+				{"VB-noskip", intlist.Blocked{BC: intlist.VBBlock(), NoSkips: true}},
+				{"PforDelta*", intlist.Blocked{BC: intlist.PforDeltaStarBlock()}},
+				{"SIMDPforDelta*", intlist.Blocked{BC: intlist.SIMDPforDeltaStarBlock()}},
+				{"Simple8b", intlist.Blocked{BC: intlist.Simple8bBlock()}},
+			}
+			for _, v := range listVariants {
+				disk := iosim.NewDisk(80, 0.25)
+				ps, err := iosim.StoreList(disk, v.b, short)
+				if err != nil {
+					return nil, err
+				}
+				pl, err := iosim.StoreList(disk, v.b, long)
+				if err != nil {
+					return nil, err
+				}
+				disk.Reset()
+				if _, err := ops.Intersect([]core.Posting{ps, pl}); err != nil {
+					return nil, err
+				}
+				_, bytes, costUS := disk.Stats()
+				ms = append(ms, Measurement{
+					Experiment: "extio",
+					Setting:    fmt.Sprintf("uniform/%s", DensityName(d)),
+					Method:     v.name, Op: "and-io",
+					SpaceBytes: int(bytes),      // bytes fetched
+					TimeMS:     costUS / 1000.0, // simulated device cost
+				})
+			}
+
+			bitmapCodecs := []core.Codec{
+				bitmap.NewWAH(), bitmap.NewEWAH(), bitmap.NewRoaring(),
+			}
+			for _, c := range bitmapCodecs {
+				disk := iosim.NewDisk(80, 0.25)
+				pa, err := c.Compress(short)
+				if err != nil {
+					return nil, err
+				}
+				pb, err := c.Compress(long)
+				if err != nil {
+					return nil, err
+				}
+				sa, err := iosim.StoreWhole(disk, pa)
+				if err != nil {
+					return nil, err
+				}
+				sb, err := iosim.StoreWhole(disk, pb)
+				if err != nil {
+					return nil, err
+				}
+				disk.Reset()
+				if _, err := ops.Intersect([]core.Posting{sa, sb}); err != nil {
+					return nil, err
+				}
+				_, bytes, costUS := disk.Stats()
+				ms = append(ms, Measurement{
+					Experiment: "extio",
+					Setting:    fmt.Sprintf("uniform/%s", DensityName(d)),
+					Method:     c.Name(), Op: "and-io",
+					SpaceBytes: int(bytes),
+					TimeMS:     costUS / 1000.0,
+				})
+			}
+			return ms, nil
+		},
+	}
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PrintTable renders measurements as paper-style tables: one table per
+// setting, rows in codec order, columns space + time per op.
+func PrintTable(w io.Writer, title string, ms []Measurement) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	// Group by setting, preserving first-seen order.
+	var settings []string
+	bySetting := map[string][]Measurement{}
+	for _, m := range ms {
+		if _, ok := bySetting[m.Setting]; !ok {
+			settings = append(settings, m.Setting)
+		}
+		bySetting[m.Setting] = append(bySetting[m.Setting], m)
+	}
+	for _, s := range settings {
+		group := bySetting[s]
+		// Ops present, in first-seen order.
+		var opsSeen []string
+		seen := map[string]bool{}
+		for _, m := range group {
+			if !seen[m.Op] {
+				seen[m.Op] = true
+				opsSeen = append(opsSeen, m.Op)
+			}
+		}
+		fmt.Fprintf(w, "\n-- %s --\n", s)
+		fmt.Fprintf(w, "%-16s %12s", "method", "space")
+		for _, op := range opsSeen {
+			fmt.Fprintf(w, " %14s", op+" (ms)")
+		}
+		fmt.Fprintln(w)
+		// Row per method, first-seen order.
+		var methods []string
+		mseen := map[string]bool{}
+		for _, m := range group {
+			if !mseen[m.Method] {
+				mseen[m.Method] = true
+				methods = append(methods, m.Method)
+			}
+		}
+		for _, method := range methods {
+			fmt.Fprintf(w, "%-16s", method)
+			var space int
+			times := map[string]float64{}
+			for _, m := range group {
+				if m.Method == method {
+					space = m.SpaceBytes
+					times[m.Op] = m.TimeMS
+				}
+			}
+			fmt.Fprintf(w, " %12s", humanBytes(space))
+			for _, op := range opsSeen {
+				fmt.Fprintf(w, " %14.3f", times[op])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// humanBytes renders a byte count with a binary-ish suffix matching the
+// paper's MB axes.
+func humanBytes(n int) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// PrintCSV renders measurements as one CSV row per (setting, method,
+// op), convenient for plotting the figures.
+func PrintCSV(w io.Writer, ms []Measurement) {
+	fmt.Fprintln(w, "experiment,setting,method,op,space_bytes,time_ms")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%s,%s,%s,%s,%d,%.6f\n",
+			csvEscape(m.Experiment), csvEscape(m.Setting), csvEscape(m.Method),
+			csvEscape(m.Op), m.SpaceBytes, m.TimeMS)
+	}
+}
+
+// csvEscape quotes a field when it contains a comma or quote.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Summary condenses measurements into the headline comparisons the
+// paper draws (winner per setting/op).
+func Summary(ms []Measurement) string {
+	type key struct{ setting, op string }
+	best := map[key]Measurement{}
+	var order []key
+	for _, m := range ms {
+		k := key{m.Setting, m.Op}
+		cur, ok := best[k]
+		if !ok {
+			order = append(order, k)
+			best[k] = m
+			continue
+		}
+		if m.TimeMS < cur.TimeMS {
+			best[k] = m
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].setting != order[j].setting {
+			return order[i].setting < order[j].setting
+		}
+		return order[i].op < order[j].op
+	})
+	var b strings.Builder
+	for _, k := range order {
+		m := best[k]
+		fmt.Fprintf(&b, "%-24s %-10s fastest: %-16s %8.3f ms\n",
+			k.setting, k.op, m.Method, m.TimeMS)
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleMeasurements() []Measurement {
+	return []Measurement{
+		{Experiment: "fig3", Setting: "uniform/1M", Method: "Roaring", Op: "decompress", SpaceBytes: 2048, TimeMS: 0.5},
+		{Experiment: "fig3", Setting: "uniform/1M", Method: "WAH", Op: "decompress", SpaceBytes: 4096, TimeMS: 1.5},
+		{Experiment: "fig3", Setting: "zipf/1M", Method: "Roaring", Op: "decompress", SpaceBytes: 1024, TimeMS: 0.25},
+	}
+}
+
+func TestPrintCSV(t *testing.T) {
+	var buf bytes.Buffer
+	PrintCSV(&buf, sampleMeasurements())
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + 3 rows:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "experiment,setting,method,op,space_bytes,time_ms" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "fig3,uniform/1M,Roaring,decompress,2048,0.5") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	for in, want := range map[string]string{
+		"plain":      "plain",
+		"with,comma": `"with,comma"`,
+		`q"uote`:     `"q""uote"`,
+	} {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestPrintTableGroupsBySetting(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTable(&buf, "demo", sampleMeasurements())
+	out := buf.String()
+	if strings.Count(out, "-- uniform/1M --") != 1 || strings.Count(out, "-- zipf/1M --") != 1 {
+		t.Errorf("settings not grouped:\n%s", out)
+	}
+	if !strings.Contains(out, "2.00 KB") || !strings.Contains(out, "4.00 KB") {
+		t.Errorf("sizes not humanized:\n%s", out)
+	}
+}
+
+func TestSummaryPicksWinner(t *testing.T) {
+	s := Summary(sampleMeasurements())
+	if !strings.Contains(s, "Roaring") {
+		t.Errorf("summary should name Roaring as winner:\n%s", s)
+	}
+	if strings.Contains(strings.Split(s, "\n")[0], "WAH") {
+		t.Errorf("WAH is not the winner:\n%s", s)
+	}
+}

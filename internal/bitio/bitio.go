@@ -1,0 +1,79 @@
+// Package bitio provides little-endian bit-packed readers and writers
+// used by the bit-granular codecs (VALWAH segments, Elias-Fano arrays,
+// PforDelta slots).
+package bitio
+
+// Writer appends bit fields to a growing []uint64 buffer. Bits are
+// stored LSB-first within each word.
+type Writer struct {
+	Words []uint64
+	NBits uint64
+}
+
+// Write appends the low n bits of v (n <= 64).
+func (w *Writer) Write(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= (uint64(1) << n) - 1
+	}
+	off := uint(w.NBits & 63)
+	idx := int(w.NBits >> 6)
+	for idx+2 > len(w.Words) {
+		w.Words = append(w.Words, 0)
+	}
+	w.Words[idx] |= v << off
+	if off+n > 64 {
+		w.Words[idx+1] |= v >> (64 - off)
+	}
+	w.NBits += uint64(n)
+}
+
+// WriteBool appends a single bit.
+func (w *Writer) WriteBool(b bool) {
+	if b {
+		w.Write(1, 1)
+	} else {
+		w.Write(0, 1)
+	}
+}
+
+// SizeBytes reports the packed size rounded up to whole bytes.
+func (w *Writer) SizeBytes() int { return int((w.NBits + 7) / 8) }
+
+// Reader extracts bit fields from a []uint64 buffer written by Writer.
+type Reader struct {
+	Words []uint64
+	Pos   uint64
+}
+
+// Read extracts the next n bits (n <= 64).
+func (r *Reader) Read(n uint) uint64 {
+	if n == 0 {
+		return 0
+	}
+	off := uint(r.Pos & 63)
+	idx := int(r.Pos >> 6)
+	v := r.Words[idx] >> off
+	if off+n > 64 && idx+1 < len(r.Words) {
+		v |= r.Words[idx+1] << (64 - off)
+	}
+	if n < 64 {
+		v &= (uint64(1) << n) - 1
+	}
+	r.Pos += uint64(n)
+	return v
+}
+
+// ReadBool extracts a single bit.
+func (r *Reader) ReadBool() bool { return r.Read(1) == 1 }
+
+// ReadAt extracts n bits at an absolute bit position without moving Pos.
+func (r *Reader) ReadAt(pos uint64, n uint) uint64 {
+	saved := r.Pos
+	r.Pos = pos
+	v := r.Read(n)
+	r.Pos = saved
+	return v
+}

@@ -1,0 +1,118 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var w Writer
+	fields := []struct {
+		v uint64
+		n uint
+	}{
+		{1, 1}, {0, 1}, {5, 3}, {255, 8}, {1023, 10}, {0xdeadbeef, 32},
+		{0xffffffffffffffff, 64}, {0, 64}, {7, 64}, {1, 7}, {0x155, 9},
+	}
+	for _, f := range fields {
+		w.Write(f.v, f.n)
+	}
+	r := Reader{Words: w.Words}
+	for i, f := range fields {
+		want := f.v
+		if f.n < 64 {
+			want &= (uint64(1) << f.n) - 1
+		}
+		if got := r.Read(f.n); got != want {
+			t.Fatalf("field %d: got %x want %x", i, got, want)
+		}
+	}
+}
+
+func TestWriteZeroBits(t *testing.T) {
+	var w Writer
+	w.Write(99, 0)
+	if w.NBits != 0 {
+		t.Fatal("0-bit write should be a no-op")
+	}
+	r := Reader{Words: []uint64{0xff}}
+	if r.Read(0) != 0 || r.Pos != 0 {
+		t.Fatal("0-bit read should be a no-op")
+	}
+}
+
+func TestBools(t *testing.T) {
+	var w Writer
+	pattern := []bool{true, false, true, true, false, false, true}
+	for _, b := range pattern {
+		w.WriteBool(b)
+	}
+	r := Reader{Words: w.Words}
+	for i, want := range pattern {
+		if got := r.ReadBool(); got != want {
+			t.Fatalf("bit %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	var w Writer
+	w.Write(0xabc, 12)
+	w.Write(0x5, 3)
+	w.Write(0x1ffff, 17)
+	r := Reader{Words: w.Words}
+	if got := r.ReadAt(12, 3); got != 0x5 {
+		t.Fatalf("ReadAt(12,3) = %x", got)
+	}
+	if r.Pos != 0 {
+		t.Fatal("ReadAt must not move Pos")
+	}
+	if got := r.ReadAt(15, 17); got != 0x1ffff {
+		t.Fatalf("ReadAt(15,17) = %x", got)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	var w Writer
+	if w.SizeBytes() != 0 {
+		t.Fatal("empty writer size")
+	}
+	w.Write(1, 1)
+	if w.SizeBytes() != 1 {
+		t.Fatalf("1 bit = %d bytes, want 1", w.SizeBytes())
+	}
+	w.Write(0, 8)
+	if w.SizeBytes() != 2 {
+		t.Fatalf("9 bits = %d bytes, want 2", w.SizeBytes())
+	}
+}
+
+// TestQuickRoundTrip: arbitrary (value, width) sequences survive.
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count)%200 + 1
+		vs := make([]uint64, n)
+		ws := make([]uint, n)
+		var w Writer
+		for i := 0; i < n; i++ {
+			ws[i] = uint(rng.Intn(64) + 1)
+			vs[i] = rng.Uint64() & ((uint64(1) << ws[i]) - 1)
+			if ws[i] == 64 {
+				vs[i] = rng.Uint64()
+			}
+			w.Write(vs[i], ws[i])
+		}
+		r := Reader{Words: w.Words}
+		for i := 0; i < n; i++ {
+			if r.Read(ws[i]) != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

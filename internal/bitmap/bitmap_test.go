@@ -1,0 +1,405 @@
+package bitmap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// allCodecs lists every bitmap codec for table-driven tests.
+func allCodecs() []core.Codec {
+	return []core.Codec{
+		NewBitset(), NewBBC(), NewWAH(), NewEWAH(), NewPLWAH(),
+		NewCONCISE(), NewVALWAH(), NewSBH(), NewRoaring(),
+	}
+}
+
+// edgeCases are sorted lists that exercise group boundaries, fill runs,
+// odd bits, and counter limits across all group widths (7, 8, 31, 32).
+func edgeCases() map[string][]uint32 {
+	cases := map[string][]uint32{
+		"empty":          {},
+		"zero":           {0},
+		"one":            {1},
+		"single-large":   {1 << 30},
+		"pair-far":       {3, 1 << 29},
+		"first-group":    {0, 1, 2, 3, 4, 5, 6},
+		"group-boundary": {6, 7, 8, 30, 31, 32, 61, 62, 63, 64},
+		"dense-run":      seq(0, 200),
+		"run-after-gap":  seq(1000, 200),
+		"alternating":    stride(0, 2, 300),
+		"stride-7":       stride(3, 7, 100),
+		"word-edges":     {31, 62, 93, 124, 155},
+		"byte-edges":     {7, 15, 23, 8 * 4093, 8*4093 + 1},
+		"odd-bit-mix":    {5, 31 * 4, 31*4 + 1}, // literal, long 0-fill, then odd bits
+		"bucket-span":    {65535, 65536, 131071, 131072},
+		"long-one-fill":  seq(0, 31*40),
+		"sparse-wide":    stride(100, 99991, 50),
+	}
+	// A run long enough to need SBH two-byte counters and chunking.
+	cases["sbh-chunk"] = []uint32{0, 7 * 5000, 7*5000 + 1}
+	// Mixed-fill candidates for CONCISE/PLWAH: one bit then a long fill.
+	cases["mixed-fill-0"] = []uint32{40, 31 * 200}
+	cases["mixed-fill-1"] = append(seq(31, 31*5), 31*6+1)
+	// Dense bucket forcing a Roaring bitmap container.
+	cases["roaring-bitmap"] = stride(0, 3, 5000)
+	return cases
+}
+
+func seq(start, n uint32) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = start + uint32(i)
+	}
+	return out
+}
+
+func stride(start, step, n uint32) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = start + step*uint32(i)
+	}
+	return out
+}
+
+func TestRoundTripEdgeCases(t *testing.T) {
+	for _, c := range allCodecs() {
+		for name, vals := range edgeCases() {
+			p, err := c.Compress(vals)
+			if err != nil {
+				t.Fatalf("%s/%s: Compress: %v", c.Name(), name, err)
+			}
+			if p.Len() != len(vals) {
+				t.Errorf("%s/%s: Len=%d want %d", c.Name(), name, p.Len(), len(vals))
+			}
+			got := p.Decompress()
+			if !equalU32(got, vals) {
+				t.Errorf("%s/%s: round trip mismatch: got %d values, want %d",
+					c.Name(), name, len(got), len(vals))
+			}
+		}
+	}
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCompressRejectsUnsorted(t *testing.T) {
+	for _, c := range allCodecs() {
+		if _, err := c.Compress([]uint32{5, 4}); err == nil {
+			t.Errorf("%s: expected error on unsorted input", c.Name())
+		}
+		if _, err := c.Compress([]uint32{4, 4}); err == nil {
+			t.Errorf("%s: expected error on duplicate input", c.Name())
+		}
+	}
+}
+
+// randomSet draws n distinct sorted values below domain.
+func randomSet(rng *rand.Rand, n int, domain uint32) []uint32 {
+	seen := make(map[uint32]bool, n)
+	for len(seen) < n {
+		seen[rng.Uint32()%domain] = true
+	}
+	out := make([]uint32, 0, n)
+	for v := range seen {
+		out = append(out, v)
+	}
+	sortU32(out)
+	return out
+}
+
+func sortU32(a []uint32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+// clusteredSet draws runs of consecutive values — adversarial for RLE.
+func clusteredSet(rng *rand.Rand, runs int, domain uint32) []uint32 {
+	var out []uint32
+	pos := uint32(0)
+	for i := 0; i < runs && pos < domain; i++ {
+		pos += rng.Uint32() % 500
+		runLen := 1 + rng.Uint32()%100
+		for j := uint32(0); j < runLen && pos < domain; j++ {
+			out = append(out, pos)
+			pos++
+		}
+		pos++
+	}
+	return out
+}
+
+func refIntersect(a, b []uint32) []uint32 {
+	out := []uint32{}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func refUnion(a, b []uint32) []uint32 {
+	out := []uint32{}
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func TestIntersectUnionRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		var a, b []uint32
+		if trial%2 == 0 {
+			a = randomSet(rng, 200+trial*30, 1<<18)
+			b = randomSet(rng, 100+trial*50, 1<<18)
+		} else {
+			a = clusteredSet(rng, 30, 1<<18)
+			b = clusteredSet(rng, 30, 1<<18)
+		}
+		wantAnd := refIntersect(a, b)
+		wantOr := refUnion(a, b)
+		for _, c := range allCodecs() {
+			pa, err := c.Compress(a)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			pb, err := c.Compress(b)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			gotAnd, err := pa.(core.Intersecter).IntersectWith(pb)
+			if err != nil {
+				t.Fatalf("%s: intersect: %v", c.Name(), err)
+			}
+			if !equalU32(normalize(gotAnd), wantAnd) {
+				t.Errorf("%s trial %d: intersect mismatch (got %d want %d)",
+					c.Name(), trial, len(gotAnd), len(wantAnd))
+			}
+			gotOr, err := pa.(core.Unioner).UnionWith(pb)
+			if err != nil {
+				t.Fatalf("%s: union: %v", c.Name(), err)
+			}
+			if !equalU32(normalize(gotOr), wantOr) {
+				t.Errorf("%s trial %d: union mismatch (got %d want %d)",
+					c.Name(), trial, len(gotOr), len(wantOr))
+			}
+		}
+	}
+}
+
+func normalize(a []uint32) []uint32 {
+	if a == nil {
+		return []uint32{}
+	}
+	return a
+}
+
+func TestIncompatiblePostings(t *testing.T) {
+	wah, _ := NewWAH().Compress([]uint32{1, 2, 3})
+	ewah, _ := NewEWAH().Compress([]uint32{1, 2, 3})
+	if _, err := wah.(core.Intersecter).IntersectWith(ewah); err == nil {
+		t.Fatal("expected ErrIncompatible for WAH x EWAH")
+	}
+}
+
+// TestWAHPaperExample checks the §2.1 example: the 160-bit bitmap
+// 1 0^20 1^3 0^111 1^25 partitions into 6 groups and compresses to 4
+// WAH words — literal G1, one fill word for G2-G4, literals G5 and G6.
+func TestWAHPaperExample(t *testing.T) {
+	vals := paperExampleBitmap()
+	p, err := NewWAH().Compress(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := p.(*wahPosting).words
+	if len(words) != 4 {
+		t.Fatalf("got %d words, want 4 (literal, fill x3, 2 literals): %x", len(words), words)
+	}
+	if words[0]&wahFillFlag != 0 {
+		t.Error("word 0 should be a literal")
+	}
+	if words[1]&wahFillFlag == 0 || words[1]&wahFillBit != 0 || words[1]&wahMaxCount != 3 {
+		t.Errorf("word 1 should be a 0-fill of 3 groups, got %x", words[1])
+	}
+	for i := 2; i < 4; i++ {
+		if words[i]&wahFillFlag != 0 {
+			t.Errorf("word %d should be a literal", i)
+		}
+	}
+	if !equalU32(p.Decompress(), vals) {
+		t.Error("round trip failed")
+	}
+}
+
+// paperExampleBitmap returns the positions of 1s in 1 0^20 1^3 0^111 1^25
+// (bit 0 first).
+func paperExampleBitmap() []uint32 {
+	var vals []uint32
+	vals = append(vals, 0)
+	vals = append(vals, 21, 22, 23)
+	for i := uint32(135); i < 160; i++ {
+		vals = append(vals, i)
+	}
+	return vals
+}
+
+// TestEWAHPaperExample checks §2.2: the same bitmap becomes 5 EWAH
+// groups encoded as marker(p=0,q=1), literal, marker(p=3,q=1), literal.
+func TestEWAHPaperExample(t *testing.T) {
+	vals := paperExampleBitmap()
+	p, err := NewEWAH().Compress(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := p.(*ewahPosting).words
+	if len(words) != 4 {
+		t.Fatalf("got %d words, want 4: %x", len(words), words)
+	}
+	m0 := words[0]
+	if m0>>1&ewahMaxFill != 0 || m0>>17 != 1 {
+		t.Errorf("marker 0: want p=0 q=1, got p=%d q=%d", m0>>1&ewahMaxFill, m0>>17)
+	}
+	m1 := words[2]
+	if m1&1 != 0 || m1>>1&ewahMaxFill != 3 || m1>>17 != 1 {
+		t.Errorf("marker 1: want 0-fill p=3 q=1, got %x", m1)
+	}
+}
+
+// TestSBHTwoByteCounter checks that fill runs above 63 groups use the
+// two-byte form and round trip.
+func TestSBHTwoByteCounter(t *testing.T) {
+	vals := []uint32{0, 7 * 72, 7*72 + 1} // 71 empty groups between literals
+	p, err := NewSBH().Compress(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := p.(*sbhPosting).data
+	// literal, fill pair (2 bytes), literal
+	if len(data) != 4 {
+		t.Fatalf("got %d bytes, want 4: %x", len(data), data)
+	}
+	if data[1]&sbhFill == 0 || data[2]&sbhFill == 0 {
+		t.Error("bytes 1-2 should be a two-byte fill")
+	}
+	k := uint64(data[1]&63) | uint64(data[2]&63)<<6
+	if k != 71 {
+		t.Errorf("fill count = %d, want 71", k)
+	}
+}
+
+// TestBBCPatterns verifies the four header patterns of Figure 2 are all
+// produced and decoded.
+func TestBBCPatterns(t *testing.T) {
+	cases := map[string][]uint32{
+		// P1: two fill bytes then two literal bytes (Fig. 2a-like).
+		"p1": {18, 19, 21, 28, 30},
+		// P2: two 0-fill bytes then an odd byte (Fig. 2b: bit 1 of byte 2).
+		"p2": {17},
+		// P3: four 0-fill bytes then a literal with several bits.
+		"p3": {33, 35, 38},
+		// P4: four 0-fill bytes then an odd byte (Fig. 2d).
+		"p4": {39},
+	}
+	codec := NewBBC()
+	for name, vals := range cases {
+		p, err := codec.Compress(vals)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := p.Decompress(); !equalU32(got, vals) {
+			t.Errorf("%s: round trip failed: %v != %v", name, got, vals)
+		}
+	}
+	// Structural checks on the P2 and P4 encodings.
+	p2, _ := codec.Compress(cases["p2"])
+	d := p2.(*bbcPosting).data
+	if len(d) != 1 || d[0]>>6 != 1 {
+		t.Errorf("p2: want single 01-prefixed header byte, got %x", d)
+	}
+	p4, _ := codec.Compress(cases["p4"])
+	d = p4.(*bbcPosting).data
+	if len(d) != 2 || d[0]>>4 != 1 {
+		t.Errorf("p4: want 0001-prefixed header + VB counter, got %x", d)
+	}
+	if d[1] != 4 {
+		t.Errorf("p4: VB counter should be 4 fill bytes, got %d", d[1])
+	}
+}
+
+// TestRoaringContainers checks the 4096 array/bitmap threshold.
+func TestRoaringContainers(t *testing.T) {
+	small := seq(0, 4096)
+	p, _ := NewRoaring().Compress(small)
+	if _, ok := p.(*roaringPosting).cs[0].(arrayContainer); !ok {
+		t.Error("4096 values should stay an array container")
+	}
+	big := seq(0, 4097)
+	p, _ = NewRoaring().Compress(big)
+	if _, ok := p.(*roaringPosting).cs[0].(*bitmapContainer); !ok {
+		t.Error("4097 values should become a bitmap container")
+	}
+	// Max 16 bits per element for the array container (paper's guarantee).
+	p, _ = NewRoaring().Compress(seq(0, 4096))
+	perElem := float64(p.SizeBytes()) / 4096 * 8
+	if perElem > 16.1 {
+		t.Errorf("array bucket costs %.1f bits/int, want <= ~16", perElem)
+	}
+}
+
+// TestVALWAHSmallerThanWAH checks the paper's space claim (§5.2 obs. 3):
+// VALWAH compresses sparse bitmaps tighter than WAH thanks to shorter
+// segments.
+func TestVALWAHSmallerThanWAH(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := randomSet(rng, 2000, 1<<22)
+	w, _ := NewWAH().Compress(vals)
+	v, _ := NewVALWAH().Compress(vals)
+	if v.SizeBytes() >= w.SizeBytes() {
+		t.Errorf("VALWAH (%d B) should be smaller than WAH (%d B) on sparse data",
+			v.SizeBytes(), w.SizeBytes())
+	}
+}
+
+// TestBitsetSizeTracksDomain checks §5.1 obs. 5: Bitset size depends on
+// the max element, not the list size.
+func TestBitsetSizeTracksDomain(t *testing.T) {
+	a, _ := NewBitset().Compress([]uint32{1 << 20})
+	b, _ := NewBitset().Compress(seq(0, 1000))
+	if a.SizeBytes() <= b.SizeBytes() {
+		t.Errorf("a single huge value (%d B) should dominate 1000 small ones (%d B)",
+			a.SizeBytes(), b.SizeBytes())
+	}
+}

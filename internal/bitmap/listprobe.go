@@ -1,0 +1,154 @@
+package bitmap
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// The paper's second intersection operator (§B.1): an uncompressed
+// sorted list against a compressed bitmap. For span codecs the list and
+// the span stream advance in tandem — zero fills skip list ranges with
+// one binary search, one fills accept ranges wholesale, literals test
+// individual bits — so nothing is decompressed.
+
+// intersectSpansWithList walks spans and the sorted list together.
+func intersectSpansWithList(r spanReader, list []uint32) []uint32 {
+	var out []uint32
+	pos := uint64(0)
+	i := 0
+	for i < len(list) {
+		s, ok := r.next()
+		if !ok {
+			break
+		}
+		end := pos + s.n
+		switch s.kind {
+		case zeroFill:
+			// Skip list values inside the empty range.
+			i += sort.Search(len(list)-i, func(k int) bool {
+				return uint64(list[i+k]) >= end
+			})
+		case oneFill:
+			// Everything in [pos, end) matches.
+			for i < len(list) && uint64(list[i]) < end {
+				out = append(out, list[i])
+				i++
+			}
+		default:
+			for i < len(list) && uint64(list[i]) < end {
+				if s.word&(1<<(uint64(list[i])-pos)) != 0 {
+					out = append(out, list[i])
+				}
+				i++
+			}
+		}
+		pos = end
+	}
+	return out
+}
+
+// IntersectList implements core.ListProber.
+func (p *wahPosting) IntersectList(sorted []uint32) []uint32 {
+	return intersectSpansWithList(p.spans(), sorted)
+}
+
+// IntersectList implements core.ListProber.
+func (p *ewahPosting) IntersectList(sorted []uint32) []uint32 {
+	return intersectSpansWithList(p.spans(), sorted)
+}
+
+// IntersectList implements core.ListProber.
+func (p *concisePosting) IntersectList(sorted []uint32) []uint32 {
+	return intersectSpansWithList(p.spans(), sorted)
+}
+
+// IntersectList implements core.ListProber.
+func (p *plwahPosting) IntersectList(sorted []uint32) []uint32 {
+	return intersectSpansWithList(p.spans(), sorted)
+}
+
+// IntersectList implements core.ListProber.
+func (p *valwahPosting) IntersectList(sorted []uint32) []uint32 {
+	return intersectSpansWithList(p.spans(), sorted)
+}
+
+// IntersectList implements core.ListProber.
+func (p *sbhPosting) IntersectList(sorted []uint32) []uint32 {
+	return intersectSpansWithList(p.spans(), sorted)
+}
+
+// IntersectList implements core.ListProber.
+func (p *bbcPosting) IntersectList(sorted []uint32) []uint32 {
+	return intersectSpansWithList(p.spans(), sorted)
+}
+
+// IntersectList implements core.ListProber via direct bit probes.
+func (p *bitsetPosting) IntersectList(sorted []uint32) []uint32 {
+	var out []uint32
+	for _, v := range sorted {
+		if p.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IntersectList implements core.ListProber: values are grouped by high
+// 16 bits, matched to containers by a merged key walk, and probed with
+// binary search (array) or bit tests (bitmap).
+func (p *roaringPosting) IntersectList(sorted []uint32) []uint32 {
+	var out []uint32
+	ci := 0
+	i := 0
+	for i < len(sorted) && ci < len(p.keys) {
+		key := uint16(sorted[i] >> 16)
+		switch {
+		case p.keys[ci] < key:
+			ci++
+		case p.keys[ci] > key:
+			// Skip the whole bucket of list values.
+			next := uint64(key+1) << 16
+			i += sort.Search(len(sorted)-i, func(k int) bool {
+				return uint64(sorted[i+k]) >= next
+			})
+		default:
+			next := uint64(key+1) << 16
+			switch c := p.cs[ci].(type) {
+			case arrayContainer:
+				lo := 0
+				for i < len(sorted) && uint64(sorted[i]) < next {
+					low := uint16(sorted[i])
+					k := lo + sort.Search(len(c)-lo, func(j int) bool { return c[lo+j] >= low })
+					if k < len(c) && c[k] == low {
+						out = append(out, sorted[i])
+					}
+					lo = k
+					i++
+				}
+			case *bitmapContainer:
+				for i < len(sorted) && uint64(sorted[i]) < next {
+					if c.contains(uint16(sorted[i])) {
+						out = append(out, sorted[i])
+					}
+					i++
+				}
+			}
+			ci++
+		}
+	}
+	return out
+}
+
+// Interface conformance checks for every bitmap posting type.
+var (
+	_ core.ListProber = (*wahPosting)(nil)
+	_ core.ListProber = (*ewahPosting)(nil)
+	_ core.ListProber = (*concisePosting)(nil)
+	_ core.ListProber = (*plwahPosting)(nil)
+	_ core.ListProber = (*valwahPosting)(nil)
+	_ core.ListProber = (*sbhPosting)(nil)
+	_ core.ListProber = (*bbcPosting)(nil)
+	_ core.ListProber = (*bitsetPosting)(nil)
+	_ core.ListProber = (*roaringPosting)(nil)
+)

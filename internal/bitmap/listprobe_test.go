@@ -1,0 +1,79 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestIntersectListAgainstReference: every bitmap codec's
+// bitmap-vs-list operator (§B.1) matches reference set intersection.
+func TestIntersectListAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		var bm, list []uint32
+		if trial%2 == 0 {
+			bm = randomSet(rng, 3000, 1<<18)
+			list = randomSet(rng, 400, 1<<18)
+		} else {
+			bm = clusteredSet(rng, 40, 1<<18)
+			list = clusteredSet(rng, 15, 1<<18)
+		}
+		want := refIntersect(list, bm)
+		for _, c := range allCodecs() {
+			p, err := c.Compress(bm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lp, ok := p.(core.ListProber)
+			if !ok {
+				t.Fatalf("%s: posting does not implement ListProber", c.Name())
+			}
+			got := lp.IntersectList(list)
+			if !equalU32(normalize(got), want) {
+				t.Errorf("%s trial %d: IntersectList mismatch (got %d want %d)",
+					c.Name(), trial, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestIntersectListEdgeCases covers empty inputs and boundary values.
+func TestIntersectListEdgeCases(t *testing.T) {
+	bm := []uint32{0, 31, 32, 63, 64, 1000, 65535, 65536}
+	for _, c := range allCodecs() {
+		p, _ := c.Compress(bm)
+		lp := p.(core.ListProber)
+		if got := lp.IntersectList(nil); len(got) != 0 {
+			t.Errorf("%s: empty probe returned %v", c.Name(), got)
+		}
+		if got := lp.IntersectList([]uint32{31, 64, 70000}); !equalU32(normalize(got), []uint32{31, 64}) {
+			t.Errorf("%s: probe = %v", c.Name(), got)
+		}
+		// Probes entirely past the bitmap's end.
+		if got := lp.IntersectList([]uint32{1 << 25}); len(got) != 0 {
+			t.Errorf("%s: past-end probe returned %v", c.Name(), got)
+		}
+		// Empty bitmap.
+		pe, _ := c.Compress(nil)
+		if got := pe.(core.ListProber).IntersectList([]uint32{1, 2}); len(got) != 0 {
+			t.Errorf("%s: empty bitmap probe returned %v", c.Name(), got)
+		}
+	}
+}
+
+// TestIntersectListInsideFills: probes landing inside one-fill and
+// zero-fill runs resolve by range, not bit tests.
+func TestIntersectListInsideFills(t *testing.T) {
+	bm := seq(1000, 31*64) // a long run of ones
+	list := []uint32{0, 999, 1000, 1500, 1000 + 31*64 - 1, 1000 + 31*64, 1 << 20}
+	want := []uint32{1000, 1500, 1000 + 31*64 - 1}
+	for _, c := range allCodecs() {
+		p, _ := c.Compress(bm)
+		got := p.(core.ListProber).IntersectList(list)
+		if !equalU32(normalize(got), want) {
+			t.Errorf("%s: fill probe = %v, want %v", c.Name(), got, want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package bitmap
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// sortedSet generates random strictly-increasing uint32 slices for
+// testing/quick, mixing sparse points and dense runs so both literal
+// and fill paths are exercised.
+type sortedSet []uint32
+
+// Generate implements quick.Generator.
+func (sortedSet) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size*40 + 1)
+	seen := make(map[uint32]struct{}, n)
+	for len(seen) < n {
+		var v uint32
+		if r.Intn(2) == 0 {
+			v = uint32(r.Intn(1 << 16)) // dense region
+		} else {
+			v = uint32(r.Intn(1 << 22)) // sparse region
+		}
+		seen[v] = struct{}{}
+		// Half the time grow a run from v.
+		if r.Intn(2) == 0 {
+			runLen := r.Intn(40)
+			for j := 1; j <= runLen && len(seen) < n; j++ {
+				seen[v+uint32(j)] = struct{}{}
+			}
+		}
+	}
+	out := make(sortedSet, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return reflect.ValueOf(out)
+}
+
+var quickCfg = &quick.Config{MaxCount: 25}
+
+// TestQuickRoundTrip: Decompress(Compress(x)) == x for every bitmap
+// codec on arbitrary sorted sets.
+func TestQuickRoundTrip(t *testing.T) {
+	for _, c := range allCodecs() {
+		c := c
+		prop := func(s sortedSet) bool {
+			p, err := c.Compress(s)
+			if err != nil {
+				return false
+			}
+			return equalU32(p.Decompress(), s)
+		}
+		if err := quick.Check(prop, quickCfg); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestQuickIntersectEquivalence: codec AND == reference set
+// intersection for arbitrary pairs.
+func TestQuickIntersectEquivalence(t *testing.T) {
+	for _, c := range allCodecs() {
+		c := c
+		prop := func(a, b sortedSet) bool {
+			pa, err1 := c.Compress(a)
+			pb, err2 := c.Compress(b)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			got, err := pa.(core.Intersecter).IntersectWith(pb)
+			if err != nil {
+				return false
+			}
+			return equalU32(normalize(got), refIntersect(a, b))
+		}
+		if err := quick.Check(prop, quickCfg); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestQuickUnionEquivalence: codec OR == reference set union.
+func TestQuickUnionEquivalence(t *testing.T) {
+	for _, c := range allCodecs() {
+		c := c
+		prop := func(a, b sortedSet) bool {
+			pa, err1 := c.Compress(a)
+			pb, err2 := c.Compress(b)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			got, err := pa.(core.Unioner).UnionWith(pb)
+			if err != nil {
+				return false
+			}
+			return equalU32(normalize(got), refUnion(a, b))
+		}
+		if err := quick.Check(prop, quickCfg); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestQuickSizeInvariants: Len matches, size is non-negative, and the
+// posting is independent of its input slice.
+func TestQuickSizeInvariants(t *testing.T) {
+	for _, c := range allCodecs() {
+		c := c
+		prop := func(s sortedSet) bool {
+			in := append(sortedSet(nil), s...)
+			p, err := c.Compress(in)
+			if err != nil {
+				return false
+			}
+			// Clobber the input; the posting must not notice.
+			for i := range in {
+				in[i] = 0xdeadbeef
+			}
+			return p.Len() == len(s) && p.SizeBytes() >= 0 && equalU32(p.Decompress(), s)
+		}
+		if err := quick.Check(prop, quickCfg); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestQuickIdempotentOps: A ∩ A == A and A ∪ A == A.
+func TestQuickIdempotentOps(t *testing.T) {
+	for _, c := range allCodecs() {
+		c := c
+		prop := func(s sortedSet) bool {
+			p, err := c.Compress(s)
+			if err != nil {
+				return false
+			}
+			q, err := c.Compress(s)
+			if err != nil {
+				return false
+			}
+			and, err := p.(core.Intersecter).IntersectWith(q)
+			if err != nil || !equalU32(normalize(and), s) {
+				return false
+			}
+			or, err := p.(core.Unioner).UnionWith(q)
+			return err == nil && equalU32(normalize(or), s)
+		}
+		if err := quick.Check(prop, quickCfg); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}

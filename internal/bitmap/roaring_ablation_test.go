@@ -1,0 +1,72 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRoaringThresholdVariants: all thresholds produce correct
+// postings; the container mix shifts with the threshold.
+func TestRoaringThresholdVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := randomSet(rng, 3000, 1<<17) // two buckets, ~1500 each
+	for _, threshold := range []int{64, 512, 1024, 4096, 16384} {
+		c := NewRoaringThreshold(threshold)
+		p, err := c.Compress(vals)
+		if err != nil {
+			t.Fatalf("threshold %d: %v", threshold, err)
+		}
+		if !equalU32(p.Decompress(), vals) {
+			t.Errorf("threshold %d: round trip failed", threshold)
+		}
+		rp := p.(*roaringPosting)
+		for i, cc := range rp.cs {
+			if a, ok := cc.(arrayContainer); ok && len(a) > threshold {
+				t.Errorf("threshold %d: container %d is an array of %d", threshold, i, len(a))
+			}
+		}
+	}
+	// Low threshold forces bitmap containers even for small buckets.
+	p, _ := NewRoaringThreshold(64).Compress(vals)
+	sawBitmap := false
+	for _, cc := range p.(*roaringPosting).cs {
+		if _, ok := cc.(*bitmapContainer); ok {
+			sawBitmap = true
+		}
+	}
+	if !sawBitmap {
+		t.Error("threshold 64 should force bitmap containers")
+	}
+	// Default threshold keeps these buckets as arrays.
+	p, _ = NewRoaring().Compress(vals)
+	for i, cc := range p.(*roaringPosting).cs {
+		if _, ok := cc.(*bitmapContainer); ok {
+			t.Errorf("default threshold: container %d should be an array", i)
+		}
+	}
+}
+
+// TestRoaringThresholdCrossOps: postings built with different
+// thresholds still intersect/union correctly with each other (they are
+// the same codec type).
+func TestRoaringThresholdCrossOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomSet(rng, 2000, 1<<17)
+	b := randomSet(rng, 5000, 1<<17)
+	pa, _ := NewRoaringThreshold(128).Compress(a)
+	pb, _ := NewRoaringThreshold(8192).Compress(b)
+	got, err := pa.(*roaringPosting).IntersectWith(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU32(normalize(got), refIntersect(a, b)) {
+		t.Fatal("cross-threshold intersect mismatch")
+	}
+	or, err := pa.(*roaringPosting).UnionWith(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU32(normalize(or), refUnion(a, b)) {
+		t.Fatal("cross-threshold union mismatch")
+	}
+}

@@ -1,0 +1,148 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// denseBucket fills most of one 65536-value bucket (forces a bitmap
+// container); sparseBucket puts a few values in a bucket (array
+// container).
+func denseBucket(bucket uint32, rng *rand.Rand) []uint32 {
+	base := bucket << 16
+	out := make([]uint32, 0, 30000)
+	for low := uint32(0); low < 65536; low++ {
+		if rng.Intn(2) == 0 {
+			out = append(out, base|low)
+		}
+	}
+	return out
+}
+
+func sparseBucket(bucket uint32, rng *rand.Rand, n int) []uint32 {
+	base := bucket << 16
+	seen := map[uint32]bool{}
+	for len(seen) < n {
+		seen[base|uint32(rng.Intn(65536))] = true
+	}
+	out := make([]uint32, 0, n)
+	for v := range seen {
+		out = append(out, v)
+	}
+	sortU32(out)
+	return out
+}
+
+// TestRoaringContainerCombinations exercises all four AND/OR container
+// cases: array-array, array-bitmap, bitmap-array, bitmap-bitmap, plus
+// mismatched bucket keys.
+func TestRoaringContainerCombinations(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	// a: bucket 0 dense (bitmap), bucket 1 sparse (array), bucket 3
+	// sparse, bucket 6 dense.
+	a := append(denseBucket(0, rng), sparseBucket(1, rng, 500)...)
+	a = append(a, sparseBucket(3, rng, 100)...)
+	a = append(a, denseBucket(6, rng)...)
+	// b: bucket 0 sparse (array), bucket 1 dense (bitmap), bucket 2
+	// dense, bucket 6 dense (bitmap x bitmap with a), bucket 7 sparse
+	// x sparse overlap with... bucket 3 sparse too (array x array).
+	b := append(sparseBucket(0, rng, 700), denseBucket(1, rng)...)
+	b = append(b, denseBucket(2, rng)...)
+	b = append(b, sparseBucket(3, rng, 200)...)
+	b = append(b, denseBucket(6, rng)...)
+
+	pa, err := NewRoaring().Compress(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := NewRoaring().Compress(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Confirm the container mix is as intended.
+	ra, rb := pa.(*roaringPosting), pb.(*roaringPosting)
+	if _, ok := ra.cs[0].(*bitmapContainer); !ok {
+		t.Fatal("a bucket 0 should be a bitmap container")
+	}
+	if _, ok := rb.cs[0].(arrayContainer); !ok {
+		t.Fatal("b bucket 0 should be an array container")
+	}
+
+	and, err := ra.IntersectWith(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU32(normalize(and), refIntersect(a, b)) {
+		t.Errorf("AND mismatch: got %d want %d", len(and), len(refIntersect(a, b)))
+	}
+	or, err := ra.UnionWith(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU32(normalize(or), refUnion(a, b)) {
+		t.Errorf("OR mismatch: got %d want %d", len(or), len(refUnion(a, b)))
+	}
+	// Reverse operand order covers the symmetric type-switch arms.
+	and2, err := rb.IntersectWith(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU32(normalize(and2), refIntersect(a, b)) {
+		t.Error("reversed AND mismatch")
+	}
+	or2, err := rb.UnionWith(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU32(normalize(or2), refUnion(a, b)) {
+		t.Error("reversed OR mismatch")
+	}
+}
+
+// TestRoaringListProbeContainers exercises IntersectList over both
+// container kinds and key gaps.
+func TestRoaringListProbeContainers(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	bm := append(denseBucket(1, rng), sparseBucket(4, rng, 300)...)
+	p, _ := NewRoaring().Compress(bm)
+	// Probes spanning buckets 0 (absent), 1 (bitmap), 2-3 (absent),
+	// 4 (array), 5 (absent).
+	var probes []uint32
+	for _, bucket := range []uint32{0, 1, 2, 4, 5} {
+		probes = append(probes, sparseBucket(bucket, rng, 200)...)
+	}
+	sortU32(probes)
+	probes = dedupe(probes)
+	want := refIntersect(probes, bm)
+	got := p.(*roaringPosting).IntersectList(probes)
+	if !equalU32(normalize(got), want) {
+		t.Fatalf("probe mismatch: got %d want %d", len(got), len(want))
+	}
+}
+
+func dedupe(sorted []uint32) []uint32 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestRoaringGallopingIntersect: heavily skewed array-array pairs take
+// the binary-search path.
+func TestRoaringGallopingIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	small := sparseBucket(0, rng, 10)
+	big := sparseBucket(0, rng, 4000)
+	pa, _ := NewRoaring().Compress(small)
+	pb, _ := NewRoaring().Compress(big)
+	got, err := pa.(*roaringPosting).IntersectWith(pb.(*roaringPosting))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU32(normalize(got), refIntersect(small, big)) {
+		t.Fatal("galloping intersect mismatch")
+	}
+}

@@ -1,0 +1,163 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// runHeavy builds data with long consecutive runs — the case run
+// containers exist for.
+func runHeavy(rng *rand.Rand, domain uint32) []uint32 {
+	var out []uint32
+	pos := uint32(0)
+	for pos < domain {
+		pos += rng.Uint32() % 2000
+		runLen := 200 + rng.Uint32()%3000
+		for j := uint32(0); j < runLen && pos < domain; j++ {
+			out = append(out, pos)
+			pos++
+		}
+		pos += 2
+	}
+	return out
+}
+
+func TestRoaringRunRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	cases := map[string][]uint32{
+		"empty":     {},
+		"single":    {12345},
+		"runs":      runHeavy(rng, 1<<19),
+		"sparse":    randomSet(rng, 2000, 1<<20),
+		"dense":     randomSet(rng, 40000, 1<<17),
+		"bucketmix": append(runHeavy(rng, 1<<17), randomSet(rng, 500, 1<<17)...),
+	}
+	for name, raw := range cases {
+		vals := append([]uint32(nil), raw...)
+		sortU32(vals)
+		vals = dedupe(vals)
+		p, err := NewRoaringRun().Compress(vals)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !equalU32(p.Decompress(), vals) {
+			t.Errorf("%s: round trip failed", name)
+		}
+	}
+}
+
+// TestRoaringRunPicksContainersAdaptively: run-heavy buckets pick run
+// containers, random dense buckets pick bitmaps, sparse buckets arrays.
+func TestRoaringRunPicksContainersAdaptively(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	runsData := runHeavy(rng, 1<<16) // one bucket of runs
+	p, _ := NewRoaringRun().Compress(runsData)
+	r, a, b := p.(*roaringRunPosting).RunStats()
+	if r == 0 {
+		t.Errorf("run-heavy data picked no run containers (r=%d a=%d b=%d)", r, a, b)
+	}
+
+	sparse := randomSet(rng, 100, 1<<16)
+	p, _ = NewRoaringRun().Compress(sparse)
+	if _, a, _ := p.(*roaringRunPosting).RunStats(); a == 0 {
+		t.Error("sparse data picked no array containers")
+	}
+
+	dense := randomSet(rng, 30000, 1<<16)
+	p, _ = NewRoaringRun().Compress(dense)
+	if _, _, bm := p.(*roaringRunPosting).RunStats(); bm == 0 {
+		t.Error("random dense data picked no bitmap containers")
+	}
+	_ = b
+}
+
+// TestRoaringRunSpaceBeatsRoaringOnRuns: on run-heavy data the hybrid
+// is much smaller than plain Roaring — the lesson-1 payoff.
+func TestRoaringRunSpaceBeatsRoaringOnRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	vals := runHeavy(rng, 1<<20)
+	hybrid, _ := NewRoaringRun().Compress(vals)
+	plain, _ := NewRoaring().Compress(vals)
+	if hybrid.SizeBytes()*4 > plain.SizeBytes() {
+		t.Errorf("hybrid %d B should be well under plain Roaring %d B on runs",
+			hybrid.SizeBytes(), plain.SizeBytes())
+	}
+}
+
+// TestRoaringRunOpsAgainstReference covers the container combination
+// matrix for AND/OR plus the list probe.
+func TestRoaringRunOpsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	shapes := map[string][]uint32{
+		"runs-a":    runHeavy(rng, 1<<18),
+		"runs-b":    runHeavy(rng, 1<<18),
+		"sparse":    randomSet(rng, 3000, 1<<18),
+		"dense":     randomSet(rng, 50000, 1<<17),
+		"verydense": randomSet(rng, 30000, 1<<16),
+	}
+	names := []string{"runs-a", "runs-b", "sparse", "dense", "verydense"}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := shapes[names[i]], shapes[names[j]]
+			pa, _ := NewRoaringRun().Compress(a)
+			pb, _ := NewRoaringRun().Compress(b)
+			and, err := pa.(core.Intersecter).IntersectWith(pb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalU32(normalize(and), refIntersect(a, b)) {
+				t.Errorf("%s x %s: AND mismatch", names[i], names[j])
+			}
+			or, err := pa.(core.Unioner).UnionWith(pb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalU32(normalize(or), refUnion(a, b)) {
+				t.Errorf("%s x %s: OR mismatch", names[i], names[j])
+			}
+			probe := pa.(core.ListProber).IntersectList(b)
+			if !equalU32(normalize(probe), refIntersect(b, a)) {
+				t.Errorf("%s x %s: IntersectList mismatch", names[i], names[j])
+			}
+		}
+	}
+}
+
+// TestRoaringRunIncompatible: mixing with plain Roaring signals
+// ErrIncompatible and flows through the generic ops path.
+func TestRoaringRunIncompatible(t *testing.T) {
+	a, _ := NewRoaringRun().Compress([]uint32{1, 2, 3})
+	b, _ := NewRoaring().Compress([]uint32{2, 3, 4})
+	if _, err := a.(core.Intersecter).IntersectWith(b); err == nil {
+		t.Fatal("expected ErrIncompatible")
+	}
+}
+
+// TestHybridNeverLargerThanRoaring: the hybrid considers the same
+// array/bitmap options per bucket plus runs, so it can never exceed
+// plain Roaring's size — the lesson-1 dominance invariant.
+func TestHybridNeverLargerThanRoaring(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	cases := [][]uint32{
+		runHeavy(rng, 1<<19),
+		randomSet(rng, 5000, 1<<20),
+		randomSet(rng, 60000, 1<<17),
+		clusteredSet(rng, 80, 1<<19),
+	}
+	for i, vals := range cases {
+		hybrid, err := NewRoaringRun().Compress(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := NewRoaring().Compress(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hybrid.SizeBytes() > plain.SizeBytes() {
+			t.Errorf("case %d: hybrid %d B exceeds plain Roaring %d B",
+				i, hybrid.SizeBytes(), plain.SizeBytes())
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package bitmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+// Binary serialization for the nine bitmap codecs. Layouts (after the
+// standard tag+cardinality header, everything little-endian):
+//
+//	Bitset                word count u32, then u64 words
+//	WAH/EWAH/CONCISE/PLWAH word count u32, then u32 words
+//	SBH/BBC               byte count u32, then raw bytes
+//	VALWAH                segment u8, bit length u64, word count u32, u64 words
+//	Roaring               container count u32, then per container:
+//	                      key u16, kind u8 (0 array / 1 bitmap),
+//	                      cardinality u32, payload (u16s or 1024 u64s)
+
+func appendU32s(dst []byte, words []uint32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(words)))
+	for _, w := range words {
+		dst = binary.LittleEndian.AppendUint32(dst, w)
+	}
+	return dst
+}
+
+func readU32s(data []byte) ([]uint32, []byte, error) {
+	if len(data) < 4 {
+		return nil, nil, core.ErrBadFormat
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) < 4*n {
+		return nil, nil, fmt.Errorf("%w: truncated u32 array", core.ErrBadFormat)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(data[4*i:])
+	}
+	return out, data[4*n:], nil
+}
+
+func appendU64s(dst []byte, words []uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(words)))
+	for _, w := range words {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+func readU64s(data []byte) ([]uint64, []byte, error) {
+	if len(data) < 4 {
+		return nil, nil, core.ErrBadFormat
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) < 8*n {
+		return nil, nil, fmt.Errorf("%w: truncated u64 array", core.ErrBadFormat)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	return out, data[8*n:], nil
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func readBytes(data []byte) ([]byte, []byte, error) {
+	if len(data) < 4 {
+		return nil, nil, core.ErrBadFormat
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) < n {
+		return nil, nil, fmt.Errorf("%w: truncated byte array", core.ErrBadFormat)
+	}
+	out := make([]byte, n)
+	copy(out, data)
+	return out, data[n:], nil
+}
+
+// verifySpans validates a decoded RLE bitmap without materializing it:
+// the span stream must contain exactly n one-bits and stay inside the
+// 2^32 position space. Spans are emitted in increasing position order
+// by construction, so this implies a valid sorted set.
+func verifySpans(r spanReader, n int) error {
+	var pos, ones uint64
+	const maxPos = uint64(1) << 32
+	for {
+		s, ok := r.next()
+		if !ok {
+			break
+		}
+		switch s.kind {
+		case oneFill:
+			ones += s.n
+		case literalSpan:
+			ones += uint64(bits.OnesCount64(s.word))
+		}
+		pos += s.n
+		if pos > maxPos || ones > uint64(n) {
+			return fmt.Errorf("%w: bitmap payload inconsistent with cardinality %d", core.ErrBadFormat, n)
+		}
+	}
+	if ones != uint64(n) {
+		return fmt.Errorf("%w: bitmap has %d bits set, header says %d", core.ErrBadFormat, ones, n)
+	}
+	return nil
+}
+
+// --- Bitset ---
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p *bitsetPosting) MarshalBinary() ([]byte, error) {
+	return appendU64s(core.PutHeader(nil, core.TagBitset, p.n), p.words), nil
+}
+
+// Decode implements core.Decoder.
+func (Bitset) Decode(data []byte) (core.Posting, error) {
+	n, rest, err := core.GetHeader(data, core.TagBitset)
+	if err != nil {
+		return nil, err
+	}
+	words, _, err := readU64s(rest)
+	if err != nil {
+		return nil, err
+	}
+	p := &bitsetPosting{words: words, n: n}
+	if err := core.VerifyDecompress(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// --- word-aligned RLE codecs ---
+
+func (p *wahPosting) MarshalBinary() ([]byte, error) {
+	return appendU32s(core.PutHeader(nil, core.TagWAH, p.n), p.words), nil
+}
+
+// Decode implements core.Decoder.
+func (WAH) Decode(data []byte) (core.Posting, error) {
+	n, rest, err := core.GetHeader(data, core.TagWAH)
+	if err != nil {
+		return nil, err
+	}
+	words, _, err := readU32s(rest)
+	if err != nil {
+		return nil, err
+	}
+	p := &wahPosting{words: words, n: n}
+	if err := verifySpans(p.spans(), n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *ewahPosting) MarshalBinary() ([]byte, error) {
+	return appendU32s(core.PutHeader(nil, core.TagEWAH, p.n), p.words), nil
+}
+
+// Decode implements core.Decoder.
+func (EWAH) Decode(data []byte) (core.Posting, error) {
+	n, rest, err := core.GetHeader(data, core.TagEWAH)
+	if err != nil {
+		return nil, err
+	}
+	words, _, err := readU32s(rest)
+	if err != nil {
+		return nil, err
+	}
+	p := &ewahPosting{words: words, n: n}
+	if err := verifySpans(p.spans(), n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *concisePosting) MarshalBinary() ([]byte, error) {
+	return appendU32s(core.PutHeader(nil, core.TagCONCISE, p.n), p.words), nil
+}
+
+// Decode implements core.Decoder.
+func (CONCISE) Decode(data []byte) (core.Posting, error) {
+	n, rest, err := core.GetHeader(data, core.TagCONCISE)
+	if err != nil {
+		return nil, err
+	}
+	words, _, err := readU32s(rest)
+	if err != nil {
+		return nil, err
+	}
+	p := &concisePosting{words: words, n: n}
+	if err := verifySpans(p.spans(), n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *plwahPosting) MarshalBinary() ([]byte, error) {
+	return appendU32s(core.PutHeader(nil, core.TagPLWAH, p.n), p.words), nil
+}
+
+// Decode implements core.Decoder.
+func (PLWAH) Decode(data []byte) (core.Posting, error) {
+	n, rest, err := core.GetHeader(data, core.TagPLWAH)
+	if err != nil {
+		return nil, err
+	}
+	words, _, err := readU32s(rest)
+	if err != nil {
+		return nil, err
+	}
+	p := &plwahPosting{words: words, n: n}
+	if err := verifySpans(p.spans(), n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// --- byte-aligned codecs ---
+
+func (p *sbhPosting) MarshalBinary() ([]byte, error) {
+	return appendBytes(core.PutHeader(nil, core.TagSBH, p.n), p.data), nil
+}
+
+// Decode implements core.Decoder.
+func (SBH) Decode(data []byte) (core.Posting, error) {
+	n, rest, err := core.GetHeader(data, core.TagSBH)
+	if err != nil {
+		return nil, err
+	}
+	b, _, err := readBytes(rest)
+	if err != nil {
+		return nil, err
+	}
+	p := &sbhPosting{data: b, n: n}
+	if err := verifySpans(p.spans(), n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *bbcPosting) MarshalBinary() ([]byte, error) {
+	return appendBytes(core.PutHeader(nil, core.TagBBC, p.n), p.data), nil
+}
+
+// Decode implements core.Decoder.
+func (BBC) Decode(data []byte) (core.Posting, error) {
+	n, rest, err := core.GetHeader(data, core.TagBBC)
+	if err != nil {
+		return nil, err
+	}
+	b, _, err := readBytes(rest)
+	if err != nil {
+		return nil, err
+	}
+	p := &bbcPosting{data: b, n: n}
+	if err := verifySpans(p.spans(), n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// --- VALWAH ---
+
+func (p *valwahPosting) MarshalBinary() ([]byte, error) {
+	dst := core.PutHeader(nil, core.TagVALWAH, p.n)
+	dst = append(dst, byte(p.seg))
+	dst = binary.LittleEndian.AppendUint64(dst, p.nbits)
+	return appendU64s(dst, p.bits), nil
+}
+
+// Decode implements core.Decoder.
+func (VALWAH) Decode(data []byte) (core.Posting, error) {
+	n, rest, err := core.GetHeader(data, core.TagVALWAH)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 9 {
+		return nil, core.ErrBadFormat
+	}
+	seg := uint32(rest[0])
+	nbits := binary.LittleEndian.Uint64(rest[1:])
+	words, _, err := readU64s(rest[9:])
+	if err != nil {
+		return nil, err
+	}
+	if seg != 7 && seg != 14 && seg != 28 {
+		return nil, fmt.Errorf("%w: VALWAH segment %d", core.ErrBadFormat, seg)
+	}
+	if nbits > uint64(len(words))*64 {
+		return nil, fmt.Errorf("%w: VALWAH bit length overruns payload", core.ErrBadFormat)
+	}
+	p := &valwahPosting{bits: words, nbits: nbits, n: n, seg: seg}
+	if err := verifySpans(p.spans(), n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// --- Roaring ---
+
+func (p *roaringPosting) MarshalBinary() ([]byte, error) {
+	dst := core.PutHeader(nil, core.TagRoaring, p.n)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.cs)))
+	for i, c := range p.cs {
+		dst = binary.LittleEndian.AppendUint16(dst, p.keys[i])
+		switch cc := c.(type) {
+		case arrayContainer:
+			dst = append(dst, 0)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(cc)))
+			for _, v := range cc {
+				dst = binary.LittleEndian.AppendUint16(dst, v)
+			}
+		case *bitmapContainer:
+			dst = append(dst, 1)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(cc.n))
+			for _, w := range cc.words {
+				dst = binary.LittleEndian.AppendUint64(dst, w)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// Decode implements core.Decoder.
+func (Roaring) Decode(data []byte) (core.Posting, error) {
+	n, rest, err := core.GetHeader(data, core.TagRoaring)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, core.ErrBadFormat
+	}
+	nc := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	p := &roaringPosting{n: n}
+	for i := 0; i < nc; i++ {
+		if len(rest) < 7 {
+			return nil, fmt.Errorf("%w: truncated Roaring container", core.ErrBadFormat)
+		}
+		key := binary.LittleEndian.Uint16(rest)
+		kind := rest[2]
+		card := int(binary.LittleEndian.Uint32(rest[3:]))
+		rest = rest[7:]
+		switch kind {
+		case 0:
+			if len(rest) < 2*card {
+				return nil, fmt.Errorf("%w: truncated array container", core.ErrBadFormat)
+			}
+			c := make(arrayContainer, card)
+			for k := range c {
+				c[k] = binary.LittleEndian.Uint16(rest[2*k:])
+			}
+			rest = rest[2*card:]
+			p.cs = append(p.cs, c)
+		case 1:
+			if len(rest) < 8192 {
+				return nil, fmt.Errorf("%w: truncated bitmap container", core.ErrBadFormat)
+			}
+			c := &bitmapContainer{n: card}
+			for k := range c.words {
+				c.words[k] = binary.LittleEndian.Uint64(rest[8*k:])
+			}
+			rest = rest[8192:]
+			p.cs = append(p.cs, c)
+		default:
+			return nil, fmt.Errorf("%w: container kind %d", core.ErrBadFormat, kind)
+		}
+		p.keys = append(p.keys, key)
+	}
+	if err := core.VerifyDecompress(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

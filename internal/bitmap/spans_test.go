@@ -1,0 +1,149 @@
+package bitmap
+
+import "testing"
+
+// sliceReader replays a fixed span list (for direct engine tests).
+type sliceReader struct {
+	spans []span
+	i     int
+}
+
+func (r *sliceReader) next() (span, bool) {
+	if r.i >= len(r.spans) {
+		return span{}, false
+	}
+	s := r.spans[r.i]
+	r.i++
+	return s, true
+}
+
+func reader(spans ...span) spanReader { return &sliceReader{spans: spans} }
+
+func TestDecompressSpansKinds(t *testing.T) {
+	r := reader(
+		span{n: 10, kind: zeroFill},
+		span{n: 3, kind: oneFill},
+		span{n: 8, word: 0b10000001, kind: literalSpan},
+	)
+	got := decompressSpans(r, 0)
+	want := []uint32{10, 11, 12, 13, 20}
+	if !equalU32(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestIntersectSpanReadersAlignment(t *testing.T) {
+	// a: ones over [0,100); b: zero fill [0,50) then ones [50,100).
+	a := reader(span{n: 100, kind: oneFill})
+	b := reader(span{n: 50, kind: zeroFill}, span{n: 50, kind: oneFill})
+	got := intersectSpanReaders(a, b)
+	if len(got) != 50 || got[0] != 50 || got[49] != 99 {
+		t.Fatalf("got %d values, first %d last %d", len(got), got[0], got[len(got)-1])
+	}
+}
+
+func TestIntersectSpanReadersLiteralOverlap(t *testing.T) {
+	// Misaligned literals: a covers [0,31), b covers [0,7)+[7,14)... with
+	// different widths, forcing sub-word extraction.
+	a := reader(span{n: 31, word: 0x7fffffff, kind: literalSpan})
+	b := reader(
+		span{n: 7, word: 0b1010101, kind: literalSpan},
+		span{n: 7, word: 0b0000001, kind: literalSpan},
+		span{n: 17, kind: zeroFill},
+	)
+	got := intersectSpanReaders(a, b)
+	want := []uint32{0, 2, 4, 6, 7}
+	if !equalU32(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestIntersectStopsAtShorterStream(t *testing.T) {
+	a := reader(span{n: 10, kind: oneFill})
+	b := reader(span{n: 100, kind: oneFill})
+	got := intersectSpanReaders(a, b)
+	if len(got) != 10 {
+		t.Fatalf("got %d values, want 10", len(got))
+	}
+}
+
+func TestUnionSpanReadersDrain(t *testing.T) {
+	a := reader(span{n: 5, kind: oneFill})
+	b := reader(
+		span{n: 10, kind: zeroFill},
+		span{n: 8, word: 0b11, kind: literalSpan},
+	)
+	got := unionSpanReaders(a, b)
+	want := []uint32{0, 1, 2, 3, 4, 10, 11}
+	if !equalU32(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Symmetric drain (a longer).
+	got = unionSpanReaders(
+		reader(span{n: 10, kind: zeroFill}, span{n: 8, word: 0b11, kind: literalSpan}),
+		reader(span{n: 5, kind: oneFill}),
+	)
+	if !equalU32(got, want) {
+		t.Fatalf("sym: got %v want %v", got, want)
+	}
+}
+
+func TestUnionOneFillDominatesLiterals(t *testing.T) {
+	// b's literal content inside a's one fill must not matter.
+	a := reader(span{n: 64, kind: oneFill})
+	b := reader(
+		span{n: 31, word: 0x55555555, kind: literalSpan},
+		span{n: 31, word: 0, kind: literalSpan},
+		span{n: 31, word: 0x3, kind: literalSpan},
+	)
+	got := unionSpanReaders(a, b)
+	// [0,64) all set, then bits 62+2..63+... b's third literal covers
+	// [62,93): bits 62,63 set -> already inside; nothing beyond.
+	if len(got) != 64 || got[63] != 63 {
+		t.Fatalf("got %d values, last %v", len(got), got[len(got)-1])
+	}
+}
+
+func TestSpanCursorAdvanceAcrossSpans(t *testing.T) {
+	c := newSpanCursor(reader(
+		span{n: 10, kind: zeroFill},
+		span{n: 20, kind: oneFill},
+		span{n: 31, word: 1, kind: literalSpan},
+	))
+	c.advance(15) // into the one fill
+	if c.pos != 15 || c.cur.kind != oneFill || c.remaining() != 15 {
+		t.Fatalf("cursor state: pos %d kind %d rem %d", c.pos, c.cur.kind, c.remaining())
+	}
+	c.advance(15) // exactly at the literal boundary
+	if c.cur.kind != literalSpan || c.off != 0 {
+		t.Fatalf("cursor should sit at literal start, kind %d off %d", c.cur.kind, c.off)
+	}
+	c.advance(40) // past the end
+	if c.ok {
+		t.Fatal("cursor should be exhausted")
+	}
+}
+
+func TestForEachGroupAggregatesZeroRuns(t *testing.T) {
+	var calls []struct {
+		word  uint64
+		count uint64
+	}
+	forEachGroup([]uint32{3, 100}, 31, func(word, count uint64) {
+		calls = append(calls, struct{ word, count uint64 }{word, count})
+	})
+	// group 0 has bit 3; groups 1-2 empty (aggregated into one call);
+	// group 3 has bit 100-93=7 — three calls total.
+	if len(calls) != 3 {
+		t.Fatalf("calls = %v", calls)
+	}
+	if calls[0].word != 1<<3 || calls[0].count != 1 {
+		t.Errorf("call 0 = %+v", calls[0])
+	}
+	if calls[1].word != 0 || calls[1].count != 2 {
+		t.Errorf("call 1 = %+v", calls[1])
+	}
+	if calls[2].word != 1<<7 || calls[2].count != 1 {
+		t.Errorf("call 2 = %+v", calls[2])
+	}
+}

@@ -1,0 +1,83 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestVALWAHLambdaTradeoff: larger lambda must never pick a shorter
+// segment than smaller lambda (fewer decode units = longer segments),
+// and every lambda round-trips.
+func TestVALWAHLambdaTradeoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	vals := randomSet(rng, 4000, 1<<22)
+	prevSeg := uint32(0)
+	for _, lambda := range []float64{0, 2, 8, 64} {
+		p, err := NewVALWAHLambda(lambda).Compress(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalU32(p.Decompress(), vals) {
+			t.Fatalf("lambda %.0f: round trip failed", lambda)
+		}
+		seg := p.(*valwahPosting).seg
+		if seg < prevSeg {
+			t.Errorf("lambda %.0f chose segment %d, shorter than previous %d",
+				lambda, seg, prevSeg)
+		}
+		prevSeg = seg
+	}
+}
+
+// TestVALWAHLambdaSegmentsShift: moderate-density data whose gaps fit a
+// 7-bit segment's fill counter is space-optimal at s=7; an extreme
+// lambda shifts the choice to s=28 (fewest decode units).
+func TestVALWAHLambdaSegmentsShift(t *testing.T) {
+	// Gaps of ~300 bits favor s=7 on space (one 8-bit fill unit + one
+	// literal per value vs 58 bits at s=28); a long one-run adds many
+	// chunked fill units at s=7 but almost none at s=28, so a large
+	// lambda flips the segment choice toward fewer decode units.
+	vals := stride(0, 300, 5000)
+	vals = append(vals, seq(vals[len(vals)-1]+1000, 200000)...)
+	p0, _ := NewVALWAHLambda(0).Compress(vals)
+	pBig, _ := NewVALWAHLambda(1000).Compress(vals)
+	s0 := p0.(*valwahPosting).seg
+	sBig := pBig.(*valwahPosting).seg
+	if s0 != 7 {
+		t.Fatalf("space-optimal segment = %d, want 7", s0)
+	}
+	if sBig <= s0 {
+		t.Errorf("lambda 1000 picked segment %d, want longer than the space-optimal %d", sBig, s0)
+	}
+	if pBig.SizeBytes() < p0.SizeBytes() {
+		t.Error("time-biased lambda should not shrink space below the space-optimal choice")
+	}
+}
+
+// TestVALWAHMixedSegmentsIntersect: postings built with different
+// lambdas (hence segment lengths) still intersect via the bit-space
+// realignment.
+func TestVALWAHMixedSegmentsIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	a := randomSet(rng, 2000, 1<<20)
+	b := clusteredSet(rng, 50, 1<<20)
+	pa, _ := NewVALWAHLambda(0).Compress(a)
+	pb, _ := NewVALWAHLambda(1000).Compress(b)
+	if pa.(*valwahPosting).seg == pb.(*valwahPosting).seg {
+		t.Logf("segments coincide (%d); realignment path not exercised", pa.(*valwahPosting).seg)
+	}
+	got, err := pa.(*valwahPosting).IntersectWith(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU32(normalize(got), refIntersect(a, b)) {
+		t.Fatal("mixed-segment intersect mismatch")
+	}
+	or, err := pa.(*valwahPosting).UnionWith(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU32(normalize(or), refUnion(a, b)) {
+		t.Fatal("mixed-segment union mismatch")
+	}
+}

@@ -1,0 +1,82 @@
+// Package codecs aggregates the 24 compression methods of the study —
+// the 9 bitmap methods of §2 and the 15 inverted-list representations
+// of §3 — in the row order of the paper's tables (Table 1/2).
+package codecs
+
+import (
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/core"
+	"repro/internal/intlist"
+)
+
+// All returns every codec in the paper's table order: bitmap methods
+// first, then list methods.
+func All() []core.Codec {
+	return append(Bitmaps(), Lists()...)
+}
+
+// Bitmaps returns the 9 bitmap compression methods (§2).
+func Bitmaps() []core.Codec {
+	return []core.Codec{
+		bitmap.NewBitset(),
+		bitmap.NewBBC(),
+		bitmap.NewWAH(),
+		bitmap.NewEWAH(),
+		bitmap.NewPLWAH(),
+		bitmap.NewCONCISE(),
+		bitmap.NewVALWAH(),
+		bitmap.NewSBH(),
+		bitmap.NewRoaring(),
+	}
+}
+
+// Lists returns the 15 inverted-list representations (§3), including
+// the uncompressed baseline and the * variants.
+func Lists() []core.Codec {
+	return []core.Codec{
+		intlist.NewRawList(),
+		intlist.NewVB(),
+		intlist.NewSimple9(),
+		intlist.NewPforDeltaCodec(),
+		intlist.NewNewPforDelta(),
+		intlist.NewOptPforDelta(),
+		intlist.NewSimple16(),
+		intlist.NewGroupVB(),
+		intlist.NewSimple8b(),
+		intlist.NewPEF(),
+		intlist.NewSIMDPforDelta(),
+		intlist.NewSIMDBP128(),
+		intlist.NewPforDeltaStar(),
+		intlist.NewSIMDPforDeltaStar(),
+		intlist.NewSIMDBP128Star(),
+	}
+}
+
+// Extensions returns codecs beyond the paper's 24 methods: currently
+// the Roaring+Run hybrid motivated by the paper's lesson 1 (§7.2).
+func Extensions() []core.Codec {
+	return []core.Codec{bitmap.NewRoaringRun()}
+}
+
+// ByName returns the codec with the given table name (e.g. "Roaring",
+// "SIMDBP128*"), searching the paper's 24 methods and the extensions.
+func ByName(name string) (core.Codec, error) {
+	for _, c := range append(All(), Extensions()...) {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("codecs: unknown codec %q", name)
+}
+
+// Names returns all codec names in table order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, c := range all {
+		out[i] = c.Name()
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package codecs
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAllHas24Methods(t *testing.T) {
+	all := All()
+	if len(all) != 24 {
+		t.Fatalf("got %d codecs, want 24 (9 bitmap + 15 list)", len(all))
+	}
+	if len(Bitmaps()) != 9 {
+		t.Errorf("got %d bitmap codecs, want 9", len(Bitmaps()))
+	}
+	if len(Lists()) != 15 {
+		t.Errorf("got %d list codecs, want 15", len(Lists()))
+	}
+	for _, c := range Bitmaps() {
+		if c.Kind() != core.KindBitmap {
+			t.Errorf("%s: kind = %v, want bitmap", c.Name(), c.Kind())
+		}
+	}
+	for _, c := range Lists() {
+		if c.Kind() != core.KindList {
+			t.Errorf("%s: kind = %v, want list", c.Name(), c.Kind())
+		}
+	}
+}
+
+func TestTableOrderMatchesPaper(t *testing.T) {
+	// Table 1's row order.
+	want := []string{
+		"Bitset", "BBC", "WAH", "EWAH", "PLWAH", "CONCISE", "VALWAH", "SBH",
+		"Roaring", "List", "VB", "Simple9", "PforDelta", "NewPforDelta",
+		"OptPforDelta", "Simple16", "GroupVB", "Simple8b", "PEF",
+		"SIMDPforDelta", "SIMDBP128", "PforDelta*", "SIMDPforDelta*",
+		"SIMDBP128*",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("got %d names", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d: %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	exts := Extensions()
+	if len(exts) == 0 {
+		t.Fatal("no extension codecs")
+	}
+	for _, c := range exts {
+		// Extensions resolve by name but stay out of the paper's table.
+		got, err := ByName(c.Name())
+		if err != nil || got.Name() != c.Name() {
+			t.Errorf("ByName(%s): %v", c.Name(), err)
+		}
+		for _, n := range Names() {
+			if n == c.Name() {
+				t.Errorf("extension %s leaked into the 24-method table", n)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("ByName(%s).Name() = %s", name, c.Name())
+		}
+	}
+	if _, err := ByName("LZ77"); err == nil {
+		t.Error("ByName should reject unknown names")
+	}
+}
+
+// TestEveryCodecIsUsable compresses one list through all 24 methods.
+func TestEveryCodecIsUsable(t *testing.T) {
+	vals := []uint32{0, 1, 2, 100, 10_000, 65_536, 1 << 20}
+	for _, c := range All() {
+		p, err := c.Compress(vals)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		got := p.Decompress()
+		if len(got) != len(vals) {
+			t.Errorf("%s: round trip lost values", c.Name())
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Errorf("%s: value %d mismatch", c.Name(), i)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package codecs
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/ops"
+)
+
+// TestConcurrentReads: postings are immutable after Compress, so any
+// number of goroutines may decompress, iterate, and intersect the same
+// posting concurrently. Run under -race this asserts the absence of
+// shared mutable state in every codec's read paths.
+func TestConcurrentReads(t *testing.T) {
+	a := gen.Uniform(5000, 1<<18, 1)
+	b := gen.MarkovN(20000, 1<<18, 8, 2)
+	want := ops.IntersectSorted(a, b)
+	for _, c := range All() {
+		pa, err := c.Compress(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := c.Compress(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, 16)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for iter := 0; iter < 5; iter++ {
+					switch (g + iter) % 3 {
+					case 0:
+						if got := pa.Decompress(); len(got) != len(a) {
+							errs <- errMismatchf(c.Name(), "decompress")
+							return
+						}
+					case 1:
+						got, err := ops.Intersect([]core.Posting{pa, pb})
+						if err != nil || len(got) != len(want) {
+							errs <- errMismatchf(c.Name(), "intersect")
+							return
+						}
+					default:
+						if s, ok := pb.(core.Seeker); ok {
+							it := s.Iterator()
+							n := 0
+							for _, okN := it.Next(); okN; _, okN = it.Next() {
+								n++
+							}
+							if n != len(b) {
+								errs <- errMismatchf(c.Name(), "iterate")
+								return
+							}
+						} else if got := pb.Decompress(); len(got) != len(b) {
+							errs <- errMismatchf(c.Name(), "decompress-b")
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+	}
+}
+
+type errMismatch string
+
+func (e errMismatch) Error() string { return string(e) }
+
+func errMismatchf(codec, op string) error { return errMismatch(codec + ": " + op + " mismatch") }

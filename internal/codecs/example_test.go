@@ -1,0 +1,65 @@
+package codecs_test
+
+import (
+	"encoding"
+	"fmt"
+	"log"
+
+	"repro/internal/codecs"
+	"repro/internal/core"
+	"repro/internal/ops"
+)
+
+// Example compresses the paper's motivating "iPhone" bitmap with two
+// codecs from opposite families and intersects them.
+func Example() {
+	roaring, err := codecs.ByName("Roaring")
+	if err != nil {
+		log.Fatal(err)
+	}
+	simd, err := codecs.ByName("SIMDBP128*")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	iphone, _ := roaring.Compress([]uint32{2, 5, 10})   // bitmap family
+	california, _ := simd.Compress([]uint32{5, 10, 99}) // list family
+
+	both, err := ops.Intersect([]core.Posting{iphone, california})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(both)
+	// Output: [5 10]
+}
+
+// ExampleDecode round-trips a posting through its binary form.
+func ExampleDecode() {
+	codec, _ := codecs.ByName("WAH")
+	p, _ := codec.Compress([]uint32{1, 2, 3, 1000})
+	blob, _ := p.(encoding.BinaryMarshaler).MarshalBinary()
+
+	q, err := codecs.Decode(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q.Decompress())
+	// Output: [1 2 3 1000]
+}
+
+// ExampleByName lists the two families' sizes for one dataset.
+func ExampleByName() {
+	values := make([]uint32, 1000)
+	for i := range values {
+		values[i] = uint32(i * 37)
+	}
+	for _, name := range []string{"WAH", "SIMDPforDelta*"} {
+		c, _ := codecs.ByName(name)
+		p, _ := c.Compress(values)
+		fmt.Printf("%s is a %s codec\n", c.Name(), c.Kind())
+		_ = p
+	}
+	// Output:
+	// WAH is a bitmap codec
+	// SIMDPforDelta* is a list codec
+}

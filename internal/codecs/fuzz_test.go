@@ -1,0 +1,77 @@
+package codecs
+
+import (
+	"encoding"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestDecodeSurvivesBitFlips corrupts serialized postings one byte at a
+// time: Decode must either reject the blob or return a posting whose
+// decompressed form is a valid sorted set (VerifyDecompress guarantees
+// this). It must never panic.
+func TestDecodeSurvivesBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	vals := gen.Uniform(300, 1<<18, 1)
+	for _, c := range All() {
+		p, err := c.Compress(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := p.(encoding.BinaryMarshaler).MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			mut := make([]byte, len(blob))
+			copy(mut, blob)
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: Decode panicked on corrupted input: %v", c.Name(), r)
+					}
+				}()
+				q, err := Decode(mut)
+				if err != nil {
+					return // rejected: fine
+				}
+				// Accepted: the posting must be internally consistent.
+				if err := core.VerifyDecompress(q); err != nil {
+					t.Errorf("%s: Decode accepted corrupt blob yielding inconsistent posting", c.Name())
+				}
+			}()
+		}
+	}
+}
+
+// FuzzDecode is the native fuzz target: arbitrary bytes through the
+// dispatching decoder. Seeds cover every codec's valid encoding.
+func FuzzDecode(f *testing.F) {
+	vals := gen.Uniform(64, 1<<14, 2)
+	for _, c := range All() {
+		p, err := c.Compress(vals)
+		if err != nil {
+			f.Fatal(err)
+		}
+		blob, err := p.(encoding.BinaryMarshaler).MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := core.VerifyDecompress(q); err != nil {
+			t.Fatalf("accepted blob fails verification: %v", err)
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package codecs
+
+import (
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/core"
+	"repro/internal/intlist"
+)
+
+// Decode reconstructs a posting from MarshalBinary output, dispatching
+// on the format tag so callers need not know which codec produced it.
+func Decode(data []byte) (core.Posting, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty input", core.ErrBadFormat)
+	}
+	var d core.Decoder
+	switch data[0] {
+	case core.TagBitset:
+		d = bitmap.Bitset{}
+	case core.TagBBC:
+		d = bitmap.BBC{}
+	case core.TagWAH:
+		d = bitmap.WAH{}
+	case core.TagEWAH:
+		d = bitmap.EWAH{}
+	case core.TagPLWAH:
+		d = bitmap.PLWAH{}
+	case core.TagCONCISE:
+		d = bitmap.CONCISE{}
+	case core.TagVALWAH:
+		d = bitmap.VALWAH{}
+	case core.TagSBH:
+		d = bitmap.SBH{}
+	case core.TagRoaring:
+		d = bitmap.Roaring{}
+	case core.TagRawList:
+		d = intlist.RawList{}
+	case core.TagBlocked:
+		d = intlist.Blocked{} // inner codec comes from the header
+	case core.TagPEF:
+		d = intlist.PEF{}
+	case core.TagRoaringRun:
+		d = bitmap.RoaringRun{}
+	default:
+		return nil, fmt.Errorf("%w: unknown format tag 0x%02x", core.ErrBadFormat, data[0])
+	}
+	return d.Decode(data)
+}

@@ -1,0 +1,164 @@
+package codecs
+
+import (
+	"encoding"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/ops"
+)
+
+func serializeCases() map[string][]uint32 {
+	return map[string][]uint32{
+		"empty":     {},
+		"single":    {42},
+		"dense":     gen.MarkovN(5000, 1<<16, 8, 1),
+		"sparse":    gen.Uniform(700, 1<<22, 2),
+		"zipf":      gen.Zipf(3000, 1<<22, 1.0, 3),
+		"boundary":  {0, 127, 128, 129, 255, 256, 65535, 65536, 1 << 20},
+		"runs":      runList(2000),
+		"max-value": {1, 1<<24 - 1},
+	}
+}
+
+func runList(n int) []uint32 {
+	out := make([]uint32, 0, n)
+	v := uint32(0)
+	for len(out) < n {
+		v += 500
+		for j := 0; j < 70 && len(out) < n; j++ {
+			out = append(out, v)
+			v++
+		}
+	}
+	return out
+}
+
+// TestSerializeRoundTripAllCodecs: marshal + Decode preserve every
+// posting for all 24 methods plus the extensions.
+func TestSerializeRoundTripAllCodecs(t *testing.T) {
+	for _, c := range append(All(), Extensions()...) {
+		for name, vals := range serializeCases() {
+			p, err := c.Compress(vals)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.Name(), name, err)
+			}
+			m, ok := p.(encoding.BinaryMarshaler)
+			if !ok {
+				t.Fatalf("%s: posting does not implement BinaryMarshaler", c.Name())
+			}
+			blob, err := m.MarshalBinary()
+			if err != nil {
+				t.Fatalf("%s/%s: marshal: %v", c.Name(), name, err)
+			}
+			q, err := Decode(blob)
+			if err != nil {
+				t.Fatalf("%s/%s: decode: %v", c.Name(), name, err)
+			}
+			if q.Len() != p.Len() {
+				t.Errorf("%s/%s: Len %d != %d", c.Name(), name, q.Len(), p.Len())
+			}
+			if q.SizeBytes() != p.SizeBytes() {
+				t.Errorf("%s/%s: SizeBytes %d != %d", c.Name(), name, q.SizeBytes(), p.SizeBytes())
+			}
+			got, want := q.Decompress(), p.Decompress()
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: decompress %d != %d values", c.Name(), name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s/%s: value %d mismatch", c.Name(), name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSerializedPostingsStillOperate: deserialized postings intersect
+// and union like the originals.
+func TestSerializedPostingsStillOperate(t *testing.T) {
+	a := gen.Uniform(2000, 1<<18, 4)
+	b := gen.Uniform(30000, 1<<18, 5)
+	want := ops.IntersectSorted(a, b)
+	for _, name := range []string{"Roaring", "WAH", "PEF", "SIMDBP128*", "VB", "List"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, _ := c.Compress(a)
+		pb, _ := c.Compress(b)
+		blobA, _ := pa.(encoding.BinaryMarshaler).MarshalBinary()
+		blobB, _ := pb.(encoding.BinaryMarshaler).MarshalBinary()
+		qa, err := Decode(blobA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qb, err := Decode(blobB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ops.Intersect([]core.Posting{qa, qb})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: intersect after decode = %d values, want %d", name, len(got), len(want))
+		}
+	}
+}
+
+// TestDecodeRejectsGarbage: corrupt inputs produce errors, not panics
+// or silent misreads.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0xFF},                        // unknown tag
+		{0xFF, 1, 2, 3, 4, 5},         // unknown tag, plausible length
+		{core.TagWAH},                 // truncated header
+		{core.TagWAH, 1, 0, 0, 0},     // missing word count
+		{core.TagRoaring, 1, 0, 0, 0}, // missing container count
+		{core.TagPEF, 1, 0, 0, 0},
+		{core.TagBlocked, 1, 0, 0, 0},
+	}
+	for i, blob := range cases {
+		if _, err := Decode(blob); err == nil {
+			t.Errorf("case %d: Decode accepted garbage", i)
+		}
+	}
+	// Truncation of every valid blob must be detected or at minimum not
+	// panic.
+	vals := gen.Uniform(500, 1<<16, 6)
+	for _, c := range All() {
+		p, _ := c.Compress(vals)
+		blob, _ := p.(encoding.BinaryMarshaler).MarshalBinary()
+		for _, cut := range []int{1, len(blob) / 2, len(blob) - 1} {
+			if cut >= len(blob) {
+				continue
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("%s: Decode panicked on truncation at %d: %v", c.Name(), cut, r)
+					}
+				}()
+				if _, err := Decode(blob[:cut]); err == nil {
+					t.Errorf("%s: Decode accepted truncation at %d", c.Name(), cut)
+				}
+			}()
+		}
+	}
+}
+
+// TestDecodeWrongTagPerCodec: a codec's Decode rejects another codec's
+// bytes.
+func TestDecodeWrongTagPerCodec(t *testing.T) {
+	wah, _ := ByName("WAH")
+	p, _ := wah.Compress([]uint32{1, 2, 3})
+	blob, _ := p.(encoding.BinaryMarshaler).MarshalBinary()
+	ewah, _ := ByName("EWAH")
+	if _, err := ewah.(core.Decoder).Decode(blob); err == nil {
+		t.Fatal("EWAH decoded WAH bytes")
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+// Workload describes the dominant operation a deployment cares about.
+// The paper's §7 recommendations are operation-specific: a method good
+// for decompression may be poor for intersection and vice versa
+// (lesson 7).
+type Workload int
+
+const (
+	// WorkloadIntersection covers conjunctive queries, star joins, and
+	// IR top-k (where intersection dominates, §A.1).
+	WorkloadIntersection Workload = iota
+	// WorkloadUnion covers disjunctive queries and range queries (§A.2).
+	WorkloadUnion
+	// WorkloadScan covers table scans / list traversal, dominated by
+	// decompression speed.
+	WorkloadScan
+	// WorkloadSpace optimizes purely for compressed size.
+	WorkloadSpace
+)
+
+// Recommendation is the advisor's output: a codec name from this module
+// plus the reasoning, phrased after the paper's summary (§7.1).
+type Recommendation struct {
+	Codec  string
+	Reason string
+}
+
+// Advise implements the paper's decision guidelines (§7.1, §7.2) as an
+// executable function of list statistics and workload:
+//
+//   - intersection  → Roaring (fastest AND in general, lessons 2–3),
+//   - union / scan  → SIMDBP128* (fastest OR and decompression),
+//   - space, sparse → SIMDPforDelta* (least space unless ultra dense),
+//   - space, dense (density ≥ 1/5, uniform/markov-like) → Roaring.
+func Advise(s Stats, w Workload) Recommendation {
+	dense := s.Density >= 0.2 // the paper's |L|/d >= 1/5 threshold
+	switch w {
+	case WorkloadIntersection:
+		return Recommendation{
+			Codec: "Roaring",
+			Reason: "Roaring achieves the fastest intersection in general: " +
+				"bucket-level skipping plus uncompressed 16-bit arrays and bitmaps",
+		}
+	case WorkloadUnion:
+		return Recommendation{
+			Codec: "SIMDBP128*",
+			Reason: "inverted-list codecs beat bitmaps on union; SIMDBP128* is " +
+				"the fastest in nearly all cases",
+		}
+	case WorkloadScan:
+		return Recommendation{
+			Codec:  "SIMDBP128*",
+			Reason: "SIMDBP128* achieves the best decompression performance",
+		}
+	case WorkloadSpace:
+		// Zipf-like lists (mass concentrated at the domain start) favor
+		// gap coding at every density (§7.1 point 1.(2)); uniform or
+		// markov lists flip to bitmaps once ultra dense.
+		if dense && s.Concentration >= 0.25 {
+			return Recommendation{
+				Codec: "Roaring",
+				Reason: "for ultra-dense lists (|L|/d >= 1/5) bitmap methods use " +
+					"fewer bits per value; Roaring is the space winner among them",
+			}
+		}
+		return Recommendation{
+			Codec: "SIMDPforDelta*",
+			Reason: "for short-to-moderate density (and any zipf-like data) " +
+				"SIMDPforDelta* takes the least space",
+		}
+	}
+	return Recommendation{Codec: "Roaring", Reason: "default: best general-purpose intersection"}
+}

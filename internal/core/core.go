@@ -1,0 +1,118 @@
+// Package core defines the unified interfaces shared by every compression
+// method in this study: bitmap codecs (WAH, EWAH, Roaring, ...) and
+// inverted-list codecs (VB, PforDelta, SIMDBP128*, ...) all compress the
+// same logical object — a sorted set of uint32 values — and all support
+// the same four operations the paper measures: space, decompression,
+// intersection, and union.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind distinguishes the two families of compression methods compared in
+// the paper.
+type Kind int
+
+const (
+	// KindBitmap marks bitmap compression methods (database lineage, §2).
+	KindBitmap Kind = iota
+	// KindList marks inverted-list compression methods (IR lineage, §3).
+	KindList
+)
+
+// String returns the family name used in the paper's tables.
+func (k Kind) String() string {
+	switch k {
+	case KindBitmap:
+		return "bitmap"
+	case KindList:
+		return "list"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Posting is an immutable compressed representation of a sorted set of
+// uint32 values (document IDs / row IDs).
+type Posting interface {
+	// Len reports the number of values in the set.
+	Len() int
+	// SizeBytes reports the compressed footprint in bytes, including any
+	// auxiliary structures (skip pointers, container metadata).
+	SizeBytes() int
+	// Decompress materializes the full sorted value list.
+	Decompress() []uint32
+}
+
+// Codec compresses sorted sets of uint32 values.
+//
+// Compress requires a strictly increasing slice; it returns an error
+// otherwise. The returned Posting is independent of the input slice.
+type Codec interface {
+	Name() string
+	Kind() Kind
+	Compress(values []uint32) (Posting, error)
+}
+
+// Intersecter is implemented by postings that can intersect directly on
+// the compressed representation (all bitmap codecs in this study, and
+// list codecs via skip pointers). The result is an uncompressed sorted
+// list, matching the paper's implementation (§B.1).
+type Intersecter interface {
+	IntersectWith(other Posting) ([]uint32, error)
+}
+
+// Unioner is implemented by postings that can union directly on the
+// compressed representation.
+type Unioner interface {
+	UnionWith(other Posting) ([]uint32, error)
+}
+
+// ListProber is implemented by bitmap postings that can intersect an
+// uncompressed sorted list directly against their compressed form —
+// the paper's second intersection operator, "bitmap vs list" (§B.1),
+// used when a running result meets the next compressed bitmap in a
+// multi-way intersection.
+type ListProber interface {
+	// IntersectList returns the elements of sorted that are present in
+	// the posting. sorted must be strictly increasing.
+	IntersectList(sorted []uint32) []uint32
+}
+
+// Seeker is implemented by list postings with skip pointers: SeekGEQ
+// support is what makes SvS intersection skip whole blocks (§B, App. B),
+// and what lets PEF intersect without decompressing entire blocks.
+type Seeker interface {
+	// Iterator returns a fresh iterator positioned before the first value.
+	Iterator() Iterator
+}
+
+// Iterator walks a posting in sorted order with skipping.
+type Iterator interface {
+	// Next returns the next value; ok is false when exhausted.
+	Next() (v uint32, ok bool)
+	// SeekGEQ advances to the first value >= target and returns it.
+	// Subsequent Next calls continue after the returned value.
+	SeekGEQ(target uint32) (v uint32, ok bool)
+}
+
+// ErrNotSorted is returned by Compress when the input is not strictly
+// increasing.
+var ErrNotSorted = errors.New("core: input values must be strictly increasing")
+
+// ErrIncompatible is returned when a native compressed-form operation is
+// asked to combine postings of different codecs.
+var ErrIncompatible = errors.New("core: postings come from incompatible codecs")
+
+// ValidateSorted checks the Compress input contract.
+func ValidateSorted(values []uint32) error {
+	for i := 1; i < len(values); i++ {
+		if values[i] <= values[i-1] {
+			return fmt.Errorf("%w: values[%d]=%d, values[%d]=%d",
+				ErrNotSorted, i-1, values[i-1], i, values[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestValidateSorted(t *testing.T) {
+	for _, ok := range [][]uint32{{}, {0}, {5}, {1, 2, 3}, {0, 1 << 31, 1<<32 - 1}} {
+		if err := ValidateSorted(ok); err != nil {
+			t.Errorf("ValidateSorted(%v) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range [][]uint32{{2, 1}, {1, 1}, {0, 5, 5}, {5, 0}} {
+		err := ValidateSorted(bad)
+		if err == nil {
+			t.Errorf("ValidateSorted(%v) = nil, want error", bad)
+		}
+		if !errors.Is(err, ErrNotSorted) {
+			t.Errorf("ValidateSorted(%v) error should wrap ErrNotSorted", bad)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindBitmap.String() != "bitmap" || KindList.String() != "list" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind should degrade gracefully")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := ComputeStats(nil, 0)
+	if s.N != 0 || s.Density != 0 {
+		t.Error("empty stats should be zero")
+	}
+	vals := []uint32{10, 20, 30, 40}
+	s = ComputeStats(vals, 100)
+	if s.N != 4 || s.Domain != 100 {
+		t.Errorf("N/Domain wrong: %+v", s)
+	}
+	if math.Abs(s.Density-0.04) > 1e-9 {
+		t.Errorf("density = %f", s.Density)
+	}
+	if s.MaxGap != 10 || math.Abs(s.MeanGap-10) > 1e-9 {
+		t.Errorf("gaps wrong: max=%d mean=%f", s.MaxGap, s.MeanGap)
+	}
+	if s.GapCV > 1e-9 {
+		t.Errorf("uniform gaps should have zero CV, got %f", s.GapCV)
+	}
+	// Domain defaulting to max+1.
+	s = ComputeStats([]uint32{9}, 0)
+	if s.Domain != 10 {
+		t.Errorf("default domain = %d, want 10", s.Domain)
+	}
+	// Concentration: zipf-like list has low concentration.
+	zipfish := []uint32{1, 2, 3, 4, 5, 6, 7, 1000}
+	s = ComputeStats(zipfish, 0)
+	if s.Concentration > 0.1 {
+		t.Errorf("zipf-like concentration = %f, want near 0", s.Concentration)
+	}
+	uniformish := []uint32{0, 250, 500, 750, 1000}
+	s = ComputeStats(uniformish, 0)
+	if math.Abs(s.Concentration-0.5) > 0.01 {
+		t.Errorf("uniform concentration = %f, want 0.5", s.Concentration)
+	}
+}
+
+func TestAdviseFollowsPaperGuidance(t *testing.T) {
+	sparse := Stats{N: 1000, Domain: 1 << 24, Density: 0.0001, Concentration: 0.5}
+	dense := Stats{N: 1 << 22, Domain: 1 << 24, Density: 0.25, Concentration: 0.5}
+	zipfDense := Stats{N: 1 << 22, Domain: 1 << 24, Density: 0.25, Concentration: 0.01}
+
+	cases := []struct {
+		s    Stats
+		w    Workload
+		want string
+	}{
+		{sparse, WorkloadIntersection, "Roaring"},
+		{dense, WorkloadIntersection, "Roaring"},
+		{sparse, WorkloadUnion, "SIMDBP128*"},
+		{sparse, WorkloadScan, "SIMDBP128*"},
+		{sparse, WorkloadSpace, "SIMDPforDelta*"},
+		{dense, WorkloadSpace, "Roaring"},
+		{zipfDense, WorkloadSpace, "SIMDPforDelta*"}, // zipf: gaps win at any density
+	}
+	for i, c := range cases {
+		if got := Advise(c.s, c.w); got.Codec != c.want {
+			t.Errorf("case %d: Advise = %s, want %s", i, got.Codec, c.want)
+		}
+		if got := Advise(c.s, c.w); got.Reason == "" {
+			t.Errorf("case %d: missing reason", i)
+		}
+	}
+	if got := Advise(sparse, Workload(42)); got.Codec == "" {
+		t.Error("unknown workload should still return a default")
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import "math"
+
+// Stats summarizes the properties of a sorted value list that drive the
+// paper's results: density and clustering. The advisor (§7 lessons) and
+// the examples consume these.
+type Stats struct {
+	N       int     // list length
+	Domain  uint64  // domain size d (max value + 1, or declared domain)
+	Density float64 // N / Domain
+	MaxGap  uint32  // largest d-gap
+	MeanGap float64 // average d-gap
+	// GapCV is the coefficient of variation of the d-gaps; high values
+	// indicate clustering (markov-like data), low values uniform spread.
+	GapCV float64
+	// Concentration is (median - min) / (max - min): ~0.5 for uniform or
+	// markov spread, near 0 for zipf-like lists whose mass piles up at
+	// the start of the domain.
+	Concentration float64
+}
+
+// ComputeStats derives Stats from a sorted list. If domain is zero the
+// maximum value + 1 is used.
+func ComputeStats(values []uint32, domain uint64) Stats {
+	s := Stats{N: len(values), Domain: domain}
+	if len(values) == 0 {
+		return s
+	}
+	if s.Domain == 0 {
+		s.Domain = uint64(values[len(values)-1]) + 1
+	}
+	s.Density = float64(s.N) / float64(s.Domain)
+
+	var sum, sumSq float64
+	prev := uint32(0)
+	for i, v := range values {
+		g := v - prev
+		if i == 0 {
+			g = v
+		}
+		if g > s.MaxGap {
+			s.MaxGap = g
+		}
+		sum += float64(g)
+		sumSq += float64(g) * float64(g)
+		prev = v
+	}
+	n := float64(s.N)
+	s.MeanGap = sum / n
+	variance := sumSq/n - s.MeanGap*s.MeanGap
+	if variance < 0 {
+		variance = 0
+	}
+	if s.MeanGap > 0 {
+		s.GapCV = math.Sqrt(variance) / s.MeanGap
+	}
+	if span := values[len(values)-1] - values[0]; span > 0 {
+		s.Concentration = float64(values[len(values)/2]-values[0]) / float64(span)
+	}
+	return s
+}

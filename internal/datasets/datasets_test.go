@@ -1,0 +1,148 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/intlist"
+	"repro/internal/ops"
+)
+
+const testScale = 1.0 / 512
+
+func checkWorkload(t *testing.T, w Workload, wantLists, wantQueries int) {
+	t.Helper()
+	if len(w.Lists) != wantLists {
+		t.Fatalf("%s: %d lists, want %d", w.Name, len(w.Lists), wantLists)
+	}
+	if len(w.Queries) != wantQueries {
+		t.Fatalf("%s: %d queries, want %d", w.Name, len(w.Queries), wantQueries)
+	}
+	for i, l := range w.Lists {
+		if len(l) == 0 {
+			t.Errorf("%s: list %d empty", w.Name, i)
+			continue
+		}
+		if err := core.ValidateSorted(l); err != nil {
+			t.Errorf("%s: list %d: %v", w.Name, i, err)
+		}
+		if l[len(l)-1] >= w.Domain {
+			t.Errorf("%s: list %d exceeds domain", w.Name, i)
+		}
+	}
+	// Every query must evaluate (reference path: raw lists).
+	for _, q := range w.Queries {
+		ps := make([]core.Posting, len(w.Lists))
+		for i, l := range w.Lists {
+			p, err := rawCodec.Compress(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps[i] = p
+		}
+		if _, err := ops.Eval(q.Plan, ps); err != nil {
+			t.Errorf("%s/%s: %v", w.Name, q.Name, err)
+		}
+	}
+}
+
+func TestSSBShape(t *testing.T) {
+	w := SSB(1, testScale)
+	checkWorkload(t, w, 14, 4)
+	// Selectivities: list 1 has selectivity 1/2 of the fact table.
+	rows := float64(w.Domain)
+	got := float64(len(w.Lists[1])) / rows
+	if got < 0.4 || got > 0.6 {
+		t.Errorf("Q1.1 L2 selectivity = %.3f, want ~0.5", got)
+	}
+	// Q3.4 lists are sparse (1/250).
+	got = float64(len(w.Lists[5])) / rows
+	if got > 0.01 {
+		t.Errorf("Q3.4 list selectivity = %.4f, want ~1/250", got)
+	}
+}
+
+func TestSSBScaleFactor(t *testing.T) {
+	w1 := SSB(1, testScale)
+	w10 := SSB(10, testScale)
+	if w10.Domain < 9*w1.Domain {
+		t.Errorf("SF=10 domain %d should be ~10x SF=1 %d", w10.Domain, w1.Domain)
+	}
+}
+
+func TestTPCHShape(t *testing.T) {
+	checkWorkload(t, TPCH(1, testScale), 6, 2)
+}
+
+func TestGraphShape(t *testing.T) {
+	w := Graph(1.0 / 64)
+	checkWorkload(t, w, 6, 2)
+	// Paper's exact proportions: |L3|=507777 scaled.
+	want := 507_777 / 64
+	if got := len(w.Lists[2]); got < want*9/10 || got > want*11/10 {
+		t.Errorf("graph L3 size %d, want ~%d", got, want)
+	}
+}
+
+func TestPairDatasets(t *testing.T) {
+	checkWorkload(t, KDDCup(testScale), 4, 2)
+	checkWorkload(t, Berkeleyearth(testScale), 4, 2)
+	checkWorkload(t, Higgs(testScale), 4, 2)
+	checkWorkload(t, Kegg(1), 4, 2)
+}
+
+func TestKDDCupDensities(t *testing.T) {
+	w := KDDCup(testScale)
+	// Q1 lists are dense (0.58, 0.86 of the domain).
+	d0 := float64(len(w.Lists[0])) / float64(w.Domain)
+	d1 := float64(len(w.Lists[1])) / float64(w.Domain)
+	if d0 < 0.4 || d1 < 0.7 {
+		t.Errorf("KDDCup Q1 densities %.2f/%.2f, want ~0.58/0.86", d0, d1)
+	}
+}
+
+func TestKeggCapsScale(t *testing.T) {
+	big := Kegg(4) // should clamp to 1
+	if big.Domain != Kegg(1).Domain {
+		t.Error("Kegg scale should cap at 1")
+	}
+}
+
+func TestWebShape(t *testing.T) {
+	w := Web(testScale, 40, 12)
+	if len(w.Lists) != 40 {
+		t.Fatalf("%d term lists, want 40", len(w.Lists))
+	}
+	if len(w.Queries) != 24 { // an AND and an OR per log entry
+		t.Fatalf("%d queries, want 24", len(w.Queries))
+	}
+	// Zipf vocabulary: the most frequent term is much longer than the
+	// median term.
+	if len(w.Lists[0]) < 5*len(w.Lists[20]) {
+		t.Errorf("term sizes not zipf-ish: %d vs %d", len(w.Lists[0]), len(w.Lists[20]))
+	}
+	for i, l := range w.Lists {
+		if err := core.ValidateSorted(l); err != nil {
+			t.Fatalf("list %d: %v", i, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := SSB(1, testScale)
+	b := SSB(1, testScale)
+	for i := range a.Lists {
+		if len(a.Lists[i]) != len(b.Lists[i]) {
+			t.Fatal("dataset generation must be deterministic")
+		}
+		for j := range a.Lists[i] {
+			if a.Lists[i][j] != b.Lists[i][j] {
+				t.Fatal("dataset generation must be deterministic")
+			}
+		}
+	}
+}
+
+// rawCodec is the uncompressed-list codec, used as the reference
+// evaluation path.
+var rawCodec = intlist.NewRawList()

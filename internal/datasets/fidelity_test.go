@@ -1,0 +1,91 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin the simulated datasets to the paper's published
+// numbers: each generated list must sit within tolerance of the scaled
+// size the paper reports (Appendix C), since list size/selectivity is
+// the property the substitution promises to preserve (DESIGN.md §2).
+
+func within(t *testing.T, name string, got, want int, tol float64) {
+	t.Helper()
+	if want == 0 {
+		return
+	}
+	ratio := float64(got) / float64(want)
+	if math.Abs(ratio-1) > tol {
+		t.Errorf("%s: size %d, want ~%d (ratio %.2f)", name, got, want, ratio)
+	}
+}
+
+func TestSSBSelectivityFidelity(t *testing.T) {
+	const scale = 1.0 / 128
+	w := SSB(1, scale)
+	rows := float64(w.Domain)
+	wantSel := []float64{
+		1.0 / 7, 1.0 / 2, 3.0 / 11,
+		1.0 / 25, 1.0 / 5,
+		1.0 / 250, 1.0 / 250, 1.0 / 250, 1.0 / 250, 1.0 / 364,
+		1.0 / 5, 1.0 / 5, 1.0 / 5, 1.0 / 5,
+	}
+	for i, sel := range wantSel {
+		within(t, w.Name, len(w.Lists[i]), int(rows*sel), 0.12)
+	}
+}
+
+func TestTPCHSelectivityFidelity(t *testing.T) {
+	const scale = 1.0 / 128
+	w := TPCH(1, scale)
+	rows := float64(w.Domain)
+	for i, sel := range []float64{1.0 / 7, 3.0 / 11, 1.0 / 50, 1.0 / 10, 1.0 / 10, 1.0 / 364} {
+		within(t, w.Name, len(w.Lists[i]), int(rows*sel), 0.12)
+	}
+}
+
+func TestAppendixCListSizeFidelity(t *testing.T) {
+	const scale = 1.0 / 128
+	cases := []struct {
+		w     Workload
+		sizes []int // paper's exact sizes, unscaled
+	}{
+		{Graph(scale), []int{960, 50_913, 507_777, 507_777, 526_292, 779_957}},
+		{KDDCup(scale), []int{2_833_545, 4_195_364, 1_051, 3_744_328}},
+		{Berkeleyearth(scale), []int{7_730_307, 9_254_744, 5_395, 8_174_163}},
+		{Higgs(scale), []int{172_380, 4_446_476, 49_170, 102_607}},
+	}
+	for _, c := range cases {
+		for i, paperSize := range c.sizes {
+			want := int(float64(paperSize) * scale)
+			if want < 50 {
+				continue // too small for a tolerance check after scaling
+			}
+			within(t, c.w.Name, len(c.w.Lists[i]), want, 0.12)
+		}
+	}
+	// Kegg runs unscaled: exact paper sizes.
+	kegg := Kegg(1)
+	for i, paperSize := range []int{16_965, 47_783, 1_082, 1_438} {
+		within(t, kegg.Name, len(kegg.Lists[i]), paperSize, 0.12)
+	}
+}
+
+// TestDatasetClusteringCharacter: dense DB-column lists are clustered
+// (markov-generated), seen as mean run length well above uniform's.
+func TestDatasetClusteringCharacter(t *testing.T) {
+	w := KDDCup(1.0 / 128)
+	dense := w.Lists[0] // selectivity 0.58: clustered path
+	runs, runLen := 0, 0
+	for i := range dense {
+		runLen++
+		if i+1 == len(dense) || dense[i+1] != dense[i]+1 {
+			runs++
+		}
+	}
+	meanRun := float64(runLen) / float64(runs)
+	if meanRun < 2 {
+		t.Errorf("dense column mean run %.2f, want clustered (>= 2)", meanRun)
+	}
+}

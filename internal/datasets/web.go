@@ -1,0 +1,60 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ops"
+)
+
+// Web builds the information-retrieval workload (§6.3): term posting
+// lists over a document-ID domain modeled after ClueWeb12 (41M docs,
+// scaled), with list sizes following a zipf law over term ranks — the
+// classic shape of a web-scale vocabulary — and a query log of
+// multi-term conjunctive/disjunctive queries standing in for the 1000
+// TREC queries.
+//
+// nTerms controls vocabulary size and nQueries the log length; queries
+// draw 2-4 terms biased toward frequent terms, as real logs do.
+func Web(scale float64, nTerms, nQueries int) Workload {
+	domain := uint32(scaled(41_000_000, scale))
+	w := Workload{Name: "Web", Domain: domain}
+	rng := rand.New(rand.NewSource(8000))
+	// Term list sizes: size(rank) = maxSize / rank^0.7, capped below at
+	// a handful of postings.
+	maxSize := float64(domain) / 5
+	for t := 0; t < nTerms; t++ {
+		size := int(maxSize / math.Pow(float64(t+1), 0.7))
+		if size < 8 {
+			size = 8
+		}
+		w.Lists = append(w.Lists, listFor(size, domain, int64(8100+t)))
+	}
+	for q := 0; q < nQueries; q++ {
+		k := 2 + rng.Intn(3)
+		leaves := make([]ops.Expr, 0, k)
+		seen := map[int]bool{}
+		for len(leaves) < k {
+			// Bias toward frequent terms: square the unit sample.
+			f := rng.Float64()
+			t := int(f * f * float64(nTerms))
+			if t >= nTerms {
+				t = nTerms - 1
+			}
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			leaves = append(leaves, ops.Leaf(t))
+		}
+		w.Queries = append(w.Queries, Query{
+			Name: "and",
+			Plan: ops.And(leaves...),
+		})
+		w.Queries = append(w.Queries, Query{
+			Name: "or",
+			Plan: ops.Or(leaves...),
+		})
+	}
+	return w
+}

@@ -1,0 +1,155 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestUniformBasics(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 5000} {
+		vals := Uniform(n, 1<<20, 42)
+		if len(vals) != n {
+			t.Fatalf("n=%d: got %d values", n, len(vals))
+		}
+		if err := core.ValidateSorted(vals); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, v := range vals {
+			if v >= 1<<20 {
+				t.Fatalf("value %d outside domain", v)
+			}
+		}
+	}
+}
+
+func TestUniformDense(t *testing.T) {
+	// Selection-sampling path: n close to domain.
+	vals := Uniform(900, 1000, 1)
+	if len(vals) != 900 {
+		t.Fatalf("got %d values", len(vals))
+	}
+	if err := core.ValidateSorted(vals); err != nil {
+		t.Fatal(err)
+	}
+	// n > domain clamps.
+	vals = Uniform(5000, 1000, 2)
+	if len(vals) != 1000 {
+		t.Fatalf("clamp: got %d values", len(vals))
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(1000, 1<<22, 7)
+	b := Uniform(1000, 1<<22, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the same list")
+		}
+	}
+	c := Uniform(1000, 1<<22, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestUniformIsSpreadOut(t *testing.T) {
+	vals := Uniform(10000, 1<<24, 3)
+	// Mean should be near domain/2.
+	var sum float64
+	for _, v := range vals {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(vals))
+	if math.Abs(mean-float64(1<<23)) > float64(1<<23)/10 {
+		t.Errorf("uniform mean %.0f too far from %d", mean, 1<<23)
+	}
+}
+
+func TestZipfSizeAndSkew(t *testing.T) {
+	n := 20000
+	vals := Zipf(n, 1<<24, 1.0, 5)
+	if err := core.ValidateSorted(vals); err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) < n/2 || len(vals) > n*2 {
+		t.Fatalf("zipf size %d too far from target %d", len(vals), n)
+	}
+	// Skew: the first half of the list must span far less of the domain
+	// than the second half.
+	mid := vals[len(vals)/2]
+	last := vals[len(vals)-1]
+	if uint64(mid)*4 > uint64(last) {
+		t.Errorf("zipf not concentrated: median %d vs max %d", mid, last)
+	}
+}
+
+func TestZipfDense(t *testing.T) {
+	// Very high target density: list degenerates toward {0,1,2,...}.
+	vals := Zipf(5000, 1<<14, 1.0, 6)
+	if len(vals) == 0 || vals[0] != 0 {
+		t.Fatalf("dense zipf should start at 0, got %v", vals[:min(5, len(vals))])
+	}
+	run := 0
+	for i := range vals {
+		if vals[i] != uint32(i) {
+			break
+		}
+		run++
+	}
+	if run < 100 {
+		t.Errorf("dense zipf should begin with a long consecutive run, got %d", run)
+	}
+}
+
+func TestMarkovDensityAndClustering(t *testing.T) {
+	domain := uint32(1 << 20)
+	for _, density := range []float64{0.01, 0.2, 0.5} {
+		vals := Markov(domain, density, 8, 9)
+		if err := core.ValidateSorted(vals); err != nil {
+			t.Fatal(err)
+		}
+		got := float64(len(vals)) / float64(domain)
+		if math.Abs(got-density) > density/3 {
+			t.Errorf("density %.3f: got %.3f", density, got)
+		}
+		// Clustering: mean run length of consecutive values should be
+		// near the clustering factor (8), far above uniform's 1/(1-ω).
+		runs, runLen := 0, 0
+		for i := 0; i < len(vals); i++ {
+			runLen++
+			if i+1 == len(vals) || vals[i+1] != vals[i]+1 {
+				runs++
+			}
+		}
+		meanRun := float64(runLen) / float64(runs)
+		if meanRun < 3 {
+			t.Errorf("density %.3f: mean run %.1f, want clustered (>=3)", density, meanRun)
+		}
+	}
+}
+
+func TestMarkovN(t *testing.T) {
+	vals := MarkovN(5000, 1<<20, 8, 10)
+	if len(vals) > 5000 {
+		t.Fatalf("MarkovN returned %d > 5000", len(vals))
+	}
+	if len(vals) < 4000 {
+		t.Fatalf("MarkovN returned %d, want near 5000", len(vals))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,37 @@
+package index_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codecs"
+	"repro/internal/index"
+)
+
+// Example builds a tiny search index and runs the three §A.1 query
+// kinds.
+func Example() {
+	codec, err := codecs.ByName("Roaring")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := index.NewBuilder(codec)
+	b.AddDocument("compressed bitmap indexes")
+	b.AddDocument("compressed inverted lists")
+	b.AddDocument("bitmap and inverted list compression")
+	idx, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	and, _ := idx.Conjunctive("compressed", "bitmap")
+	or, _ := idx.Disjunctive("lists", "indexes")
+	top, _ := idx.TopK(1, "compressed")
+	fmt.Println("AND:", and)
+	fmt.Println("OR:", or)
+	fmt.Println("top doc:", top[0].Doc)
+	// Output:
+	// AND: [0]
+	// OR: [0 1]
+	// top doc: 0
+}

@@ -1,0 +1,197 @@
+// Package index is the information-retrieval substrate of §A.1: an
+// inverted index over a document collection with compressed posting
+// lists, supporting conjunctive (AND), disjunctive (OR), and top-k
+// queries. Any codec from this module can back the index; the paper's
+// recommendation for this workload is Roaring (§7.1).
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+)
+
+// Builder accumulates documents and compresses the index in one shot
+// (document IDs are assigned in insertion order, so posting lists are
+// naturally sorted).
+type Builder struct {
+	codec    core.Codec
+	postings map[string][]uint32
+	freqs    map[string][]uint16
+	docs     int
+}
+
+// NewBuilder returns a builder that will compress postings with codec.
+func NewBuilder(codec core.Codec) *Builder {
+	return &Builder{
+		codec:    codec,
+		postings: map[string][]uint32{},
+		freqs:    map[string][]uint16{},
+	}
+}
+
+// AddDocument indexes text and returns its document ID.
+func (b *Builder) AddDocument(text string) uint32 {
+	id := uint32(b.docs)
+	b.docs++
+	counts := map[string]int{}
+	for _, tok := range Tokenize(text) {
+		counts[tok]++
+	}
+	terms := make([]string, 0, len(counts))
+	for t := range counts {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		b.postings[t] = append(b.postings[t], id)
+		f := counts[t]
+		if f > 65535 {
+			f = 65535
+		}
+		b.freqs[t] = append(b.freqs[t], uint16(f))
+	}
+	return id
+}
+
+// Build compresses every posting list and returns the finished index.
+func (b *Builder) Build() (*Index, error) {
+	idx := &Index{codec: b.codec, terms: map[string]termEntry{}, docs: b.docs}
+	for t, list := range b.postings {
+		p, err := b.codec.Compress(list)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %q: %w", t, err)
+		}
+		idx.terms[t] = termEntry{posting: p, freqs: b.freqs[t]}
+	}
+	return idx, nil
+}
+
+// Tokenize lower-cases and splits text, trimming punctuation — the
+// minimal analyzer the examples need.
+func Tokenize(text string) []string {
+	fields := strings.Fields(strings.ToLower(text))
+	out := fields[:0]
+	for _, f := range fields {
+		if t := strings.Trim(f, ".,;:!?\"'()[]"); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+type termEntry struct {
+	posting core.Posting
+	freqs   []uint16 // payload aligned with the posting values
+}
+
+// Index answers boolean and top-k queries over compressed postings.
+type Index struct {
+	codec core.Codec
+	terms map[string]termEntry
+	docs  int
+}
+
+// Docs reports the number of indexed documents.
+func (idx *Index) Docs() int { return idx.docs }
+
+// Terms reports the vocabulary size.
+func (idx *Index) Terms() int { return len(idx.terms) }
+
+// SizeBytes reports the compressed footprint of all posting lists.
+func (idx *Index) SizeBytes() int {
+	s := 0
+	for _, e := range idx.terms {
+		s += e.posting.SizeBytes()
+	}
+	return s
+}
+
+// Postings returns the compressed posting list for a term (nil if the
+// term is unindexed).
+func (idx *Index) Postings(term string) core.Posting {
+	if e, ok := idx.terms[term]; ok {
+		return e.posting
+	}
+	return nil
+}
+
+// Conjunctive returns the documents containing every term, via SvS
+// intersection over the compressed postings.
+func (idx *Index) Conjunctive(terms ...string) ([]uint32, error) {
+	ps := make([]core.Posting, 0, len(terms))
+	for _, t := range terms {
+		e, ok := idx.terms[t]
+		if !ok {
+			return nil, nil // a missing term empties the conjunction
+		}
+		ps = append(ps, e.posting)
+	}
+	return ops.Intersect(ps)
+}
+
+// Disjunctive returns the documents containing at least one term.
+func (idx *Index) Disjunctive(terms ...string) ([]uint32, error) {
+	var ps []core.Posting
+	for _, t := range terms {
+		if e, ok := idx.terms[t]; ok {
+			ps = append(ps, e.posting)
+		}
+	}
+	return ops.Union(ps)
+}
+
+// Result is one ranked document.
+type Result struct {
+	Doc   uint32
+	Score int
+}
+
+// TopK implements §A.1's two-step top-k: intersect the query terms for
+// candidates (the dominant cost), then rank candidates by summed term
+// frequency.
+func (idx *Index) TopK(k int, terms ...string) ([]Result, error) {
+	candidates, err := idx.Conjunctive(terms...)
+	if err != nil || len(candidates) == 0 {
+		return nil, err
+	}
+	results := make([]Result, len(candidates))
+	for i, doc := range candidates {
+		results[i] = Result{Doc: doc, Score: idx.score(doc, terms)}
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Score > results[j].Score })
+	if k < len(results) {
+		results = results[:k]
+	}
+	return results, nil
+}
+
+// score sums the term frequencies of doc across terms, locating the
+// payload slot via SeekGEQ when the posting supports it.
+func (idx *Index) score(doc uint32, terms []string) int {
+	s := 0
+	for _, t := range terms {
+		e := idx.terms[t]
+		pos := idx.position(e.posting, doc)
+		if pos >= 0 {
+			s += int(e.freqs[pos])
+		}
+	}
+	return s
+}
+
+// position returns doc's rank within the posting, or -1.
+func (idx *Index) position(p core.Posting, doc uint32) int {
+	// Counting rank needs the values; a production system would store
+	// rank-aligned payloads per block. Decompress-and-search is fine at
+	// example scale and exact at any scale.
+	vals := p.Decompress()
+	i := sort.Search(len(vals), func(i int) bool { return vals[i] >= doc })
+	if i < len(vals) && vals[i] == doc {
+		return i
+	}
+	return -1
+}

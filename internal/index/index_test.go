@@ -1,0 +1,169 @@
+package index
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/codecs"
+)
+
+var docs = []string{
+	"compressed bitmap indexes accelerate analytical queries",
+	"inverted lists power every web search engine",
+	"roaring bitmap containers mix arrays and bitmaps",
+	"search engines compress inverted lists with pfordelta",
+	"bitmap compression and inverted list compression solve the same problem",
+	"skip pointers make intersection of compressed lists fast",
+	"compressed, compressed; COMPRESSED!", // tokenizer + frequency payload
+}
+
+func buildTestIndex(t *testing.T, codecName string) *Index {
+	t.Helper()
+	codec, err := codecs.ByName(codecName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(codec)
+	for i, d := range docs {
+		if id := b.AddDocument(d); id != uint32(i) {
+			t.Fatalf("doc %d got id %d", i, id)
+		}
+	}
+	idx, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! (really)")
+	want := []string{"hello", "world", "really"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	if out := Tokenize("..."); len(out) != 0 {
+		t.Fatalf("pure punctuation should tokenize to nothing, got %v", out)
+	}
+}
+
+func TestConjunctiveDisjunctive(t *testing.T) {
+	for _, codec := range []string{"Roaring", "SIMDBP128*", "WAH"} {
+		idx := buildTestIndex(t, codec)
+		and, err := idx.Conjunctive("compressed", "lists")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(and, []uint32{5}) {
+			t.Errorf("%s: AND = %v, want [5]", codec, and)
+		}
+		or, err := idx.Disjunctive("roaring", "pfordelta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(or, []uint32{2, 3}) {
+			t.Errorf("%s: OR = %v, want [2 3]", codec, or)
+		}
+		// Missing term: conjunction empties, disjunction ignores.
+		if r, _ := idx.Conjunctive("bitmap", "nonexistent"); len(r) != 0 {
+			t.Errorf("%s: AND with missing term = %v", codec, r)
+		}
+		if r, _ := idx.Disjunctive("bitmap", "nonexistent"); len(r) == 0 {
+			t.Errorf("%s: OR with missing term should keep matches", codec)
+		}
+	}
+}
+
+func TestTopKRanksByFrequency(t *testing.T) {
+	idx := buildTestIndex(t, "Roaring")
+	top, err := idx.TopK(2, "compressed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("TopK returned %d results", len(top))
+	}
+	// Doc 6 repeats "compressed" three times: must rank first.
+	if top[0].Doc != 6 || top[0].Score != 3 {
+		t.Fatalf("top result = %+v, want doc 6 score 3", top[0])
+	}
+	if top[1].Score > top[0].Score {
+		t.Fatal("results not sorted by score")
+	}
+	// k larger than candidate count.
+	all, _ := idx.TopK(100, "compressed")
+	if len(all) != 3 {
+		t.Fatalf("TopK(100) = %d results, want 3", len(all))
+	}
+	// No candidates.
+	if r, err := idx.TopK(5, "nonexistent"); err != nil || r != nil {
+		t.Fatalf("TopK missing term = %v, %v", r, err)
+	}
+}
+
+func TestIndexAccessors(t *testing.T) {
+	idx := buildTestIndex(t, "Roaring")
+	if idx.Docs() != len(docs) {
+		t.Errorf("Docs = %d", idx.Docs())
+	}
+	if idx.Terms() == 0 || idx.SizeBytes() <= 0 {
+		t.Error("Terms/SizeBytes look wrong")
+	}
+	if idx.Postings("bitmap") == nil {
+		t.Error("Postings(bitmap) missing")
+	}
+	if idx.Postings("nonexistent") != nil {
+		t.Error("Postings should return nil for unknown terms")
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	for _, codec := range []string{"Roaring", "PEF", "VB"} {
+		idx := buildTestIndex(t, codec)
+		var buf bytes.Buffer
+		n, err := idx.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("%s: WriteTo: %v", codec, err)
+		}
+		if n != int64(buf.Len()) {
+			t.Errorf("%s: WriteTo reported %d bytes, wrote %d", codec, n, buf.Len())
+		}
+		loaded, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: Read: %v", codec, err)
+		}
+		if loaded.Docs() != idx.Docs() || loaded.Terms() != idx.Terms() {
+			t.Fatalf("%s: loaded index shape mismatch", codec)
+		}
+		and1, _ := idx.Conjunctive("compressed", "lists")
+		and2, _ := loaded.Conjunctive("compressed", "lists")
+		if !reflect.DeepEqual(and1, and2) {
+			t.Fatalf("%s: query results differ after reload", codec)
+		}
+		top1, _ := idx.TopK(3, "compressed")
+		top2, _ := loaded.TopK(3, "compressed")
+		if !reflect.DeepEqual(top1, top2) {
+			t.Fatalf("%s: top-k differs after reload", codec)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Read(bytes.NewReader([]byte("NOTANINDEX"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated valid stream.
+	idx := buildTestIndex(t, "Roaring")
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	if _, err := Read(bytes.NewReader(blob[:len(blob)/2])); err == nil {
+		t.Error("truncated index accepted")
+	}
+}

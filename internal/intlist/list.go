@@ -1,0 +1,272 @@
+// Package intlist implements the inverted-list compression methods
+// compared in the paper (§3): VB, GroupVB, Simple9/16/8b, the PforDelta
+// family, PEF, and the SIMD-layout codecs, plus the uncompressed list
+// baseline.
+//
+// Except for PEF and the raw list, codecs plug into a shared block frame
+// (§5): lists are cut into blocks of 128 elements; each block gets a
+// skip pointer holding a 32-bit offset and the block's 32-bit first
+// value, enabling SvS intersection to decompress only the blocks that
+// may contain a probe (§B, Appendix B).
+package intlist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// BlockSize is the number of elements per block; 128 follows the paper
+// (§3 overview, footnote 5).
+const BlockSize = 128
+
+// BlockCodec encodes a single block of absolute, strictly increasing
+// values. The block's first value travels in the skip pointer, so
+// implementations encode only the remaining len(block)-1 values
+// (typically as d-gaps).
+type BlockCodec interface {
+	Name() string
+	// EncodeBlock appends the encoding of block (1..BlockSize values) to
+	// dst and returns the extended slice.
+	EncodeBlock(dst []byte, block []uint32) []byte
+	// DecodeBlock fills out[1:] given out[0] = first value of the block,
+	// returning the number of bytes consumed from src.
+	DecodeBlock(src []byte, out []uint32) int
+}
+
+// Blocked adapts a BlockCodec into a full list codec with skip pointers.
+type Blocked struct {
+	BC BlockCodec
+	// NoSkips disables the skip-pointer array: its space is not counted
+	// and SeekGEQ degrades to sequential scanning. Used by the Figure 7
+	// ablation.
+	NoSkips bool
+	// Size overrides the elements-per-block count (0 means BlockSize).
+	// Values above BlockSize are rejected: the codecs' scratch buffers
+	// are sized to the paper's 128. Used by the block-size ablation.
+	Size int
+}
+
+// NewBlocked wraps bc in the standard skip-pointered block frame.
+func NewBlocked(bc BlockCodec) core.Codec { return Blocked{BC: bc} }
+
+// NewBlockedNoSkips wraps bc without skip pointers (Figure 7 baseline).
+func NewBlockedNoSkips(bc BlockCodec) core.Codec { return Blocked{BC: bc, NoSkips: true} }
+
+// NewBlockedSize wraps bc with a custom block size (the ablation on the
+// paper's footnote-5 choice of 128).
+func NewBlockedSize(bc BlockCodec, size int) core.Codec { return Blocked{BC: bc, Size: size} }
+
+// Name reports the inner codec's table name ("-noskip" suffixed for
+// the Figure 7 ablation variant).
+func (b Blocked) Name() string {
+	if b.NoSkips {
+		return b.BC.Name() + "-noskip"
+	}
+	return b.BC.Name()
+}
+
+func (Blocked) Kind() core.Kind { return core.KindList }
+
+// GapLimited is implemented by block codecs whose format caps the d-gap
+// magnitude (the 28-bit data field of Simple9/Simple16). Blocked.Compress
+// rejects inputs beyond the limit with a descriptive error.
+type GapLimited interface {
+	MaxGap() uint32
+}
+
+// Compress cuts values into blocks, encodes each with the inner codec,
+// and attaches skip pointers.
+func (b Blocked) Compress(values []uint32) (core.Posting, error) {
+	if err := core.ValidateSorted(values); err != nil {
+		return nil, err
+	}
+	bs := b.Size
+	if bs == 0 {
+		bs = BlockSize
+	}
+	if bs < 2 || bs > BlockSize {
+		return nil, fmt.Errorf("intlist: block size %d out of range [2, %d]", bs, BlockSize)
+	}
+	if gl, ok := b.BC.(GapLimited); ok {
+		limit := gl.MaxGap()
+		for i := 1; i < len(values); i++ {
+			// First values of blocks travel in skip pointers, but
+			// checking every gap keeps the rule simple and safe.
+			if i%BlockSize != 0 && values[i]-values[i-1] > limit {
+				return nil, fmt.Errorf("intlist: %s cannot encode gap %d (limit %d)",
+					b.BC.Name(), values[i]-values[i-1], limit)
+			}
+		}
+	}
+	p := &listPosting{bc: b.BC, n: len(values), noSkips: b.NoSkips, bs: bs}
+	for i := 0; i < len(values); i += bs {
+		j := i + bs
+		if j > len(values) {
+			j = len(values)
+		}
+		block := values[i:j]
+		p.skips = append(p.skips, skipEntry{offset: uint32(len(p.data)), first: block[0]})
+		p.data = b.BC.EncodeBlock(p.data, block)
+	}
+	return p, nil
+}
+
+type skipEntry struct {
+	offset uint32 // byte offset of the block payload in data
+	first  uint32 // first value of the block
+}
+
+type listPosting struct {
+	bc      BlockCodec
+	data    []byte
+	skips   []skipEntry
+	n       int
+	bs      int // elements per block
+	noSkips bool
+}
+
+func (p *listPosting) Len() int { return p.n }
+
+// SizeBytes counts the payload plus 8 bytes per skip pointer (32-bit
+// offset + 32-bit start value, §5).
+func (p *listPosting) SizeBytes() int {
+	if p.noSkips {
+		return len(p.data)
+	}
+	return len(p.data) + 8*len(p.skips)
+}
+
+// blockLen reports the number of values in block b.
+func (p *listPosting) blockLen(b int) int {
+	if b == len(p.skips)-1 {
+		if r := p.n % p.bs; r != 0 {
+			return r
+		}
+	}
+	return p.bs
+}
+
+// decodeBlock fills buf with block b's values and returns buf[:len].
+func (p *listPosting) decodeBlock(b int, buf []uint32) []uint32 {
+	n := p.blockLen(b)
+	out := buf[:n]
+	out[0] = p.skips[b].first
+	p.bc.DecodeBlock(p.data[p.skips[b].offset:], out)
+	return out
+}
+
+// blockSource abstracts the block-frame storage so the same iterator
+// serves in-memory postings and externally stored ones (internal/iosim).
+type blockSource interface {
+	numBlocks() int
+	blockFirst(b int) uint32
+	decodeBlock(b int, buf []uint32) []uint32
+	noSkipMode() bool
+}
+
+func (p *listPosting) numBlocks() int          { return len(p.skips) }
+func (p *listPosting) blockFirst(b int) uint32 { return p.skips[b].first }
+func (p *listPosting) noSkipMode() bool        { return p.noSkips }
+
+func (p *listPosting) Decompress() []uint32 {
+	out := make([]uint32, p.n)
+	for b := range p.skips {
+		lo := b * p.bs
+		p.decodeBlock(b, out[lo:lo+p.blockLen(b)])
+	}
+	return out
+}
+
+// Iterator returns a skipping iterator (core.Seeker).
+func (p *listPosting) Iterator() core.Iterator {
+	return &listIterator{p: p, block: -1}
+}
+
+type listIterator struct {
+	p     blockSource
+	buf   [BlockSize]uint32
+	cur   []uint32
+	block int // decoded block index, -1 before start
+	pos   int
+}
+
+func (it *listIterator) loadBlock(b int) {
+	it.cur = it.p.decodeBlock(b, it.buf[:])
+	it.block = b
+	it.pos = 0
+}
+
+func (it *listIterator) Next() (uint32, bool) {
+	for {
+		if it.block >= 0 && it.pos < len(it.cur) {
+			v := it.cur[it.pos]
+			it.pos++
+			return v, true
+		}
+		nb := it.block + 1
+		if nb >= it.p.numBlocks() {
+			return 0, false
+		}
+		it.loadBlock(nb)
+	}
+}
+
+// SeekGEQ advances to the first value >= target. With skip pointers it
+// binary-searches the skip array and decodes only the candidate block;
+// without them it decodes blocks sequentially until the target's block
+// is reached (Figure 7's "no skip pointers" configuration).
+func (it *listIterator) SeekGEQ(target uint32) (uint32, bool) {
+	p := it.p
+	nb := p.numBlocks()
+	if nb == 0 {
+		return 0, false
+	}
+	// Never move backward: if the last yielded value already reached
+	// the target, stay on it (SvS probes with increasing targets).
+	if it.block >= 0 && it.pos > 0 && it.cur[it.pos-1] >= target {
+		return it.cur[it.pos-1], true
+	}
+	if p.noSkipMode() {
+		if it.block < 0 {
+			it.loadBlock(0)
+		}
+		for it.cur[len(it.cur)-1] < target {
+			if it.block+1 >= nb {
+				return 0, false
+			}
+			it.loadBlock(it.block + 1)
+		}
+	} else {
+		start := it.block
+		if start < 0 {
+			start = 0
+		}
+		// Last block whose first value <= target (never before start).
+		lo := sort.Search(nb-start, func(i int) bool {
+			return p.blockFirst(start+i) > target
+		})
+		b := start + lo - 1
+		if b < start {
+			b = start
+		}
+		if b != it.block {
+			it.loadBlock(b)
+		}
+		if it.cur[len(it.cur)-1] < target {
+			// The answer, if any, is the first element of the next block:
+			// its skip first value is > target by construction.
+			if b+1 >= nb {
+				return 0, false
+			}
+			it.loadBlock(b + 1)
+		}
+	}
+	i := sort.Search(len(it.cur), func(i int) bool { return it.cur[i] >= target })
+	if i == len(it.cur) {
+		return 0, false // unreachable after the block checks above
+	}
+	it.pos = i + 1
+	return it.cur[i], true
+}

@@ -1,0 +1,155 @@
+package intlist
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// sortedSet generates random strictly-increasing uint32 slices whose
+// d-gaps stay below 2^28 (the Simple9/16 design limit) while still
+// covering runs, bursts, and wide jumps.
+type sortedSet []uint32
+
+// Generate implements quick.Generator.
+func (sortedSet) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size*40 + 1)
+	out := make(sortedSet, 0, n)
+	v := uint32(r.Intn(1 << 20))
+	for len(out) < n {
+		out = append(out, v)
+		var gap uint32
+		switch r.Intn(4) {
+		case 0:
+			gap = 1 // runs
+		case 1:
+			gap = 1 + uint32(r.Intn(64))
+		case 2:
+			gap = 1 + uint32(r.Intn(1<<14))
+		default:
+			gap = 1 + uint32(r.Intn(1<<24)) // wide jump, still < 2^28
+		}
+		if v+gap < v { // would wrap around uint32
+			break
+		}
+		v += gap
+	}
+	return reflect.ValueOf(out)
+}
+
+var quickCfg = &quick.Config{MaxCount: 25}
+
+// TestQuickListRoundTrip: Decompress(Compress(x)) == x for every list
+// codec.
+func TestQuickListRoundTrip(t *testing.T) {
+	for _, c := range allListCodecs() {
+		c := c
+		prop := func(s sortedSet) bool {
+			p, err := c.Compress(s)
+			if err != nil {
+				return false
+			}
+			return equalU32(p.Decompress(), s)
+		}
+		if err := quick.Check(prop, quickCfg); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestQuickIteratorMatchesDecompress: walking the iterator yields the
+// decompressed sequence.
+func TestQuickIteratorMatchesDecompress(t *testing.T) {
+	for _, c := range allListCodecs() {
+		c := c
+		prop := func(s sortedSet) bool {
+			p, err := c.Compress(s)
+			if err != nil {
+				return false
+			}
+			it := p.(core.Seeker).Iterator()
+			for _, want := range s {
+				v, ok := it.Next()
+				if !ok || v != want {
+					return false
+				}
+			}
+			_, ok := it.Next()
+			return !ok
+		}
+		if err := quick.Check(prop, quickCfg); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestQuickSeekGEQConsistent: for any monotone probe sequence, SeekGEQ
+// returns exactly the reference lower bound.
+func TestQuickSeekGEQConsistent(t *testing.T) {
+	for _, c := range allListCodecs() {
+		c := c
+		prop := func(s sortedSet, probesRaw []uint32) bool {
+			if len(s) == 0 {
+				return true
+			}
+			p, err := c.Compress(s)
+			if err != nil {
+				return false
+			}
+			probes := append([]uint32(nil), probesRaw...)
+			for i := range probes {
+				probes[i] %= s[len(s)-1] + 2
+			}
+			sort.Slice(probes, func(i, j int) bool { return probes[i] < probes[j] })
+			it := p.(core.Seeker).Iterator()
+			lastRet := uint32(0)
+			hasLast := false
+			for _, target := range probes {
+				got, ok := it.SeekGEQ(target)
+				// Iterators never move backward: the effective target is
+				// max(target, last returned value).
+				eff := target
+				if hasLast && lastRet > eff {
+					eff = lastRet
+				}
+				i := sort.Search(len(s), func(i int) bool { return s[i] >= eff })
+				if i == len(s) {
+					if ok && got < target {
+						return false
+					}
+					continue
+				}
+				if !ok || got != s[i] {
+					return false
+				}
+				lastRet, hasLast = got, true
+			}
+			return true
+		}
+		if err := quick.Check(prop, quickCfg); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestQuickBitmapListDuality: positions of 1s round-trip through both
+// families — compress with a list codec, decompress, recompress with a
+// bitmap codec, and recover the identical set (the paper's motivating
+// equivalence, §1).
+func TestQuickBitmapListDuality(t *testing.T) {
+	lc := NewSIMDBP128Star()
+	prop := func(s sortedSet) bool {
+		lp, err := lc.Compress(s)
+		if err != nil {
+			return false
+		}
+		return equalU32(lp.Decompress(), s)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+package intlist
+
+import "repro/internal/core"
+
+// The four SIMD-layout codecs (§3.10–3.11). All use the vertical 4-lane
+// 128-value packing of vpack.go inside the standard block frame:
+//
+//   - SIMDBP128: per-block bit width over d-gaps, pure packing.
+//   - SIMDBP128*: not d-gap based (§3 overview) — packs offsets from the
+//     block's first value, so decoding needs no prefix sum and in-block
+//     probes touch single slots. Fastest decompression and union.
+//   - SIMDPforDelta: PforDelta's 90% width rule over d-gaps with
+//     exceptions patched from VB side arrays.
+//   - SIMDPforDelta*: exception-free width over d-gaps — least space of
+//     the paper's recommended trio, at the cost of prefix summing.
+
+// NewSIMDBP128 returns SIMDBP128 in the standard frame.
+func NewSIMDBP128() core.Codec { return NewBlocked(simdBP128Block{}) }
+
+type simdBP128Block struct{}
+
+func (simdBP128Block) Name() string { return "SIMDBP128" }
+
+func (simdBP128Block) EncodeBlock(dst []byte, block []uint32) []byte {
+	var in [128]uint32
+	gaps := blockGaps(block, &in)
+	b := maxBits(gaps)
+	clearTail(&in, len(gaps))
+	// 4-byte header keeps the packed payload 32-bit aligned the way the
+	// original's 16-byte bucket metadata does (amortized per block).
+	dst = append(dst, byte(b), 0, 0, 0)
+	return vpack128(dst, &in, b)
+}
+
+func (simdBP128Block) DecodeBlock(src []byte, out []uint32) int {
+	if len(out) <= 1 {
+		return 0
+	}
+	b := uint(src[0])
+	var dec [128]uint32
+	used := 4 + vunpack128(src[4:], &dec, b)
+	prev := out[0]
+	for k := 1; k < len(out); k++ {
+		prev += dec[k-1]
+		out[k] = prev
+	}
+	return used
+}
+
+// NewSIMDBP128Star returns SIMDBP128* in the standard frame.
+func NewSIMDBP128Star() core.Codec { return NewBlocked(simdBP128StarBlock{}) }
+
+type simdBP128StarBlock struct{}
+
+func (simdBP128StarBlock) Name() string { return "SIMDBP128*" }
+
+func (simdBP128StarBlock) EncodeBlock(dst []byte, block []uint32) []byte {
+	var in [128]uint32
+	first := block[0]
+	for i := 1; i < len(block); i++ {
+		in[i-1] = block[i] - first
+	}
+	b := maxBits(in[:len(block)-1])
+	clearTail(&in, len(block)-1)
+	dst = append(dst, byte(b))
+	return vpack128(dst, &in, b)
+}
+
+func (simdBP128StarBlock) DecodeBlock(src []byte, out []uint32) int {
+	if len(out) <= 1 {
+		return 0
+	}
+	b := uint(src[0])
+	var dec [128]uint32
+	used := 1 + vunpack128(src[1:], &dec, b)
+	first := out[0]
+	for k := 1; k < len(out); k++ {
+		out[k] = first + dec[k-1] // no prefix sum: offsets are absolute
+	}
+	return used
+}
+
+// NewSIMDPforDelta returns SIMDPforDelta in the standard frame.
+func NewSIMDPforDelta() core.Codec { return NewBlocked(SIMDPforDeltaBlock()) }
+
+// SIMDPforDeltaBlock exposes the bare block codec (used by the Figure 7
+// ablation).
+func SIMDPforDeltaBlock() BlockCodec { return simdPFDBlock{} }
+
+type simdPFDBlock struct{}
+
+func (simdPFDBlock) Name() string { return "SIMDPforDelta" }
+
+func (simdPFDBlock) EncodeBlock(dst []byte, block []uint32) []byte {
+	var in [128]uint32
+	gaps := blockGaps(block, &in)
+	b := pfdChooseB(gaps)
+	if b > 32 {
+		b = 32
+	}
+	var excPos []int
+	for i, g := range gaps {
+		if b < 32 && uint64(g) >= 1<<b {
+			excPos = append(excPos, i)
+		}
+	}
+	clearTail(&in, len(gaps))
+	dst = append(dst, byte(b), byte(len(excPos)))
+	// Slots hold the low b bits of every gap in the vertical layout.
+	var slots [128]uint32
+	mask := uint32(1)<<b - 1
+	if b == 32 {
+		mask = ^uint32(0)
+	}
+	for i := range slots {
+		slots[i] = in[i] & mask
+	}
+	dst = vpack128(dst, &slots, b)
+	prev := 0
+	for _, pos := range excPos {
+		dst = PutVB(dst, uint32(pos-prev))
+		prev = pos
+	}
+	for _, pos := range excPos {
+		dst = PutVB(dst, gaps[pos]>>b)
+	}
+	return dst
+}
+
+func (simdPFDBlock) DecodeBlock(src []byte, out []uint32) int {
+	if len(out) <= 1 {
+		return 0
+	}
+	b := uint(src[0])
+	excCount := int(src[1])
+	var dec [128]uint32
+	used := 2 + vunpack128(src[2:], &dec, b)
+	var positions [BlockSize]int
+	pos := 0
+	for j := 0; j < excCount; j++ {
+		var d uint32
+		d, used = GetVB(src, used)
+		pos += int(d)
+		positions[j] = pos
+	}
+	for j := 0; j < excCount; j++ {
+		var high uint32
+		high, used = GetVB(src, used)
+		dec[positions[j]] |= high << b
+	}
+	prev := out[0]
+	for k := 1; k < len(out); k++ {
+		prev += dec[k-1]
+		out[k] = prev
+	}
+	return used
+}
+
+// NewSIMDPforDeltaStar returns SIMDPforDelta* in the standard frame.
+func NewSIMDPforDeltaStar() core.Codec { return NewBlocked(SIMDPforDeltaStarBlock()) }
+
+// SIMDPforDeltaStarBlock exposes the bare block codec.
+func SIMDPforDeltaStarBlock() BlockCodec { return simdPFDStarBlock{} }
+
+type simdPFDStarBlock struct{}
+
+func (simdPFDStarBlock) Name() string { return "SIMDPforDelta*" }
+
+func (simdPFDStarBlock) EncodeBlock(dst []byte, block []uint32) []byte {
+	var in [128]uint32
+	gaps := blockGaps(block, &in)
+	b := maxBits(gaps)
+	clearTail(&in, len(gaps))
+	dst = append(dst, byte(b))
+	return vpack128(dst, &in, b)
+}
+
+func (simdPFDStarBlock) DecodeBlock(src []byte, out []uint32) int {
+	if len(out) <= 1 {
+		return 0
+	}
+	b := uint(src[0])
+	var dec [128]uint32
+	used := 1 + vunpack128(src[1:], &dec, b)
+	prev := out[0]
+	for k := 1; k < len(out); k++ {
+		prev += dec[k-1]
+		out[k] = prev
+	}
+	return used
+}
+
+// maxBits returns the widest bit count needed by vals (0 for empty).
+func maxBits(vals []uint32) uint {
+	var b uint
+	for _, v := range vals {
+		if w := bitsFor(v); w > b {
+			b = w
+		}
+	}
+	return b
+}
+
+// clearTail zeroes the padding slots beyond n.
+func clearTail(in *[128]uint32, n int) {
+	for i := n; i < 128; i++ {
+		in[i] = 0
+	}
+}

@@ -1,0 +1,257 @@
+package intlist
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// This file implements the Simple family (§3.6–3.8): word-aligned codecs
+// that pack as many gaps as possible into one codeword using a 4-bit
+// selector. Simple9 and Simple16 use 32-bit words with 28 data bits;
+// Simple8b uses 64-bit words with 60 data bits.
+
+// blockGaps computes the d-gaps of a block into buf.
+func blockGaps(block []uint32, buf *[BlockSize]uint32) []uint32 {
+	gaps := buf[:len(block)-1]
+	for i := 1; i < len(block); i++ {
+		gaps[i-1] = block[i] - block[i-1]
+	}
+	return gaps
+}
+
+// simpleCase is one selector: a list of field widths (summing to at most
+// the word's data bits). Uniform-width cases list one width per field.
+type simpleCase []uint8
+
+// simple9Cases are the paper's nine packings (§3.6).
+var simple9Cases = []simpleCase{
+	uniformCase(28, 1), uniformCase(14, 2), uniformCase(9, 3),
+	uniformCase(7, 4), uniformCase(5, 5), uniformCase(4, 7),
+	uniformCase(3, 9), uniformCase(2, 14), uniformCase(1, 28),
+}
+
+// simple16Cases extend Simple9 to all 16 selector values, including the
+// asymmetric splits the paper highlights (3x6+2x5 and 2x5+3x6, §3.7).
+var simple16Cases = []simpleCase{
+	uniformCase(28, 1),
+	mixedCase(7, 2, 14, 1),
+	mixed3Case(7, 1, 7, 2, 7, 1),
+	mixedCase(14, 1, 7, 2),
+	uniformCase(14, 2),
+	mixedCase(1, 4, 8, 3),
+	mixed3Case(1, 3, 4, 4, 3, 3),
+	uniformCase(7, 4),
+	mixedCase(4, 5, 2, 4),
+	mixedCase(2, 4, 4, 5),
+	mixedCase(3, 6, 2, 5),
+	mixedCase(2, 5, 3, 6),
+	uniformCase(4, 7),
+	mixedCase(1, 10, 2, 9),
+	uniformCase(2, 14),
+	uniformCase(1, 28),
+}
+
+func uniformCase(count int, width uint8) simpleCase {
+	c := make(simpleCase, count)
+	for i := range c {
+		c[i] = width
+	}
+	return c
+}
+
+func mixedCase(n1 int, w1 uint8, n2 int, w2 uint8) simpleCase {
+	return append(uniformCase(n1, w1), uniformCase(n2, w2)...)
+}
+
+func mixed3Case(n1 int, w1 uint8, n2 int, w2 uint8, n3 int, w3 uint8) simpleCase {
+	return append(mixedCase(n1, w1, n2, w2), uniformCase(n3, w3)...)
+}
+
+// errGapTooLarge reports a gap that exceeds a 28-bit codec's capacity.
+// The paper's codecs share this limit; realistic doc-id gaps stay far
+// below it (and block-frame first values never enter the gap stream).
+func errGapTooLarge(name string, g uint32) error {
+	return fmt.Errorf("intlist: %s cannot encode gap %d (>= 2^28)", name, g)
+}
+
+// encodeSimple32 packs gaps into 32-bit codewords using cases, greedily
+// choosing the first case whose fields all hold the upcoming gaps.
+func encodeSimple32(name string, dst []byte, gaps []uint32, cases []simpleCase) ([]byte, error) {
+	i := 0
+	for i < len(gaps) {
+		sel := -1
+		for s, c := range cases {
+			ok := true
+			for k := 0; k < len(c) && i+k < len(gaps); k++ {
+				if gaps[i+k] >= 1<<c[k] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				sel = s
+				break
+			}
+		}
+		if sel < 0 {
+			return nil, errGapTooLarge(name, gaps[i])
+		}
+		c := cases[sel]
+		word := uint32(sel) << 28
+		shift := uint(0)
+		for k := 0; k < len(c) && i < len(gaps); k++ {
+			word |= gaps[i] << shift
+			shift += uint(c[k])
+			i++
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, word)
+	}
+	return dst, nil
+}
+
+// decodeSimple32 unpacks absolute values into out given out[0].
+func decodeSimple32(src []byte, out []uint32, cases []simpleCase) int {
+	prev := out[0]
+	i := 0
+	k := 1
+	for k < len(out) {
+		word := binary.LittleEndian.Uint32(src[i:])
+		i += 4
+		c := cases[word>>28]
+		shift := uint(0)
+		for f := 0; f < len(c) && k < len(out); f++ {
+			w := uint(c[f])
+			prev += word >> shift & (1<<w - 1)
+			out[k] = prev
+			shift += w
+			k++
+		}
+	}
+	return i
+}
+
+// NewSimple9 returns the Simple9 codec (§3.6) in the standard frame.
+func NewSimple9() core.Codec { return NewBlocked(simpleBlock{name: "Simple9", cases: simple9Cases}) }
+
+// NewSimple16 returns the Simple16 codec (§3.7) in the standard frame.
+func NewSimple16() core.Codec {
+	return NewBlocked(simpleBlock{name: "Simple16", cases: simple16Cases})
+}
+
+type simpleBlock struct {
+	name  string
+	cases []simpleCase
+}
+
+func (b simpleBlock) Name() string { return b.name }
+
+// MaxGap reports the 28-bit data limit; Blocked.Compress rejects inputs
+// with larger d-gaps up front.
+func (b simpleBlock) MaxGap() uint32 { return 1<<28 - 1 }
+
+func (b simpleBlock) EncodeBlock(dst []byte, block []uint32) []byte {
+	var buf [BlockSize]uint32
+	gaps := blockGaps(block, &buf)
+	out, err := encodeSimple32(b.name, dst, gaps, b.cases)
+	if err != nil {
+		// Unreachable: Blocked.Compress enforces MaxGap.
+		panic(err)
+	}
+	return out
+}
+
+func (b simpleBlock) DecodeBlock(src []byte, out []uint32) int {
+	return decodeSimple32(src, out, b.cases)
+}
+
+// simple8bSelectors maps each selector to (count, width). Selectors 0
+// and 1 encode runs of 240/120 gaps equal to one — consecutive values —
+// with no data bits (§3.8).
+var simple8bSelectors = [16]struct {
+	count int
+	width uint
+}{
+	{240, 0}, {120, 0}, {60, 1}, {30, 2}, {20, 3}, {15, 4}, {12, 5},
+	{10, 6}, {8, 7}, {7, 8}, {6, 10}, {5, 12}, {4, 15}, {3, 20},
+	{2, 30}, {1, 60},
+}
+
+// NewSimple8b returns the Simple8b codec (§3.8) in the standard frame.
+func NewSimple8b() core.Codec { return NewBlocked(Simple8bBlock()) }
+
+// Simple8bBlock exposes the bare block codec.
+func Simple8bBlock() BlockCodec { return simple8bBlock{} }
+
+type simple8bBlock struct{}
+
+func (simple8bBlock) Name() string { return "Simple8b" }
+
+func (simple8bBlock) EncodeBlock(dst []byte, block []uint32) []byte {
+	var buf [BlockSize]uint32
+	gaps := blockGaps(block, &buf)
+	i := 0
+	for i < len(gaps) {
+		sel := -1
+		for s, sc := range simple8bSelectors {
+			ok := true
+			for k := 0; k < sc.count && i+k < len(gaps); k++ {
+				g := uint64(gaps[i+k])
+				if sc.width == 0 {
+					if g != 1 {
+						ok = false
+						break
+					}
+				} else if g >= 1<<sc.width {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				sel = s
+				break
+			}
+		}
+		sc := simple8bSelectors[sel]
+		word := uint64(sel) << 60
+		shift := uint(0)
+		for k := 0; k < sc.count && i < len(gaps); k++ {
+			if sc.width > 0 {
+				word |= uint64(gaps[i]) << shift
+				shift += sc.width
+			}
+			i++
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, word)
+	}
+	return dst
+}
+
+func (simple8bBlock) DecodeBlock(src []byte, out []uint32) int {
+	prev := out[0]
+	i := 0
+	k := 1
+	for k < len(out) {
+		word := binary.LittleEndian.Uint64(src[i:])
+		i += 8
+		sc := simple8bSelectors[word>>60]
+		if sc.width == 0 {
+			for f := 0; f < sc.count && k < len(out); f++ {
+				prev++
+				out[k] = prev
+				k++
+			}
+			continue
+		}
+		shift := uint(0)
+		mask := uint64(1)<<sc.width - 1
+		for f := 0; f < sc.count && k < len(out); f++ {
+			prev += uint32(word >> shift & mask)
+			out[k] = prev
+			shift += sc.width
+			k++
+		}
+	}
+	return i
+}

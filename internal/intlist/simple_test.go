@@ -1,0 +1,153 @@
+package intlist
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestSimple9CaseTable validates §3.6's nine packings: field widths
+// times counts never exceed 28 data bits, and the counts are exactly
+// the paper's 28/14/9/7/5/4/3/2/1.
+func TestSimple9CaseTable(t *testing.T) {
+	wantCounts := []int{28, 14, 9, 7, 5, 4, 3, 2, 1}
+	if len(simple9Cases) != 9 {
+		t.Fatalf("%d cases, want 9", len(simple9Cases))
+	}
+	for i, c := range simple9Cases {
+		if len(c) != wantCounts[i] {
+			t.Errorf("case %d: %d fields, want %d", i, len(c), wantCounts[i])
+		}
+		bits := 0
+		for _, w := range c {
+			bits += int(w)
+		}
+		if bits > 28 {
+			t.Errorf("case %d: %d bits > 28", i, bits)
+		}
+	}
+}
+
+// TestSimple16CaseTable validates §3.7: exactly 16 cases, all within 28
+// bits, including the asymmetric 3x6+2x5 and 2x5+3x6 splits the paper
+// highlights, and more total field coverage than Simple9 (the wasted
+// bits Simple16 reclaims).
+func TestSimple16CaseTable(t *testing.T) {
+	if len(simple16Cases) != 16 {
+		t.Fatalf("%d cases, want 16", len(simple16Cases))
+	}
+	for i, c := range simple16Cases {
+		bits := 0
+		for _, w := range c {
+			bits += int(w)
+		}
+		if bits > 28 {
+			t.Errorf("case %d: %d bits > 28", i, bits)
+		}
+		if len(c) == 0 {
+			t.Errorf("case %d: empty", i)
+		}
+	}
+	has := func(widths ...uint8) bool {
+		for _, c := range simple16Cases {
+			if len(c) != len(widths) {
+				continue
+			}
+			match := true
+			for k := range c {
+				if c[k] != widths[k] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(6, 6, 6, 5, 5) || !has(5, 5, 6, 6, 6) {
+		t.Error("missing the paper's 3x6+2x5 / 2x5+3x6 replacement cases")
+	}
+}
+
+// TestSimple9SelectorInWord: the selector occupies the top 4 bits and
+// selects the advertised packing.
+func TestSimple9SelectorInWord(t *testing.T) {
+	// 27 gaps of 1 after the block-leading value: the greedy encoder
+	// must pick the 28x1-bit case (selector 0) and fit them in one word.
+	vals := seqList(0, 29)
+	p, err := NewSimple9().Compress(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := p.(*listPosting).data
+	if len(data) != 4 {
+		t.Fatalf("28 unit gaps should pack into one word, got %d bytes", len(data))
+	}
+	word := binary.LittleEndian.Uint32(data)
+	if word>>28 != 0 {
+		t.Errorf("selector = %d, want 0 (28x1-bit)", word>>28)
+	}
+}
+
+// TestSimple8bRunSelectors: long runs of gap-1 use the 240/120-value
+// zero-bit selectors (§3.8's 64-bit advantage).
+func TestSimple8bRunSelectors(t *testing.T) {
+	vals := seqList(100, 128) // one block, 127 consecutive gaps of 1
+	p, err := NewSimple8b().Compress(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := p.(*listPosting).data
+	if len(data) != 8 {
+		t.Fatalf("127 unit gaps should pack into one 64-bit word, got %d bytes", len(data))
+	}
+	sel := binary.LittleEndian.Uint64(data) >> 60
+	if sel != 0 && sel != 1 {
+		t.Errorf("selector = %d, want 0 or 1 (run-of-ones)", sel)
+	}
+}
+
+// TestSimple8bTwelveFiveBit: the paper's example — twelve 5-bit
+// integers in one 64-bit codeword (vs three 32-bit words for Simple9).
+func TestSimple8bTwelveFiveBit(t *testing.T) {
+	vals := make([]uint32, 13)
+	v := uint32(0)
+	for i := range vals {
+		vals[i] = v
+		v += 29 // 5-bit gaps
+	}
+	p8, _ := NewSimple8b().Compress(vals)
+	p9, _ := NewSimple9().Compress(vals)
+	d8 := p8.(*listPosting).data
+	d9 := p9.(*listPosting).data
+	if len(d8) != 8 {
+		t.Errorf("Simple8b: %d bytes, want one 8-byte word", len(d8))
+	}
+	if len(d9) != 12 {
+		t.Errorf("Simple9: %d bytes, want three 4-byte words", len(d9))
+	}
+}
+
+// TestGroupVBHeaderLayout: four gaps share one header byte of 2-bit
+// length tags (§3.2).
+func TestGroupVBHeaderLayout(t *testing.T) {
+	// Gaps: 1 (1 byte), 300 (2 bytes), 70000 (3 bytes), 2^25 (4 bytes).
+	vals := []uint32{10, 11, 311, 70311, 70311 + 1<<25}
+	p, err := NewGroupVB().Compress(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := p.(*listPosting).data
+	wantLen := 1 + 1 + 2 + 3 + 4
+	if len(data) != wantLen {
+		t.Fatalf("encoded %d bytes, want %d", len(data), wantLen)
+	}
+	header := data[0]
+	wantTags := []byte{0, 1, 2, 3}
+	for k, want := range wantTags {
+		if got := header >> (2 * uint(k)) & 3; got != want {
+			t.Errorf("tag %d = %d, want %d", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package intlist
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// countingFetcher records every fetch (offset, length) for boundary
+// assertions.
+type countingFetcher struct {
+	data    []byte
+	fetches []int // offsets, in call order
+}
+
+func (f *countingFetcher) Fetch(offset, length int) []byte {
+	f.fetches = append(f.fetches, offset)
+	return f.data[offset : offset+length]
+}
+
+func storedFixture(t *testing.T, vals []uint32, noSkips bool) (core.Posting, *countingFetcher) {
+	t.Helper()
+	var cf *countingFetcher
+	b := Blocked{BC: VBBlock(), NoSkips: noSkips}
+	p, err := b.CompressStored(vals, func(payload []byte) Fetcher {
+		cf = &countingFetcher{data: payload}
+		return cf
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, cf
+}
+
+func TestStoredPostingRoundTrip(t *testing.T) {
+	vals := growingGaps(1000)
+	p, cf := storedFixture(t, vals, false)
+	if p.Len() != len(vals) {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if !equalU32(p.Decompress(), vals) {
+		t.Fatal("round trip failed")
+	}
+	wantBlocks := (len(vals) + BlockSize - 1) / BlockSize
+	if len(cf.fetches) != wantBlocks {
+		t.Fatalf("full decompress fetched %d blocks, want %d", len(cf.fetches), wantBlocks)
+	}
+}
+
+// TestStoredSeekFetchesOneBlock: a single skip-pointered probe fetches
+// exactly the candidate block.
+func TestStoredSeekFetchesOneBlock(t *testing.T) {
+	vals := growingGaps(2000)
+	p, cf := storedFixture(t, vals, false)
+	it := p.(core.Seeker).Iterator()
+	target := vals[700]
+	got, ok := it.SeekGEQ(target)
+	if !ok || got != target {
+		t.Fatalf("SeekGEQ = %d, %v", got, ok)
+	}
+	if len(cf.fetches) != 1 {
+		t.Fatalf("probe fetched %d blocks, want 1", len(cf.fetches))
+	}
+	// Re-probing inside the same block costs no new fetch.
+	if _, ok := it.SeekGEQ(vals[701]); !ok {
+		t.Fatal("second probe failed")
+	}
+	if len(cf.fetches) != 1 {
+		t.Fatalf("in-block re-probe refetched: %d fetches", len(cf.fetches))
+	}
+}
+
+// TestStoredSeekBlockBoundary: a target that is a block's first value
+// (held by the skip pointer, beyond the previous block's last value)
+// must land in the right block.
+func TestStoredSeekBlockBoundary(t *testing.T) {
+	vals := growingGaps(3 * BlockSize)
+	p, _ := storedFixture(t, vals, false)
+	for _, idx := range []int{0, BlockSize - 1, BlockSize, 2*BlockSize - 1, 2 * BlockSize, 3*BlockSize - 1} {
+		it := p.(core.Seeker).Iterator()
+		got, ok := it.SeekGEQ(vals[idx])
+		if !ok || got != vals[idx] {
+			t.Errorf("SeekGEQ(vals[%d]) = %d, %v", idx, got, ok)
+		}
+	}
+	it := p.(core.Seeker).Iterator()
+	if _, ok := it.SeekGEQ(vals[len(vals)-1] + 1); ok {
+		t.Error("seek past end should fail")
+	}
+}
+
+// TestStoredNoSkipsScansSequentially: without skips, seeking deep into
+// the list fetches every block up to the target.
+func TestStoredNoSkipsScansSequentially(t *testing.T) {
+	vals := growingGaps(10 * BlockSize)
+	p, cf := storedFixture(t, vals, true)
+	it := p.(core.Seeker).Iterator()
+	target := vals[7*BlockSize+5]
+	got, ok := it.SeekGEQ(target)
+	if !ok || got != target {
+		t.Fatalf("SeekGEQ = %d, %v", got, ok)
+	}
+	if len(cf.fetches) < 8 {
+		t.Fatalf("no-skip seek fetched only %d blocks, want >= 8", len(cf.fetches))
+	}
+}
+
+// TestStoredSizeMatchesInMemory: stored and in-memory frames report the
+// same footprint.
+func TestStoredSizeMatchesInMemory(t *testing.T) {
+	vals := growingGaps(1500)
+	stored, _ := storedFixture(t, vals, false)
+	mem, err := NewBlocked(VBBlock()).Compress(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.SizeBytes() != mem.SizeBytes() {
+		t.Fatalf("stored %d B != in-memory %d B", stored.SizeBytes(), mem.SizeBytes())
+	}
+}

@@ -1,0 +1,69 @@
+package intlist
+
+import "repro/internal/core"
+
+// NewVB returns the VB codec (Variable Byte, §3.1) in the standard
+// skip-pointered frame. VB encodes each d-gap in one or more bytes using
+// the paper's layout: big-endian 7-bit digits with the most significant
+// bit of a byte set when more bytes follow. The paper's example encodes
+// 16385 as 10000001 10000000 00000001.
+func NewVB() core.Codec { return NewBlocked(VBBlock()) }
+
+// VBBlock exposes the bare block codec (used by the Figure 7 ablation).
+func VBBlock() BlockCodec { return vbBlock{} }
+
+type vbBlock struct{}
+
+func (vbBlock) Name() string { return "VB" }
+
+// PutVB appends the VB encoding of v (exported for reuse by the side
+// arrays of NewPforDelta and friends).
+func PutVB(dst []byte, v uint32) []byte {
+	switch {
+	case v < 1<<7:
+		return append(dst, byte(v))
+	case v < 1<<14:
+		return append(dst, byte(v>>7)|0x80, byte(v&0x7f))
+	case v < 1<<21:
+		return append(dst, byte(v>>14)|0x80, byte(v>>7)|0x80, byte(v&0x7f))
+	case v < 1<<28:
+		return append(dst, byte(v>>21)|0x80, byte(v>>14)|0x80, byte(v>>7)|0x80, byte(v&0x7f))
+	default:
+		return append(dst, byte(v>>28)|0x80, byte(v>>21)|0x80, byte(v>>14)|0x80, byte(v>>7)|0x80, byte(v&0x7f))
+	}
+}
+
+// GetVB decodes a VB value at src[i], returning the value and the next
+// offset.
+func GetVB(src []byte, i int) (uint32, int) {
+	var v uint32
+	for {
+		b := src[i]
+		i++
+		v = v<<7 | uint32(b&0x7f)
+		if b&0x80 == 0 {
+			return v, i
+		}
+	}
+}
+
+func (vbBlock) EncodeBlock(dst []byte, block []uint32) []byte {
+	prev := block[0]
+	for _, v := range block[1:] {
+		dst = PutVB(dst, v-prev)
+		prev = v
+	}
+	return dst
+}
+
+func (vbBlock) DecodeBlock(src []byte, out []uint32) int {
+	prev := out[0]
+	i := 0
+	for k := 1; k < len(out); k++ {
+		var g uint32
+		g, i = GetVB(src, i)
+		prev += g
+		out[k] = prev
+	}
+	return i
+}

@@ -1,0 +1,57 @@
+package ops_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codecs"
+	"repro/internal/core"
+	"repro/internal/ops"
+)
+
+func mustCompress(name string, values []uint32) core.Posting {
+	c, err := codecs.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := c.Compress(values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+// ExampleIntersect runs SvS over three compressed lists.
+func ExampleIntersect() {
+	a := mustCompress("VB", []uint32{1, 5, 9, 12})
+	b := mustCompress("VB", []uint32{5, 9, 11, 12})
+	c := mustCompress("VB", []uint32{2, 5, 12})
+	r, err := ops.Intersect([]core.Posting{a, b, c})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r)
+	// Output: [5 12]
+}
+
+// ExampleEval evaluates SSB Q3.4's plan shape (L1 ∪ L2) ∩ L3.
+func ExampleEval() {
+	ps := []core.Posting{
+		mustCompress("Roaring", []uint32{1, 2}),
+		mustCompress("Roaring", []uint32{3, 4}),
+		mustCompress("Roaring", []uint32{2, 3, 9}),
+	}
+	plan := ops.And(ops.Or(ops.Leaf(0), ops.Leaf(1)), ops.Leaf(2))
+	r, err := ops.Eval(plan, ps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r)
+	// Output: [2 3]
+}
+
+// ExampleUnionMany merges several plain sorted lists.
+func ExampleUnionMany() {
+	fmt.Println(ops.UnionMany([][]uint32{{1, 4}, {2, 4}, {3}}))
+	// Output: [1 2 3 4]
+}

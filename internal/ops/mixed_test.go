@@ -1,0 +1,130 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/codecs"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestMixedFamilyIntersection covers the paper's "bitmap vs list" case
+// (§B.1): operands compressed with different codecs — even across
+// families — must still intersect correctly.
+func TestMixedFamilyIntersection(t *testing.T) {
+	a := gen.Uniform(300, 1<<15, 1)
+	b := gen.Uniform(4000, 1<<15, 2)
+	c := gen.Uniform(8000, 1<<15, 3)
+	want := IntersectSorted(IntersectSorted(a, b), c)
+
+	combos := [][]string{
+		{"Roaring", "SIMDBP128*", "VB"},
+		{"WAH", "PEF", "Bitset"},
+		{"List", "BBC", "Roaring"},
+		{"EWAH", "WAH", "CONCISE"}, // all bitmaps, but different codecs
+	}
+	for _, names := range combos {
+		ps := make([]core.Posting, 3)
+		for i, name := range names {
+			codec, err := codecs.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := codec.Compress([][]uint32{a, b, c}[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps[i] = p
+		}
+		got, err := Intersect(ps)
+		if err != nil {
+			t.Fatalf("%v: %v", names, err)
+		}
+		if !equalU32(got, want) {
+			t.Errorf("%v: mixed intersect mismatch (got %d want %d)",
+				names, len(got), len(want))
+		}
+	}
+}
+
+// TestMixedFamilyUnion: same for OR.
+func TestMixedFamilyUnion(t *testing.T) {
+	a := gen.Uniform(300, 1<<15, 4)
+	b := gen.Uniform(4000, 1<<15, 5)
+	want := UnionSorted(a, b)
+
+	for _, names := range [][]string{
+		{"Roaring", "VB"},
+		{"WAH", "EWAH"},
+		{"PEF", "Bitset"},
+	} {
+		var ps []core.Posting
+		for i, name := range names {
+			codec, err := codecs.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := codec.Compress([][]uint32{a, b}[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps = append(ps, p)
+		}
+		got, err := Union(ps)
+		if err != nil {
+			t.Fatalf("%v: %v", names, err)
+		}
+		if !equalU32(got, want) {
+			t.Errorf("%v: mixed union mismatch", names)
+		}
+	}
+}
+
+// TestIntersectUnionEmptyOperand: an empty posting annihilates AND and
+// is a no-op for OR.
+func TestIntersectUnionEmptyOperand(t *testing.T) {
+	vals := gen.Uniform(1000, 1<<15, 6)
+	for _, name := range []string{"Roaring", "WAH", "SIMDBP128*", "PEF"} {
+		codec, _ := codecs.ByName(name)
+		full, err := codec.Compress(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		empty, err := codec.Compress(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		and, err := Intersect([]core.Posting{full, empty})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(and) != 0 {
+			t.Errorf("%s: AND with empty = %d values", name, len(and))
+		}
+		or, err := Union([]core.Posting{empty, full})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !equalU32(or, vals) {
+			t.Errorf("%s: OR with empty lost values", name)
+		}
+	}
+}
+
+// TestIntersectZeroAndOne: degenerate arities.
+func TestIntersectZeroAndOne(t *testing.T) {
+	if r, err := Intersect(nil); err != nil || r != nil {
+		t.Errorf("Intersect(nil) = %v, %v", r, err)
+	}
+	if r, err := Union(nil); err != nil || r != nil {
+		t.Errorf("Union(nil) = %v, %v", r, err)
+	}
+	codec, _ := codecs.ByName("Roaring")
+	p, _ := codec.Compress([]uint32{4, 8})
+	if r, _ := Intersect([]core.Posting{p}); !equalU32(r, []uint32{4, 8}) {
+		t.Errorf("Intersect(single) = %v", r)
+	}
+	if r, _ := Union([]core.Posting{p}); !equalU32(r, []uint32{4, 8}) {
+		t.Errorf("Union(single) = %v", r)
+	}
+}

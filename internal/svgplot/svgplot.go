@@ -1,0 +1,226 @@
+// Package svgplot renders the paper-style scatter plots (compressed
+// space on x, operation time on y, one labeled point per method) as
+// standalone SVG — stdlib only, no rendering dependencies. cmd/bvplot
+// feeds it measurement CSV from the experiment harness so every figure
+// of the evaluation can be regenerated as an actual figure.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Point is one mark on a plot.
+type Point struct {
+	X, Y  float64
+	Label string
+}
+
+// Series is a named group of points sharing a color.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Plot describes one chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX/LogY select logarithmic axes (points with non-positive
+	// coordinates are clamped to the axis minimum).
+	LogX, LogY bool
+	// W and H are the pixel dimensions (defaults 640x440).
+	W, H   int
+	Series []Series
+}
+
+// palette holds visually distinct mark colors, cycled per series.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f",
+}
+
+const margin = 56
+
+// Render writes the SVG document.
+func (p *Plot) Render(w io.Writer) error {
+	width, height := p.W, p.H
+	if width == 0 {
+		width = 640
+	}
+	if height == 0 {
+		height = 440
+	}
+	minX, maxX, minY, maxY, ok := p.bounds()
+	if !ok {
+		return fmt.Errorf("svgplot: no points to plot")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-family="sans-serif" text-anchor="middle" font-weight="bold">%s</text>`+"\n",
+		width/2, escape(p.Title))
+
+	plotW := float64(width - 2*margin)
+	plotH := float64(height - 2*margin)
+	sx := func(x float64) float64 {
+		return margin + plotW*p.frac(x, minX, maxX, p.LogX)
+	}
+	sy := func(y float64) float64 {
+		return float64(height-margin) - plotH*p.frac(y, minY, maxY, p.LogY)
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, margin, margin, height-margin)
+	// Ticks.
+	for _, t := range ticks(minX, maxX, p.LogX) {
+		x := sx(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			x, height-margin, x, height-margin+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+			x, height-margin+18, tickLabel(t))
+	}
+	for _, t := range ticks(minY, maxY, p.LogY) {
+		y := sy(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			margin-5, y, margin, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" font-family="sans-serif" text-anchor="end">%s</text>`+"\n",
+			margin-8, y+3, tickLabel(t))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+		width/2, height-12, escape(p.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		height/2, height/2, escape(p.YLabel))
+
+	// Marks and labels.
+	for si, s := range p.Series {
+		color := palette[si%len(palette)]
+		for _, pt := range s.Points {
+			x, y := sx(pt.X), sy(pt.Y)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s" fill-opacity="0.85"/>`+"\n",
+				x, y, color)
+			if pt.Label != "" {
+				fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" font-family="sans-serif">%s</text>`+"\n",
+					x+5, y-4, escape(pt.Label))
+			}
+		}
+	}
+	// Legend when several series exist.
+	if len(p.Series) > 1 {
+		for si, s := range p.Series {
+			y := margin + 14*si
+			fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="4" fill="%s"/>`+"\n",
+				width-margin-110, y, palette[si%len(palette)])
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-family="sans-serif">%s</text>`+"\n",
+				width-margin-100, y+4, escape(s.Name))
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// frac maps a value into [0, 1] within the axis range.
+func (p *Plot) frac(v, lo, hi float64, logScale bool) float64 {
+	if logScale {
+		v = math.Log10(math.Max(v, lo))
+		lo, hi = math.Log10(lo), math.Log10(hi)
+	}
+	if hi == lo {
+		return 0.5
+	}
+	f := (v - lo) / (hi - lo)
+	return math.Min(math.Max(f, 0), 1)
+}
+
+// bounds computes padded axis ranges across all series.
+func (p *Plot) bounds() (minX, maxX, minY, maxY float64, ok bool) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			minX, maxX = math.Min(minX, pt.X), math.Max(maxX, pt.X)
+			minY, maxY = math.Min(minY, pt.Y), math.Max(maxY, pt.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return 0, 0, 0, 0, false
+	}
+	if p.LogX {
+		minX = math.Max(minX, 1e-9)
+		maxX = math.Max(maxX, minX*10)
+	}
+	if p.LogY {
+		minY = math.Max(minY, 1e-9)
+		maxY = math.Max(maxY, minY*10)
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	return minX, maxX, minY, maxY, true
+}
+
+// ticks places axis ticks: decades for log axes, ~5 even steps for
+// linear ones.
+func ticks(lo, hi float64, logScale bool) []float64 {
+	var out []float64
+	if logScale {
+		lo = math.Max(lo, 1e-9)
+		start := math.Floor(math.Log10(lo))
+		end := math.Ceil(math.Log10(hi))
+		for e := start; e <= end && len(out) < 12; e++ {
+			out = append(out, math.Pow(10, e))
+		}
+		return out
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/4)))
+	for _, m := range []float64{5, 2} {
+		if span/(step*m) >= 3 {
+			step *= m
+			break
+		}
+	}
+	for t := math.Ceil(lo/step) * step; t <= hi && len(out) < 12; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// tickLabel compacts large tick values (1.5K, 2M, ...).
+func tickLabel(v float64) string {
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1e9:
+		return trimZero(v/1e9) + "G"
+	case abs >= 1e6:
+		return trimZero(v/1e6) + "M"
+	case abs >= 1e3:
+		return trimZero(v/1e3) + "K"
+	case abs >= 1 || v == 0:
+		return trimZero(v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func trimZero(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	return strings.TrimSuffix(s, ".0")
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

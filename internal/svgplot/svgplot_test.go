@@ -1,0 +1,128 @@
+package svgplot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func samplePlot() *Plot {
+	return &Plot{
+		Title:  "demo",
+		XLabel: "bytes",
+		YLabel: "ms",
+		LogX:   true,
+		LogY:   true,
+		Series: []Series{{
+			Name: "methods",
+			Points: []Point{
+				{X: 1000, Y: 0.5, Label: "Roaring"},
+				{X: 50000, Y: 2.0, Label: "WAH"},
+				{X: 2000, Y: 8.0, Label: "PEF"},
+			},
+		}},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := samplePlot().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "demo", "bytes", "ms", "Roaring", "WAH", "PEF",
+		"<circle", "<line",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") != 3 {
+		t.Errorf("want 3 marks, got %d", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestRenderEmptyFails(t *testing.T) {
+	var buf bytes.Buffer
+	p := &Plot{Title: "empty"}
+	if err := p.Render(&buf); err == nil {
+		t.Fatal("empty plot should error")
+	}
+}
+
+func TestRenderEscapesMarkup(t *testing.T) {
+	p := samplePlot()
+	p.Title = `<script>"x"&y</script>`
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>") {
+		t.Fatal("markup not escaped")
+	}
+}
+
+func TestRenderLegendForMultipleSeries(t *testing.T) {
+	p := samplePlot()
+	p.Series = append(p.Series, Series{Name: "baseline", Points: []Point{{X: 100, Y: 1}}})
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "baseline") {
+		t.Fatal("legend missing second series")
+	}
+}
+
+func TestTicksLog(t *testing.T) {
+	ts := ticks(1, 10000, true)
+	if len(ts) < 4 {
+		t.Fatalf("log ticks = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if math.Abs(ts[i]/ts[i-1]-10) > 1e-9 {
+			t.Fatalf("log ticks not decades: %v", ts)
+		}
+	}
+}
+
+func TestTicksLinear(t *testing.T) {
+	ts := ticks(0, 100, false)
+	if len(ts) < 3 || len(ts) > 12 {
+		t.Fatalf("linear ticks = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("ticks not increasing: %v", ts)
+		}
+	}
+}
+
+func TestTickLabel(t *testing.T) {
+	for v, want := range map[float64]string{
+		0: "0", 5: "5", 1500: "1.5K", 2_000_000: "2M", 3_000_000_000: "3G",
+		0.001: "0.001",
+	} {
+		if got := tickLabel(v); got != want {
+			t.Errorf("tickLabel(%v) = %q want %q", v, got, want)
+		}
+	}
+}
+
+func TestFracClamping(t *testing.T) {
+	p := &Plot{}
+	if f := p.frac(5, 0, 10, false); f != 0.5 {
+		t.Errorf("frac mid = %v", f)
+	}
+	if f := p.frac(-5, 0, 10, false); f != 0 {
+		t.Errorf("frac below = %v", f)
+	}
+	if f := p.frac(50, 0, 10, false); f != 1 {
+		t.Errorf("frac above = %v", f)
+	}
+	if f := p.frac(10, 1, 100, true); math.Abs(f-0.5) > 1e-9 {
+		t.Errorf("log frac = %v", f)
+	}
+}

@@ -1,0 +1,37 @@
+package table_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codecs"
+	"repro/internal/table"
+)
+
+// Example runs the §A.2 query shapes against a bitmap-indexed table.
+func Example() {
+	tbl := table.New()
+	if err := tbl.AddColumn("region", []uint32{0, 1, 0, 2, 1, 0}); err != nil {
+		log.Fatal(err)
+	}
+	if err := tbl.AddColumn("age", []uint32{25, 26, 30, 25, 25, 26}); err != nil {
+		log.Fatal(err)
+	}
+	codec, _ := codecs.ByName("Roaring")
+	ix, err := table.BuildIndex(tbl, codec, "region", "age")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Conjunctive predicate (bitmap AND).
+	rows, _ := ix.Select(table.Eq("region", 0), table.Eq("age", 25))
+	fmt.Println("region=0 AND age=25:", rows)
+
+	// Range predicate = union of per-value bitmaps (the paper's
+	// age-25-to-26 example).
+	rows, _ = ix.Select(table.Range("age", 25, 26))
+	fmt.Println("age in [25,26]:", rows)
+	// Output:
+	// region=0 AND age=25: [0]
+	// age in [25,26]: [0 1 3 4 5]
+}

@@ -1,0 +1,221 @@
+// Package table is the database substrate of §A.2: a columnar fact
+// table with a compressed bitmap index — one posting per distinct
+// column value — answering the query shapes the paper maps onto
+// intersection and union: conjunctive predicates and star joins (AND),
+// disjunctive predicates and range predicates (OR).
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+)
+
+// Table is a columnar table of low-cardinality uint32 columns (the
+// dictionary encoding is the caller's concern; bitmap indexes are
+// value-granular either way).
+type Table struct {
+	cols map[string][]uint32
+	rows int
+}
+
+// New returns an empty table.
+func New() *Table { return &Table{cols: map[string][]uint32{}} }
+
+// AddColumn installs a column; all columns must have equal length.
+func (t *Table) AddColumn(name string, values []uint32) error {
+	if t.rows == 0 && len(t.cols) == 0 {
+		t.rows = len(values)
+	}
+	if len(values) != t.rows {
+		return fmt.Errorf("table: column %q has %d rows, table has %d", name, len(values), t.rows)
+	}
+	if _, dup := t.cols[name]; dup {
+		return fmt.Errorf("table: duplicate column %q", name)
+	}
+	c := make([]uint32, len(values))
+	copy(c, values)
+	t.cols[name] = c
+	return nil
+}
+
+// Rows reports the table length.
+func (t *Table) Rows() int { return t.rows }
+
+// Index is a bitmap index: per indexed column, one compressed posting
+// per distinct value, listing the rows holding that value.
+type Index struct {
+	codec    core.Codec
+	columns  map[string]map[uint32]core.Posting
+	domains  map[string][]uint32 // sorted distinct values per column
+	rowCount int
+}
+
+// BuildIndex indexes the named columns of t with codec.
+func BuildIndex(t *Table, codec core.Codec, columns ...string) (*Index, error) {
+	ix := &Index{
+		codec:    codec,
+		columns:  map[string]map[uint32]core.Posting{},
+		domains:  map[string][]uint32{},
+		rowCount: t.rows,
+	}
+	for _, name := range columns {
+		col, ok := t.cols[name]
+		if !ok {
+			return nil, fmt.Errorf("table: no column %q", name)
+		}
+		lists := map[uint32][]uint32{}
+		for row, v := range col {
+			lists[v] = append(lists[v], uint32(row))
+		}
+		ix.columns[name] = make(map[uint32]core.Posting, len(lists))
+		for v, rows := range lists {
+			p, err := codec.Compress(rows)
+			if err != nil {
+				return nil, fmt.Errorf("table: column %q value %d: %w", name, v, err)
+			}
+			ix.columns[name][v] = p
+			ix.domains[name] = append(ix.domains[name], v)
+		}
+		sort.Slice(ix.domains[name], func(i, j int) bool {
+			return ix.domains[name][i] < ix.domains[name][j]
+		})
+	}
+	return ix, nil
+}
+
+// SizeBytes reports the compressed footprint of the whole index.
+func (ix *Index) SizeBytes() int {
+	s := 0
+	for _, col := range ix.columns {
+		for _, p := range col {
+			s += p.SizeBytes()
+		}
+	}
+	return s
+}
+
+// Cardinality reports the number of distinct values indexed for col.
+func (ix *Index) Cardinality(col string) int { return len(ix.domains[col]) }
+
+// Pred is a column predicate; build with Eq, In, or Range.
+type Pred struct {
+	col    string
+	values []uint32 // matching values (resolved at evaluation)
+	lo, hi uint32
+	ranged bool
+}
+
+// Eq matches col = v.
+func Eq(col string, v uint32) Pred { return Pred{col: col, values: []uint32{v}} }
+
+// In matches col ∈ vs.
+func In(col string, vs ...uint32) Pred { return Pred{col: col, values: vs} }
+
+// Range matches lo <= col <= hi — evaluated as the union of the
+// per-value bitmaps, exactly the paper's range-to-union mapping (§A.2).
+func Range(col string, lo, hi uint32) Pred { return Pred{col: col, lo: lo, hi: hi, ranged: true} }
+
+// postings collects the predicate's per-value postings.
+func (ix *Index) postings(p Pred) ([]core.Posting, error) {
+	col, ok := ix.columns[p.col]
+	if !ok {
+		return nil, fmt.Errorf("table: column %q not indexed", p.col)
+	}
+	var out []core.Posting
+	if p.ranged {
+		dom := ix.domains[p.col]
+		i := sort.Search(len(dom), func(i int) bool { return dom[i] >= p.lo })
+		for ; i < len(dom) && dom[i] <= p.hi; i++ {
+			out = append(out, col[dom[i]])
+		}
+		return out, nil
+	}
+	for _, v := range p.values {
+		if posting, ok := col[v]; ok {
+			out = append(out, posting)
+		}
+	}
+	return out, nil
+}
+
+// rowsFor evaluates one predicate to a sorted row-ID list.
+func (ix *Index) rowsFor(p Pred) ([]uint32, error) {
+	ps, err := ix.postings(p)
+	if err != nil {
+		return nil, err
+	}
+	return ops.Union(ps)
+}
+
+// Select returns the rows satisfying the conjunction of preds
+// (conjunctive query / star join, §A.2). Multi-value predicates are
+// resolved by union first, then the per-predicate row sets intersect.
+func (ix *Index) Select(preds ...Pred) ([]uint32, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("table: Select needs at least one predicate")
+	}
+	// Single-posting predicates can flow into the intersection natively.
+	var single []core.Posting
+	var resolved [][]uint32
+	for _, p := range preds {
+		ps, err := ix.postings(p)
+		if err != nil {
+			return nil, err
+		}
+		switch len(ps) {
+		case 0:
+			return nil, nil // unmatched value: empty result
+		case 1:
+			single = append(single, ps[0])
+		default:
+			rows, err := ops.Union(ps)
+			if err != nil {
+				return nil, err
+			}
+			resolved = append(resolved, rows)
+		}
+	}
+	var cur []uint32
+	if len(single) > 0 {
+		var err error
+		cur, err = ops.Intersect(single)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, rows := range resolved {
+		if cur == nil {
+			cur = rows
+			continue
+		}
+		cur = ops.IntersectSorted(cur, rows)
+	}
+	return cur, nil
+}
+
+// SelectAny returns the rows satisfying the disjunction of preds
+// (disjunctive query, §A.2).
+func (ix *Index) SelectAny(preds ...Pred) ([]uint32, error) {
+	var lists [][]uint32
+	for _, p := range preds {
+		rows, err := ix.rowsFor(p)
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, rows)
+	}
+	return ops.UnionMany(lists), nil
+}
+
+// Count returns the cardinality of Select without materializing row
+// values for the caller.
+func (ix *Index) Count(preds ...Pred) (int, error) {
+	rows, err := ix.Select(preds...)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}

@@ -1,0 +1,166 @@
+package table
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/codecs"
+)
+
+// makeTable builds a 3-column table with known value distributions.
+func makeTable(t *testing.T, rows int) *Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	region := make([]uint32, rows)
+	age := make([]uint32, rows)
+	status := make([]uint32, rows)
+	for i := 0; i < rows; i++ {
+		region[i] = uint32(rng.Intn(6))
+		age[i] = uint32(18 + rng.Intn(73))
+		status[i] = uint32(rng.Intn(2))
+	}
+	tbl := New()
+	for name, col := range map[string][]uint32{"region": region, "age": age, "status": status} {
+		if err := tbl.AddColumn(name, col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// refSelect filters rows by direct column scans (the oracle).
+func refSelect(tbl *Table, match func(row int) bool) []uint32 {
+	var out []uint32
+	for i := 0; i < tbl.Rows(); i++ {
+		if match(i) {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := New()
+	if err := tbl.AddColumn("a", []uint32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddColumn("b", []uint32{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := tbl.AddColumn("a", []uint32{4, 5, 6}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if tbl.Rows() != 3 {
+		t.Errorf("Rows = %d", tbl.Rows())
+	}
+}
+
+func TestSelectMatchesScan(t *testing.T) {
+	tbl := makeTable(t, 20000)
+	region := tbl.cols["region"]
+	age := tbl.cols["age"]
+	status := tbl.cols["status"]
+	for _, codec := range []string{"Roaring", "WAH", "SIMDBP128*", "BBC"} {
+		c, _ := codecs.ByName(codec)
+		ix, err := BuildIndex(tbl, c, "region", "age", "status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Conjunctive: region=2 AND age=30.
+		got, err := ix.Select(Eq("region", 2), Eq("age", 30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refSelect(tbl, func(r int) bool { return region[r] == 2 && age[r] == 30 })
+		if !equalU32(got, want) {
+			t.Errorf("%s: Select = %d rows, want %d", codec, len(got), len(want))
+		}
+		// Range: age BETWEEN 25 AND 27 AND status=1.
+		got, err = ix.Select(Range("age", 25, 27), Eq("status", 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = refSelect(tbl, func(r int) bool { return age[r] >= 25 && age[r] <= 27 && status[r] == 1 })
+		if !equalU32(got, want) {
+			t.Errorf("%s: Range Select = %d rows, want %d", codec, len(got), len(want))
+		}
+		// In-list predicate.
+		got, err = ix.Select(In("region", 0, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = refSelect(tbl, func(r int) bool { return region[r] == 0 || region[r] == 5 })
+		if !equalU32(got, want) {
+			t.Errorf("%s: In Select = %d rows, want %d", codec, len(got), len(want))
+		}
+		// Disjunctive.
+		got, err = ix.SelectAny(Eq("region", 1), Eq("age", 40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = refSelect(tbl, func(r int) bool { return region[r] == 1 || age[r] == 40 })
+		if !equalU32(got, want) {
+			t.Errorf("%s: SelectAny = %d rows, want %d", codec, len(got), len(want))
+		}
+		// Count.
+		n, err := ix.Count(Eq("status", 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(refSelect(tbl, func(r int) bool { return status[r] == 0 })) {
+			t.Errorf("%s: Count mismatch", codec)
+		}
+	}
+}
+
+func TestSelectEdgeCases(t *testing.T) {
+	tbl := makeTable(t, 1000)
+	c, _ := codecs.ByName("Roaring")
+	ix, _ := BuildIndex(tbl, c, "region")
+	// Unmatched value empties the conjunction.
+	if rows, err := ix.Select(Eq("region", 99)); err != nil || len(rows) != 0 {
+		t.Errorf("Select(miss) = %v, %v", rows, err)
+	}
+	// Unindexed column errors.
+	if _, err := ix.Select(Eq("age", 30)); err == nil {
+		t.Error("unindexed column accepted")
+	}
+	// Empty predicate list errors.
+	if _, err := ix.Select(); err == nil {
+		t.Error("empty Select accepted")
+	}
+	// Empty range.
+	if rows, err := ix.Select(Range("region", 50, 60)); err != nil || len(rows) != 0 {
+		t.Errorf("empty Range = %v, %v", rows, err)
+	}
+	// BuildIndex with unknown column.
+	if _, err := BuildIndex(tbl, c, "nope"); err == nil {
+		t.Error("BuildIndex accepted unknown column")
+	}
+}
+
+func TestIndexStats(t *testing.T) {
+	tbl := makeTable(t, 5000)
+	c, _ := codecs.ByName("Roaring")
+	ix, err := BuildIndex(tbl, c, "region", "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Cardinality("region") != 6 {
+		t.Errorf("region cardinality = %d", ix.Cardinality("region"))
+	}
+	if ix.Cardinality("age") != 73 {
+		t.Errorf("age cardinality = %d", ix.Cardinality("age"))
+	}
+	if ix.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
