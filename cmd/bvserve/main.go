@@ -1,52 +1,131 @@
 // Command bvserve exposes a compressed inverted index over HTTP — the
 // smallest realistic deployment of the §A.1 search stack: build or load
-// an index, then answer conjunctive/disjunctive/top-k queries as JSON.
+// an index, then answer conjunctive/disjunctive/top-k queries as JSON
+// from behind a hardened serving layer (timeouts, load shedding, panic
+// recovery, graceful shutdown, hot index reload).
 //
 // Usage:
 //
 //	bvserve -in docs.txt -addr :8080 -codec Roaring
 //	bvserve -index docs.idx -addr :8080
 //
-//	GET /search?q=compressed+lists&mode=and
-//	GET /search?q=bitmap&mode=topk&k=3
-//	GET /stats
+//	GET  /search?q=compressed+lists&mode=and
+//	GET  /search?q=bitmap&mode=topk&k=3
+//	GET  /stats
+//	GET  /healthz        liveness probe
+//	GET  /readyz         readiness probe (503 while starting or draining)
+//	POST /reload         hot-swap the index from the original source
+//
+// SIGHUP also triggers a hot reload; SIGINT/SIGTERM drain gracefully.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
-	"strconv"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/codecs"
 	"repro/internal/index"
+	"repro/internal/server"
 )
 
 func main() {
-	var (
-		inFile    = flag.String("in", "", "documents to index, one per line")
-		indexFile = flag.String("index", "", "pre-built index file (bvindex -build)")
-		codecName = flag.String("codec", "Roaring", "codec for posting lists (with -in)")
-		addr      = flag.String("addr", ":8080", "listen address")
-	)
-	flag.Parse()
-
-	idx, err := loadIndex(*inFile, *indexFile, *codecName)
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], log.Default()); err != nil {
 		log.Fatalf("bvserve: %v", err)
 	}
-	log.Printf("serving %d documents, %d terms, %d compressed bytes on %s",
-		idx.Docs(), idx.Terms(), idx.SizeBytes(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, newServer(idx)))
 }
 
-// loadIndex builds from raw documents or loads a serialized index.
-func loadIndex(inFile, indexFile, codecName string) (*index.Index, error) {
+// run is the whole program behind flag parsing and signal wiring,
+// returning errors (instead of log.Fatal-ing mid-stack) so shutdown is
+// testable and deferred cleanup actually runs.
+func run(ctx context.Context, args []string, logger *log.Logger) error {
+	fs := flag.NewFlagSet("bvserve", flag.ContinueOnError)
+	var (
+		inFile    = fs.String("in", "", "documents to index, one per line")
+		indexFile = fs.String("index", "", "pre-built index file (bvindex -build)")
+		codecName = fs.String("codec", "Roaring", "codec for posting lists (with -in)")
+		addr      = fs.String("addr", ":8080", "listen address")
+
+		readTimeout  = fs.Duration("read-timeout", 5*time.Second, "max time to read a request")
+		writeTimeout = fs.Duration("write-timeout", 10*time.Second, "max time to write a response")
+		idleTimeout  = fs.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+		reqTimeout   = fs.Duration("request-timeout", 5*time.Second, "per-request handler budget")
+		drain        = fs.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+
+		maxInFlight = fs.Int("max-inflight", 64, "concurrent requests before shedding with 429")
+		maxTerms    = fs.Int("max-terms", 16, "max query terms before 400")
+		maxK        = fs.Int("max-k", 1000, "max top-k before 400")
+		maxURL      = fs.Int("max-url", 8192, "max request-URI bytes before 414")
+
+		maxDocs = fs.Int("max-docs", 1<<22, "max documents to ingest from -in")
+		maxLine = fs.Int("max-line", 1<<20, "max bytes per -in document line")
+	)
+	fs.SetOutput(logger.Writer())
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	load := func() (*index.Index, error) {
+		return loadIndex(*inFile, *indexFile, *codecName, *maxDocs, *maxLine)
+	}
+	idx, err := load()
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving %d documents, %d terms, %d compressed bytes on %s",
+		idx.Docs(), idx.Terms(), idx.SizeBytes(), *addr)
+
+	srv := server.New(idx, server.Config{
+		ReadTimeout:    *readTimeout,
+		WriteTimeout:   *writeTimeout,
+		IdleTimeout:    *idleTimeout,
+		RequestTimeout: *reqTimeout,
+		DrainDeadline:  *drain,
+		MaxInFlight:    *maxInFlight,
+		MaxQueryTerms:  *maxTerms,
+		MaxK:           *maxK,
+		MaxURLBytes:    *maxURL,
+		Logger:         logger,
+	})
+	srv.SetLoader(load)
+
+	// SIGHUP hot-reloads the index from its original source (-in or
+	// -index) without dropping in-flight requests; POST /reload is the
+	// same path for environments where signals are awkward.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				if err := srv.Reload(); err != nil {
+					logger.Printf("bvserve: SIGHUP reload: %v", err)
+				}
+			}
+		}
+	}()
+
+	return srv.Run(ctx, *addr)
+}
+
+// loadIndex builds from raw documents or loads a serialized index. The
+// ingest path is bounded: more than maxDocs lines or a line longer than
+// maxLineBytes is a clear error naming the offending line, not a silent
+// truncation or an unbounded build.
+func loadIndex(inFile, indexFile, codecName string, maxDocs, maxLineBytes int) (*index.Index, error) {
 	switch {
 	case indexFile != "":
 		f, err := os.Open(indexFile)
@@ -67,98 +146,30 @@ func loadIndex(inFile, indexFile, codecName string) (*index.Index, error) {
 		defer f.Close()
 		b := index.NewBuilder(codec)
 		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		// The scanner's cap is max(bufCap, maxLineBytes), so the initial
+		// buffer must not exceed the configured line limit.
+		sc.Buffer(make([]byte, min(64*1024, maxLineBytes)), maxLineBytes)
+		line, added := 0, 0
 		for sc.Scan() {
-			if line := strings.TrimSpace(sc.Text()); line != "" {
-				b.AddDocument(line)
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" {
+				continue
 			}
+			if added >= maxDocs {
+				return nil, fmt.Errorf("%s: more than %d documents (at line %d); raise -max-docs", inFile, maxDocs, line)
+			}
+			b.AddDocument(text)
+			added++
 		}
 		if err := sc.Err(); err != nil {
-			return nil, err
+			if errors.Is(err, bufio.ErrTooLong) {
+				return nil, fmt.Errorf("%s: line %d exceeds -max-line=%d bytes: %w", inFile, line+1, maxLineBytes, err)
+			}
+			return nil, fmt.Errorf("%s: %w", inFile, err)
 		}
 		return b.Build()
 	default:
 		return nil, fmt.Errorf("pass -in (documents) or -index (prebuilt index)")
-	}
-}
-
-// newServer wires the HTTP routes around an index.
-func newServer(idx *index.Index) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
-		handleSearch(idx, w, r)
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]int{
-			"documents":       idx.Docs(),
-			"terms":           idx.Terms(),
-			"compressedBytes": idx.SizeBytes(),
-		})
-	})
-	return mux
-}
-
-// searchResponse is the /search JSON shape.
-type searchResponse struct {
-	Query   []string       `json:"query"`
-	Mode    string         `json:"mode"`
-	Docs    []uint32       `json:"docs,omitempty"`
-	Ranked  []index.Result `json:"ranked,omitempty"`
-	Matches int            `json:"matches"`
-}
-
-func handleSearch(idx *index.Index, w http.ResponseWriter, r *http.Request) {
-	terms := index.Tokenize(r.URL.Query().Get("q"))
-	if len(terms) == 0 {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing or empty q parameter"})
-		return
-	}
-	mode := r.URL.Query().Get("mode")
-	if mode == "" {
-		mode = "and"
-	}
-	resp := searchResponse{Query: terms, Mode: mode}
-	switch mode {
-	case "and":
-		docs, err := idx.Conjunctive(terms...)
-		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-			return
-		}
-		resp.Docs, resp.Matches = docs, len(docs)
-	case "or":
-		docs, err := idx.Disjunctive(terms...)
-		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-			return
-		}
-		resp.Docs, resp.Matches = docs, len(docs)
-	case "topk":
-		k := 10
-		if ks := r.URL.Query().Get("k"); ks != "" {
-			var err error
-			if k, err = strconv.Atoi(ks); err != nil || k < 1 {
-				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad k parameter"})
-				return
-			}
-		}
-		ranked, err := idx.TopK(k, terms...)
-		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-			return
-		}
-		resp.Ranked, resp.Matches = ranked, len(ranked)
-	default:
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "mode must be and | or | topk"})
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("bvserve: encoding response: %v", err)
 	}
 }

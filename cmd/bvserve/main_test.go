@@ -1,117 +1,22 @@
 package main
 
 import (
-	"encoding/json"
-	"net/http"
-	"net/http/httptest"
+	"bytes"
+	"context"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
-
-	"repro/internal/codecs"
-	"repro/internal/index"
+	"time"
 )
 
-func testIndex(t *testing.T) *index.Index {
-	t.Helper()
-	codec, err := codecs.ByName("Roaring")
-	if err != nil {
-		t.Fatal(err)
-	}
-	b := index.NewBuilder(codec)
-	for _, d := range []string{
-		"compressed bitmap indexes",
-		"compressed inverted lists",
-		"bitmap and inverted list compression compression",
-	} {
-		b.AddDocument(d)
-	}
-	idx, err := b.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	return idx
-}
-
-func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, map[string]interface{}) {
-	t.Helper()
-	req := httptest.NewRequest(http.MethodGet, path, nil)
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	var body map[string]interface{}
-	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
-		t.Fatalf("%s: bad JSON: %v", path, err)
-	}
-	return rec, body
-}
-
-func TestSearchAnd(t *testing.T) {
-	h := newServer(testIndex(t))
-	rec, body := get(t, h, "/search?q=compressed+bitmap&mode=and")
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status %d", rec.Code)
-	}
-	docs := body["docs"].([]interface{})
-	if len(docs) != 1 || docs[0].(float64) != 0 {
-		t.Fatalf("docs = %v", docs)
-	}
-}
-
-func TestSearchOrAndDefaults(t *testing.T) {
-	h := newServer(testIndex(t))
-	_, body := get(t, h, "/search?q=lists+indexes&mode=or")
-	if body["matches"].(float64) != 2 {
-		t.Fatalf("matches = %v", body["matches"])
-	}
-	// Default mode is AND.
-	_, body = get(t, h, "/search?q=compressed")
-	if body["mode"] != "and" || body["matches"].(float64) != 2 {
-		t.Fatalf("default mode body = %v", body)
-	}
-}
-
-func TestSearchTopK(t *testing.T) {
-	h := newServer(testIndex(t))
-	rec, body := get(t, h, "/search?q=compression&mode=topk&k=1")
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status %d", rec.Code)
-	}
-	ranked := body["ranked"].([]interface{})
-	if len(ranked) != 1 {
-		t.Fatalf("ranked = %v", ranked)
-	}
-	top := ranked[0].(map[string]interface{})
-	if top["Doc"].(float64) != 2 || top["Score"].(float64) != 2 {
-		t.Fatalf("top = %v", top)
-	}
-}
-
-func TestSearchErrors(t *testing.T) {
-	h := newServer(testIndex(t))
-	for _, path := range []string{
-		"/search",                      // missing q
-		"/search?q=x&mode=banana",      // bad mode
-		"/search?q=x&mode=topk&k=zero", // bad k
-		"/search?q=...&mode=and",       // tokenizes to nothing
-	} {
-		rec, _ := get(t, h, path)
-		if rec.Code != http.StatusBadRequest {
-			t.Errorf("%s: status %d, want 400", path, rec.Code)
-		}
-	}
-}
-
-func TestStats(t *testing.T) {
-	h := newServer(testIndex(t))
-	rec, body := get(t, h, "/stats")
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status %d", rec.Code)
-	}
-	if body["documents"].(float64) != 3 || body["terms"].(float64) == 0 {
-		t.Fatalf("stats = %v", body)
-	}
-}
+const (
+	defaultMaxDocs = 1 << 22
+	defaultMaxLine = 1 << 20
+)
 
 func TestLoadIndexPaths(t *testing.T) {
 	dir := t.TempDir()
@@ -119,7 +24,7 @@ func TestLoadIndexPaths(t *testing.T) {
 	if err := os.WriteFile(docs, []byte("alpha beta\ngamma\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	idx, err := loadIndex(docs, "", "VB")
+	idx, err := loadIndex(docs, "", "VB", defaultMaxDocs, defaultMaxLine)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +41,7 @@ func TestLoadIndexPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	loaded, err := loadIndex("", idxFile, "")
+	loaded, err := loadIndex("", idxFile, "", defaultMaxDocs, defaultMaxLine)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,13 +49,131 @@ func TestLoadIndexPaths(t *testing.T) {
 		t.Fatalf("loaded docs = %d", loaded.Docs())
 	}
 	// Neither input: error.
-	if _, err := loadIndex("", "", "Roaring"); err == nil {
+	if _, err := loadIndex("", "", "Roaring", defaultMaxDocs, defaultMaxLine); err == nil {
 		t.Error("expected error with no inputs")
 	}
-	if _, err := loadIndex(docs, "", "NoSuchCodec"); err == nil {
+	if _, err := loadIndex(docs, "", "NoSuchCodec", defaultMaxDocs, defaultMaxLine); err == nil {
 		t.Error("expected error for unknown codec")
 	}
-	if !strings.Contains(idxFile, dir) {
-		t.Fatal("sanity")
+}
+
+func TestLoadIndexBounds(t *testing.T) {
+	dir := t.TempDir()
+
+	// Document count over the cap: clear error naming the limit.
+	many := filepath.Join(dir, "many.txt")
+	if err := os.WriteFile(many, []byte("one\ntwo\nthree\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := loadIndex(many, "", "Roaring", 2, defaultMaxLine)
+	if err == nil || !strings.Contains(err.Error(), "max-docs") {
+		t.Fatalf("over max-docs: err = %v, want message naming -max-docs", err)
+	}
+
+	// A line longer than the scanner budget: a clear error naming the
+	// line and the limit, not a silent truncation.
+	long := filepath.Join(dir, "long.txt")
+	if err := os.WriteFile(long, []byte("short line\n"+strings.Repeat("x", 300)+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = loadIndex(long, "", "Roaring", defaultMaxDocs, 128)
+	if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "max-line") {
+		t.Fatalf("over max-line: err = %v, want message naming line 2 and -max-line", err)
+	}
+
+	// Blank lines don't count against the document cap.
+	blanks := filepath.Join(dir, "blanks.txt")
+	if err := os.WriteFile(blanks, []byte("\n\nalpha\n\nbeta\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := loadIndex(blanks, "", "Roaring", 2, defaultMaxLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Docs() != 2 {
+		t.Fatalf("docs = %d, want 2", idx.Docs())
+	}
+}
+
+// syncBuffer lets the server goroutine log while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func waitFor(t *testing.T, buf *syncBuffer, substr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(buf.String(), substr) {
+		if time.Now().After(deadline) {
+			t.Fatalf("log never contained %q; log:\n%s", substr, buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunLifecycle drives run() the way main does: start on an
+// ephemeral port, hot-reload via SIGHUP, then cancel the context and
+// expect a clean (nil) return from the graceful drain.
+func TestRunLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	docs := filepath.Join(dir, "docs.txt")
+	if err := os.WriteFile(docs, []byte("compressed bitmaps\ninverted lists\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf := &syncBuffer{}
+	logger := log.New(buf, "", 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-in", docs, "-addr", "127.0.0.1:0", "-drain", "2s"}, logger)
+	}()
+	// The SIGHUP handler is installed before the listener comes up, so
+	// once "listening" is logged the signal is safe to send.
+	waitFor(t, buf, "listening on")
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, buf, "hot-reloaded index")
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run = %v, want nil after graceful shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after context cancel")
+	}
+	if !strings.Contains(buf.String(), "shutdown complete") {
+		t.Fatalf("no clean shutdown logged; log:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	logger := log.New(&syncBuffer{}, "", 0)
+	ctx := context.Background()
+	if err := run(ctx, []string{"-no-such-flag"}, logger); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run(ctx, nil, logger); err == nil {
+		t.Error("run with no index source succeeded")
+	}
+	if err := run(ctx, []string{"-in", "/does/not/exist.txt"}, logger); err == nil {
+		t.Error("missing input file accepted")
 	}
 }

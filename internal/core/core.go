@@ -102,6 +102,15 @@ type Iterator interface {
 // increasing.
 var ErrNotSorted = errors.New("core: input values must be strictly increasing")
 
+// ErrChecksum is returned when a persisted artifact fails its integrity
+// check: the stored CRC trailer does not match the bytes read, meaning
+// the file was corrupted, truncated, or tampered with after writing.
+var ErrChecksum = errors.New("core: checksum mismatch (corrupt or truncated data)")
+
+// ErrVersion is returned when a persisted artifact declares a format
+// version this build does not understand.
+var ErrVersion = errors.New("core: unsupported format version")
+
 // ErrIncompatible is returned when a native compressed-form operation is
 // asked to combine postings of different codecs.
 var ErrIncompatible = errors.New("core: postings come from incompatible codecs")

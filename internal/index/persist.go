@@ -2,42 +2,75 @@ package index
 
 import (
 	"bufio"
+	"bytes"
 	"encoding"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 
 	"repro/internal/codecs"
+	"repro/internal/core"
 )
 
 // Index persistence: the serialized form embeds each term's compressed
 // posting via its self-describing binary encoding, so an index written
 // with one codec loads without knowing which codec built it.
 //
-// Layout (little-endian): magic "BVIX1", doc count u32, term count u32,
-// then per term (sorted by name for determinism): name (u16 len +
-// bytes), frequencies (u32 count + u16 values), posting blob (u32 len +
-// bytes).
+// Two on-disk formats exist:
+//
+//   - Versioned "BVIX2" (current, always written): magic, one version
+//     byte, the payload, then a CRC32-C (Castagnoli) trailer u32 over
+//     version byte + payload. Read verifies the checksum before parsing
+//     anything, so a flipped bit anywhere after the magic surfaces as
+//     core.ErrChecksum rather than a confusing decode error — and a
+//     version byte this build does not know yields core.ErrVersion.
+//   - Legacy "BVIX1" (the unversioned seed format): magic then payload,
+//     no version byte, no checksum. Read still accepts it.
+//
+// Payload layout (little-endian): doc count u32, term count u32, then
+// per term (sorted by name for determinism): name (u16 len + bytes),
+// frequencies (u32 count + u16 values), posting blob (u32 len + bytes).
 
-var indexMagic = []byte("BVIX1")
+var (
+	legacyMagic = []byte("BVIX1")
+	indexMagic  = []byte("BVIX2")
+)
 
-// WriteTo serializes the index.
+// formatVersion is the payload version written inside BVIX2 files.
+const formatVersion = 1
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteTo serializes the index in the versioned, checksummed format.
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
+	crc := crc32.New(castagnoli)
 	var n int64
-	write := func(p []byte) error {
+	// write appends p to the output; summed bytes also feed the CRC
+	// trailer (everything between the magic and the trailer itself).
+	write := func(p []byte, summed bool) error {
 		k, err := bw.Write(p)
 		n += int64(k)
-		return err
+		if err != nil {
+			return err
+		}
+		if summed {
+			crc.Write(p) // hash.Hash.Write never returns an error
+		}
+		return nil
 	}
-	if err := write(indexMagic); err != nil {
+	if err := write(indexMagic, false); err != nil {
+		return n, err
+	}
+	if err := write([]byte{formatVersion}, true); err != nil {
 		return n, err
 	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(idx.docs))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(idx.terms)))
-	if err := write(hdr[:]); err != nil {
+	if err := write(hdr[:], true); err != nil {
 		return n, err
 	}
 	names := make([]string, 0, len(idx.terms))
@@ -60,42 +93,186 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 		}
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
 		buf = append(buf, blob...)
-		if err := write(buf); err != nil {
+		if err := write(buf, true); err != nil {
 			return n, err
 		}
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	if err := write(trailer[:], false); err != nil {
+		return n, err
 	}
 	return n, bw.Flush()
 }
 
-// Read loads an index written by WriteTo.
+// Read loads an index written by WriteTo, current or legacy format.
 func Read(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(indexMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("index: reading magic: %w", err)
 	}
-	if string(magic) != string(indexMagic) {
+	switch {
+	case bytes.Equal(magic, indexMagic):
+		return readVersioned(br)
+	case bytes.Equal(magic, legacyMagic):
+		return readLegacy(br)
+	default:
 		return nil, fmt.Errorf("index: bad magic %q", magic)
 	}
-	var hdr [8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+}
+
+// readVersioned handles BVIX2: slurp the remainder (the parsed index
+// dwarfs the file in memory anyway), verify the CRC trailer over
+// version byte + payload BEFORE interpreting a single field, then
+// parse from the in-memory body where every declared count can be
+// bounds-checked against the bytes that actually exist.
+func readVersioned(r io.Reader) (*Index, error) {
+	rest, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading body: %w", err)
+	}
+	if len(rest) < 1+4 { // version byte + trailer
+		return nil, fmt.Errorf("index: %w: file truncated before checksum trailer", core.ErrChecksum)
+	}
+	body, trailer := rest[:len(rest)-4], rest[len(rest)-4:]
+	got := crc32.Checksum(body, castagnoli)
+	want := binary.LittleEndian.Uint32(trailer)
+	if got != want {
+		return nil, fmt.Errorf("index: %w: computed crc32c %08x, trailer %08x", core.ErrChecksum, got, want)
+	}
+	if v := body[0]; v != formatVersion {
+		return nil, fmt.Errorf("index: %w: file declares version %d, this build reads version %d", core.ErrVersion, v, formatVersion)
+	}
+	return parsePayload(body[1:])
+}
+
+// payload is a bounds-checked cursor over an in-memory payload.
+type payload struct {
+	b   []byte
+	off int
+}
+
+func (p *payload) remaining() int { return len(p.b) - p.off }
+
+func (p *payload) take(n int) ([]byte, error) {
+	if n < 0 || n > p.remaining() {
+		return nil, io.ErrUnexpectedEOF
+	}
+	s := p.b[p.off : p.off+n]
+	p.off += n
+	return s, nil
+}
+
+func (p *payload) u16() (uint16, error) {
+	b, err := p.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (p *payload) u32() (uint32, error) {
+	b, err := p.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func parsePayload(b []byte) (*Index, error) {
+	p := &payload{b: b}
+	docsU, err := p.u32()
+	if err != nil {
 		return nil, fmt.Errorf("index: reading header: %w", err)
 	}
-	idx := &Index{
-		terms: map[string]termEntry{},
-		docs:  int(binary.LittleEndian.Uint32(hdr[0:])),
+	termCountU, err := p.u32()
+	if err != nil {
+		return nil, fmt.Errorf("index: reading header: %w", err)
 	}
-	termCount := int(binary.LittleEndian.Uint32(hdr[4:]))
+	docs, termCount := int(docsU), int(termCountU)
+	// A term record is at least 10 bytes (empty name, no freqs, empty
+	// blob): reject impossible term counts before building anything.
+	if minBytes := termCount * 10; minBytes > p.remaining() {
+		return nil, fmt.Errorf("index: header declares %d terms but only %d payload bytes remain", termCount, p.remaining())
+	}
+	idx := &Index{terms: make(map[string]termEntry, termCount), docs: docs}
 	for i := 0; i < termCount; i++ {
-		name, err := readString(br)
+		nameLen, err := p.u16()
 		if err != nil {
 			return nil, fmt.Errorf("index: term %d name: %w", i, err)
 		}
-		freqs, err := readFreqs(br)
+		nameB, err := p.take(int(nameLen))
+		if err != nil {
+			return nil, fmt.Errorf("index: term %d name: %w", i, err)
+		}
+		name := string(nameB)
+		freqCountU, err := p.u32()
 		if err != nil {
 			return nil, fmt.Errorf("index: term %q freqs: %w", name, err)
 		}
-		blob, err := readBlob(br)
+		freqCount := int(freqCountU)
+		// A term appears in at most every document; anything larger is a
+		// lying count, not data.
+		if freqCount > docs {
+			return nil, fmt.Errorf("index: term %q declares %d postings in a %d-document index", name, freqCount, docs)
+		}
+		freqB, err := p.take(2 * freqCount)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %q freqs: %w", name, err)
+		}
+		freqs := make([]uint16, freqCount)
+		for j := range freqs {
+			freqs[j] = binary.LittleEndian.Uint16(freqB[2*j:])
+		}
+		blobLen, err := p.u32()
+		if err != nil {
+			return nil, fmt.Errorf("index: term %q posting: %w", name, err)
+		}
+		blob, err := p.take(int(blobLen))
+		if err != nil {
+			return nil, fmt.Errorf("index: term %q posting: %w", name, err)
+		}
+		pp, err := codecs.Decode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %q posting: %w", name, err)
+		}
+		if pp.Len() != len(freqs) {
+			return nil, fmt.Errorf("index: term %q: %d postings but %d frequencies",
+				name, pp.Len(), len(freqs))
+		}
+		idx.terms[name] = termEntry{posting: pp, freqs: freqs}
+	}
+	if p.remaining() != 0 {
+		return nil, fmt.Errorf("index: %d trailing bytes after last term", p.remaining())
+	}
+	return idx, nil
+}
+
+// readLegacy handles the unversioned, unchecksummed BVIX1 seed format,
+// streaming as the original reader did but with allocations bounded by
+// the bytes actually present rather than by declared counts.
+func readLegacy(r io.Reader) (*Index, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("index: reading header: %w", err)
+	}
+	docs := int(binary.LittleEndian.Uint32(hdr[0:]))
+	idx := &Index{
+		terms: map[string]termEntry{},
+		docs:  docs,
+	}
+	termCount := int(binary.LittleEndian.Uint32(hdr[4:]))
+	for i := 0; i < termCount; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %d name: %w", i, err)
+		}
+		freqs, err := readFreqs(r, docs)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %q freqs: %w", name, err)
+		}
+		blob, err := readBlob(r)
 		if err != nil {
 			return nil, fmt.Errorf("index: term %q posting: %w", name, err)
 		}
@@ -112,26 +289,46 @@ func Read(r io.Reader) (*Index, error) {
 	return idx, nil
 }
 
+// readN reads exactly n bytes, growing the buffer in bounded chunks so
+// a corrupt length field costs at most one chunk of allocation before
+// the stream runs dry, instead of an n-sized up-front allocation.
+func readN(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 16
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		k := min(chunk, n-len(buf))
+		start := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
 func readString(r io.Reader) (string, error) {
 	var l [2]byte
 	if _, err := io.ReadFull(r, l[:]); err != nil {
 		return "", err
 	}
-	b := make([]byte, binary.LittleEndian.Uint16(l[:]))
-	if _, err := io.ReadFull(r, b); err != nil {
+	b, err := readN(r, int(binary.LittleEndian.Uint16(l[:])))
+	if err != nil {
 		return "", err
 	}
 	return string(b), nil
 }
 
-func readFreqs(r io.Reader) ([]uint16, error) {
+func readFreqs(r io.Reader, docs int) ([]uint16, error) {
 	var l [4]byte
 	if _, err := io.ReadFull(r, l[:]); err != nil {
 		return nil, err
 	}
 	n := int(binary.LittleEndian.Uint32(l[:]))
-	b := make([]byte, 2*n)
-	if _, err := io.ReadFull(r, b); err != nil {
+	if n > docs {
+		return nil, fmt.Errorf("%d postings declared in a %d-document index", n, docs)
+	}
+	b, err := readN(r, 2*n)
+	if err != nil {
 		return nil, err
 	}
 	out := make([]uint16, n)
@@ -146,9 +343,5 @@ func readBlob(r io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, l[:]); err != nil {
 		return nil, err
 	}
-	b := make([]byte, binary.LittleEndian.Uint32(l[:]))
-	if _, err := io.ReadFull(r, b); err != nil {
-		return nil, err
-	}
-	return b, nil
+	return readN(r, int(binary.LittleEndian.Uint32(l[:])))
 }

@@ -1,0 +1,193 @@
+package index
+
+import (
+	"bytes"
+	"encoding"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// writeLegacy serializes idx in the unversioned seed format ("BVIX1",
+// no version byte, no checksum) so tests can prove Read still accepts
+// files written before the checksummed format existed.
+func writeLegacy(t testing.TB, idx *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write(legacyMagic)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(idx.docs))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(idx.terms)))
+	buf.Write(hdr[:])
+	names := make([]string, 0, len(idx.terms))
+	for t := range idx.terms {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := idx.terms[name]
+		var rec []byte
+		rec = binary.LittleEndian.AppendUint16(rec, uint16(len(name)))
+		rec = append(rec, name...)
+		rec = binary.LittleEndian.AppendUint32(rec, uint32(len(e.freqs)))
+		for _, f := range e.freqs {
+			rec = binary.LittleEndian.AppendUint16(rec, f)
+		}
+		blob, err := e.posting.(encoding.BinaryMarshaler).MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec = binary.LittleEndian.AppendUint32(rec, uint32(len(blob)))
+		rec = append(rec, blob...)
+		buf.Write(rec)
+	}
+	return buf.Bytes()
+}
+
+// reseal recomputes the CRC trailer of a versioned file after a test
+// mutated its body, keeping the mutation visible to the parser.
+func reseal(file []byte) {
+	body := file[len(indexMagic) : len(file)-4]
+	binary.LittleEndian.PutUint32(file[len(file)-4:], crc32.Checksum(body, castagnoli))
+}
+
+func serialize(t testing.TB, idx *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestVersionedFormatLayout(t *testing.T) {
+	file := serialize(t, buildTestIndex(t, "Roaring"))
+	if !bytes.HasPrefix(file, indexMagic) {
+		t.Fatalf("file starts %q, want magic %q", file[:6], indexMagic)
+	}
+	if file[len(indexMagic)] != formatVersion {
+		t.Fatalf("version byte = %d, want %d", file[len(indexMagic)], formatVersion)
+	}
+	body := file[len(indexMagic) : len(file)-4]
+	want := binary.LittleEndian.Uint32(file[len(file)-4:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		t.Fatalf("trailer crc %08x does not cover version+payload (computed %08x)", want, got)
+	}
+}
+
+// TestReadRejectsBitFlips is the acceptance check for the checksum: a
+// single flipped bit at ANY offset past the magic must surface as
+// core.ErrChecksum; flips inside the magic must still be rejected.
+func TestReadRejectsBitFlips(t *testing.T) {
+	file := serialize(t, buildTestIndex(t, "Roaring"))
+	for i := range file {
+		mut := make([]byte, len(file))
+		copy(mut, file)
+		mut[i] ^= 0x01
+		_, err := Read(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+		if i >= len(indexMagic) && !errors.Is(err, core.ErrChecksum) {
+			t.Fatalf("flip at byte %d: got %v, want ErrChecksum", i, err)
+		}
+	}
+}
+
+func TestReadLegacyFormat(t *testing.T) {
+	idx := buildTestIndex(t, "Roaring")
+	legacy := writeLegacy(t, idx)
+	loaded, err := Read(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy read: %v", err)
+	}
+	if loaded.Docs() != idx.Docs() || loaded.Terms() != idx.Terms() {
+		t.Fatalf("legacy shape: %d docs %d terms, want %d/%d",
+			loaded.Docs(), loaded.Terms(), idx.Docs(), idx.Terms())
+	}
+	a, _ := idx.Conjunctive("compressed", "lists")
+	b, _ := loaded.Conjunctive("compressed", "lists")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("legacy query results differ: %v vs %v", a, b)
+	}
+	// Legacy files carry no checksum, so corruption is only caught when
+	// it breaks decoding — but it must never panic.
+	for i := len(legacyMagic); i < len(legacy); i++ {
+		mut := make([]byte, len(legacy))
+		copy(mut, legacy)
+		mut[i] ^= 0x01
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("legacy flip at byte %d panicked: %v", i, r)
+				}
+			}()
+			Read(bytes.NewReader(mut))
+		}()
+	}
+}
+
+func TestReadUnsupportedVersion(t *testing.T) {
+	file := serialize(t, buildTestIndex(t, "VB"))
+	file[len(indexMagic)] = 9 // future version
+	reseal(file)              // valid checksum, so the version check is what fires
+	_, err := Read(bytes.NewReader(file))
+	if !errors.Is(err, core.ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestReadRejectsLyingCounts(t *testing.T) {
+	file := serialize(t, buildTestIndex(t, "Roaring"))
+	magicLen := len(indexMagic)
+
+	// Term count claiming 4 billion terms in a tiny file: must fail on
+	// the cheap arithmetic bound, not by allocating per declared count.
+	huge := make([]byte, len(file))
+	copy(huge, file)
+	binary.LittleEndian.PutUint32(huge[magicLen+1+4:], 0xFFFFFFFF)
+	reseal(huge)
+	if _, err := Read(bytes.NewReader(huge)); err == nil || errors.Is(err, core.ErrChecksum) {
+		t.Fatalf("huge term count: got %v, want a count-bound parse error", err)
+	}
+
+	// Trailing bytes after the declared terms (checksummed, so only a
+	// buggy writer produces this): rejected, not silently ignored.
+	trailing := append([]byte{}, file[:len(file)-4]...)
+	trailing = append(trailing, 0xAB, 0, 0, 0, 0)
+	reseal(trailing)
+	if _, err := Read(bytes.NewReader(trailing)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+
+	// Legacy path with a huge declared frequency count: the docs bound
+	// rejects it before any allocation.
+	idx := buildTestIndex(t, "Roaring")
+	legacy := writeLegacy(t, idx)
+	// First term record starts after magic+header; its freq count sits
+	// after the u16 name length + name bytes.
+	p := len(legacyMagic) + 8
+	nameLen := int(binary.LittleEndian.Uint16(legacy[p:]))
+	binary.LittleEndian.PutUint32(legacy[p+2+nameLen:], 0xFFFFFFF0)
+	if _, err := Read(bytes.NewReader(legacy)); err == nil {
+		t.Fatal("legacy huge freq count accepted")
+	}
+}
+
+func TestReadTruncatedVersioned(t *testing.T) {
+	file := serialize(t, buildTestIndex(t, "PEF"))
+	for _, cut := range []int{len(indexMagic), len(indexMagic) + 1, len(file) / 2, len(file) - 1} {
+		_, err := Read(bytes.NewReader(file[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		if cut > len(indexMagic)+4 && !errors.Is(err, core.ErrChecksum) {
+			t.Fatalf("truncation at %d: got %v, want ErrChecksum", cut, err)
+		}
+	}
+}

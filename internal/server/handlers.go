@@ -1,0 +1,160 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/index"
+)
+
+// Handler builds the full route set. Application routes (/search,
+// /stats, /reload, Config.Routes) run inside the validation, load
+// shedding, and timeout middleware; the probes /healthz and /readyz
+// bypass those gates so they stay answerable under full load. Logging
+// and panic recovery wrap everything.
+func (s *Server) Handler() http.Handler {
+	app := http.NewServeMux()
+	app.HandleFunc("/search", s.handleSearch)
+	app.HandleFunc("/stats", s.handleStats)
+	app.HandleFunc("/reload", s.handleReload)
+	if s.cfg.Routes != nil {
+		s.cfg.Routes(app)
+	}
+	inner := s.withRequestTimeout(app)
+	inner = s.limitConcurrency(inner)
+	inner = s.validateURL(inner)
+
+	root := http.NewServeMux()
+	root.HandleFunc("/healthz", s.handleHealthz)
+	root.HandleFunc("/readyz", s.handleReadyz)
+	root.Handle("/", inner)
+	return s.logRequests(s.recoverPanics(root))
+}
+
+// handleHealthz is the liveness probe: the process is up and able to
+// answer HTTP, nothing more.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 only while serving traffic,
+// 503 before startup finishes and as soon as draining begins so load
+// balancers stop routing here ahead of shutdown.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// handleReload swaps in a freshly loaded index without dropping
+// in-flight requests. POST only; SIGHUP reaches the same code path.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "reload requires POST"})
+		return
+	}
+	if err := s.Reload(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	idx := s.Index()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":  "reloaded",
+		"docs":    idx.Docs(),
+		"terms":   idx.Terms(),
+		"reloads": s.Reloads(),
+	})
+}
+
+// handleStats reports the served index shape plus serving-side gauges.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	idx := s.Index()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"documents":       idx.Docs(),
+		"terms":           idx.Terms(),
+		"compressedBytes": idx.SizeBytes(),
+		"inFlight":        s.inFlight.Load(),
+		"reloads":         s.Reloads(),
+		"ready":           s.Ready(),
+	})
+}
+
+// searchResponse is the /search JSON shape.
+type searchResponse struct {
+	Query   []string       `json:"query"`
+	Mode    string         `json:"mode"`
+	Docs    []uint32       `json:"docs,omitempty"`
+	Ranked  []index.Result `json:"ranked,omitempty"`
+	Matches int            `json:"matches"`
+}
+
+// handleSearch answers conjunctive/disjunctive/top-k queries against
+// the current index snapshot. The snapshot is loaded once per request,
+// so a concurrent hot reload never changes the index mid-query.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	idx := s.Index()
+	terms := index.Tokenize(r.URL.Query().Get("q"))
+	if len(terms) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing or empty q parameter"})
+		return
+	}
+	if len(terms) > s.cfg.MaxQueryTerms {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("query has %d terms, limit is %d", len(terms), s.cfg.MaxQueryTerms),
+		})
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "and"
+	}
+	resp := searchResponse{Query: terms, Mode: mode}
+	switch mode {
+	case "and":
+		docs, err := idx.Conjunctive(terms...)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		resp.Docs, resp.Matches = docs, len(docs)
+	case "or":
+		docs, err := idx.Disjunctive(terms...)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		resp.Docs, resp.Matches = docs, len(docs)
+	case "topk":
+		k := 10
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			var err error
+			if k, err = strconv.Atoi(ks); err != nil || k < 1 {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad k parameter"})
+				return
+			}
+		}
+		if k > s.cfg.MaxK {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("k=%d exceeds limit %d", k, s.cfg.MaxK),
+			})
+			return
+		}
+		ranked, err := idx.TopK(k, terms...)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		resp.Ranked, resp.Matches = ranked, len(ranked)
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "mode must be and | or | topk"})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,206 @@
+// Package server wraps an index.Index behind a hardened HTTP stack: the
+// production deployment shell for the §A.1 search workload. It provides
+//
+//   - lifecycle: an http.Server with read/write/idle timeouts, graceful
+//     context-driven shutdown with a drain deadline, and /healthz
+//     (liveness) plus /readyz (readiness) probes;
+//   - a middleware chain: panic recovery, per-request timeouts,
+//     semaphore load shedding (429 + Retry-After), structured request
+//     logging, and request validation limits so adversarial queries
+//     cannot force unbounded intersection work;
+//   - hot reload: the served index lives in an atomic.Pointer and is
+//     swapped without dropping in-flight requests, with rollback to the
+//     old index when the replacement fails to load.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/index"
+)
+
+// Config tunes the hardened server. Zero values pick serving-safe
+// defaults, so Config{} is a reasonable production starting point.
+type Config struct {
+	ReadTimeout    time.Duration // full-request read budget (default 5s)
+	WriteTimeout   time.Duration // response write budget (default 10s)
+	IdleTimeout    time.Duration // keep-alive idle budget (default 2m)
+	RequestTimeout time.Duration // per-request handler budget (default 5s)
+	DrainDeadline  time.Duration // graceful-shutdown budget (default 10s)
+
+	MaxInFlight   int // concurrent requests before shedding with 429 (default 64)
+	MaxQueryTerms int // query terms before 400 (default 16)
+	MaxK          int // top-k limit before 400 (default 1000)
+	MaxURLBytes   int // request-URI bytes before 414 (default 8192)
+
+	Logger *log.Logger // defaults to log.Default()
+
+	// Routes, when set, registers extra application routes (debug
+	// handlers, pprof, ...) on the hardened mux. They run inside the
+	// full middleware chain.
+	Routes func(mux *http.ServeMux)
+}
+
+func (c Config) withDefaults() Config {
+	def := func(d *time.Duration, v time.Duration) {
+		if *d <= 0 {
+			*d = v
+		}
+	}
+	def(&c.ReadTimeout, 5*time.Second)
+	def(&c.WriteTimeout, 10*time.Second)
+	def(&c.IdleTimeout, 2*time.Minute)
+	def(&c.RequestTimeout, 5*time.Second)
+	def(&c.DrainDeadline, 10*time.Second)
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxQueryTerms <= 0 {
+		c.MaxQueryTerms = 16
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+	if c.MaxURLBytes <= 0 {
+		c.MaxURLBytes = 8192
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+	return c
+}
+
+// Server serves queries over a hot-swappable compressed index.
+type Server struct {
+	cfg Config
+	log *log.Logger
+
+	idx      atomic.Pointer[index.Index]
+	ready    atomic.Bool
+	draining atomic.Bool
+	inFlight atomic.Int64
+	reloads  atomic.Int64
+	sem      chan struct{}
+
+	reloadMu sync.Mutex
+	loadFn   func() (*index.Index, error)
+}
+
+// New returns a server that serves idx. idx must be non-nil.
+func New(idx *index.Index, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		log: cfg.Logger,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.idx.Store(idx)
+	return s
+}
+
+// SetLoader installs the function Reload uses to load a replacement
+// index. Call it before serving.
+func (s *Server) SetLoader(fn func() (*index.Index, error)) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	s.loadFn = fn
+}
+
+// Index returns the index snapshot currently being served.
+func (s *Server) Index() *index.Index { return s.idx.Load() }
+
+// Ready reports whether the server is accepting application traffic
+// (started and not draining).
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// Reloads reports how many successful hot swaps have happened.
+func (s *Server) Reloads() int64 { return s.reloads.Load() }
+
+// Reload loads a replacement index through the configured loader and
+// swaps it in atomically. In-flight requests keep whichever snapshot
+// they started with; no request observes a half-swapped index. If the
+// load fails (missing file, bad checksum, unknown version, decode
+// error), the current index stays in place and the error is returned —
+// that is the rollback path.
+func (s *Server) Reload() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if s.loadFn == nil {
+		return errors.New("server: no reload loader configured")
+	}
+	next, err := s.loadFn()
+	if err != nil {
+		s.log.Printf("server: reload failed, keeping current index: %v", err)
+		return fmt.Errorf("server: reload: %w", err)
+	}
+	if next == nil {
+		s.log.Printf("server: reload loader returned nil index, keeping current")
+		return errors.New("server: reload: loader returned nil index")
+	}
+	old := s.idx.Swap(next)
+	s.reloads.Add(1)
+	s.log.Printf("server: hot-reloaded index: %d docs, %d terms, %d compressed bytes (was %d docs, %d terms)",
+		next.Docs(), next.Terms(), next.SizeBytes(), old.Docs(), old.Terms())
+	return nil
+}
+
+// Run listens on addr and serves until ctx is cancelled, then drains
+// gracefully. It is the one call cmd/bvserve needs.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve serves on ln until ctx is cancelled, then stops accepting new
+// connections, flips /readyz to not-ready, and drains in-flight
+// requests for up to DrainDeadline before returning. A nil return
+// means every in-flight request completed.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:      s.Handler(),
+		ReadTimeout:  s.cfg.ReadTimeout,
+		WriteTimeout: s.cfg.WriteTimeout,
+		IdleTimeout:  s.cfg.IdleTimeout,
+		ErrorLog:     s.log,
+	}
+	s.draining.Store(false)
+	s.ready.Store(true)
+	s.log.Printf("server: listening on %s (max in-flight %d, request timeout %s)",
+		ln.Addr(), s.cfg.MaxInFlight, s.cfg.RequestTimeout)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// The listener died underneath us; nothing to drain.
+		s.ready.Store(false)
+		return fmt.Errorf("server: serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	s.ready.Store(false)
+	s.draining.Store(true)
+	s.log.Printf("server: draining %d in-flight requests (deadline %s)",
+		s.inFlight.Load(), s.cfg.DrainDeadline)
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainDeadline)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	<-errc // srv.Serve has returned http.ErrServerClosed
+	if err != nil {
+		return fmt.Errorf("server: drain deadline exceeded: %w", err)
+	}
+	s.log.Printf("server: shutdown complete")
+	return nil
+}

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/codecs"
+	"repro/internal/index"
+)
+
+// quiet is a logger for tests that don't inspect log output.
+var quiet = log.New(io.Discard, "", 0)
+
+func buildIndex(t testing.TB, docs ...string) *index.Index {
+	t.Helper()
+	codec, err := codecs.ByName("Roaring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := index.NewBuilder(codec)
+	for _, d := range docs {
+		b.AddDocument(d)
+	}
+	idx, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+var testDocs = []string{
+	"compressed bitmap indexes",
+	"compressed inverted lists",
+	"bitmap and inverted list compression compression",
+}
+
+func newTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = quiet
+	}
+	return New(buildIndex(t, testDocs...), cfg)
+}
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	return request(t, h, http.MethodGet, path)
+}
+
+func request(t *testing.T, h http.Handler, method, path string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body map[string]interface{}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatalf("%s %s: bad JSON %q: %v", method, path, rec.Body.String(), err)
+	}
+	return rec, body
+}
+
+func TestSearchAnd(t *testing.T) {
+	h := newTestServer(t, Config{}).Handler()
+	rec, body := get(t, h, "/search?q=compressed+bitmap&mode=and")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	docs := body["docs"].([]interface{})
+	if len(docs) != 1 || docs[0].(float64) != 0 {
+		t.Fatalf("docs = %v", docs)
+	}
+}
+
+func TestSearchOrAndDefaults(t *testing.T) {
+	h := newTestServer(t, Config{}).Handler()
+	_, body := get(t, h, "/search?q=lists+indexes&mode=or")
+	if body["matches"].(float64) != 2 {
+		t.Fatalf("matches = %v", body["matches"])
+	}
+	// Default mode is AND.
+	_, body = get(t, h, "/search?q=compressed")
+	if body["mode"] != "and" || body["matches"].(float64) != 2 {
+		t.Fatalf("default mode body = %v", body)
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	h := newTestServer(t, Config{}).Handler()
+	rec, body := get(t, h, "/search?q=compression&mode=topk&k=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	ranked := body["ranked"].([]interface{})
+	if len(ranked) != 1 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	top := ranked[0].(map[string]interface{})
+	if top["Doc"].(float64) != 2 || top["Score"].(float64) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	h := newTestServer(t, Config{MaxQueryTerms: 4, MaxK: 50}).Handler()
+	for _, path := range []string{
+		"/search",                      // missing q
+		"/search?q=x&mode=banana",      // bad mode
+		"/search?q=x&mode=topk&k=zero", // bad k
+		"/search?q=...&mode=and",       // tokenizes to nothing
+		"/search?q=a+b+c+d+e",          // more than MaxQueryTerms terms
+		"/search?q=x&mode=topk&k=51",   // k over MaxK
+	} {
+		rec, _ := get(t, h, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, rec.Code)
+		}
+	}
+}
+
+func TestURLTooLong(t *testing.T) {
+	h := newTestServer(t, Config{MaxURLBytes: 64}).Handler()
+	rec, _ := get(t, h, "/search?q="+strings.Repeat("x", 100))
+	if rec.Code != http.StatusRequestURITooLong {
+		t.Fatalf("status %d, want 414", rec.Code)
+	}
+}
+
+func TestStats(t *testing.T) {
+	h := newTestServer(t, Config{}).Handler()
+	rec, body := get(t, h, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if body["documents"].(float64) != 3 || body["terms"].(float64) == 0 {
+		t.Fatalf("stats = %v", body)
+	}
+	if body["reloads"].(float64) != 0 || body["ready"].(bool) {
+		t.Fatalf("serving gauges = %v", body)
+	}
+}
+
+func TestProbes(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	rec, _ := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	// Not serving yet: readyz says starting.
+	rec, body := get(t, h, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable || body["status"] != "starting" {
+		t.Fatalf("readyz before start = %d %v", rec.Code, body)
+	}
+	s.ready.Store(true)
+	rec, _ = get(t, h, "/readyz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz while serving = %d", rec.Code)
+	}
+	s.draining.Store(true)
+	rec, body = get(t, h, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("readyz while draining = %d %v", rec.Code, body)
+	}
+}
+
+func TestReloadSwapsAtomically(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	// GET is not allowed.
+	rec, _ := get(t, h, "/reload")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /reload = %d, want 405", rec.Code)
+	}
+	// No loader configured.
+	rec, body := request(t, h, http.MethodPost, "/reload")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("POST without loader = %d %v", rec.Code, body)
+	}
+
+	bigger := buildIndex(t, append(testDocs, "two extra", "documents here")...)
+	s.SetLoader(func() (*index.Index, error) { return bigger, nil })
+	rec, body = request(t, h, http.MethodPost, "/reload")
+	if rec.Code != http.StatusOK || body["docs"].(float64) != 5 {
+		t.Fatalf("POST /reload = %d %v", rec.Code, body)
+	}
+	if s.Index() != bigger || s.Reloads() != 1 {
+		t.Fatal("reload did not swap the served index")
+	}
+	// The new index serves immediately.
+	_, body = get(t, h, "/stats")
+	if body["documents"].(float64) != 5 {
+		t.Fatalf("stats after reload = %v", body)
+	}
+}
+
+func TestReloadRollsBackOnError(t *testing.T) {
+	s := newTestServer(t, Config{})
+	before := s.Index()
+	s.SetLoader(func() (*index.Index, error) { return nil, fmt.Errorf("disk: %w", errors.New("checksum mismatch")) })
+	if err := s.Reload(); err == nil {
+		t.Fatal("reload with failing loader succeeded")
+	}
+	if s.Index() != before || s.Reloads() != 0 {
+		t.Fatal("failed reload must keep the old index in place")
+	}
+	// Nil index from a buggy loader is also a rollback, not a swap.
+	s.SetLoader(func() (*index.Index, error) { return nil, nil })
+	if err := s.Reload(); err == nil {
+		t.Fatal("nil index accepted")
+	}
+	if s.Index() != before {
+		t.Fatal("nil index replaced the served index")
+	}
+}
+
+// TestConcurrentSearchReload is the -race acceptance check: searches
+// and hot reloads running in parallel must all succeed with no data
+// race, because each request works on one atomic snapshot.
+func TestConcurrentSearchReload(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 128})
+	alt := buildIndex(t, append(testDocs, "alternate snapshot")...)
+	flip := false
+	s.SetLoader(func() (*index.Index, error) {
+		flip = !flip // guarded by the reload mutex
+		if flip {
+			return alt, nil
+		}
+		return buildIndex(t, testDocs...), nil
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				resp, err := http.Get(ts.URL + "/search?q=compressed&mode=topk&k=3")
+				if err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("search status %d during reload churn", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < 20; r++ {
+		if err := s.Reload(); err != nil {
+			t.Fatalf("reload %d: %v", r, err)
+		}
+	}
+	wg.Wait()
+	if s.Reloads() != 20 {
+		t.Fatalf("reloads = %d, want 20", s.Reloads())
+	}
+}
