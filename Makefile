@@ -20,7 +20,11 @@ race:
 	$(GO) test -race ./internal/...
 
 # One testing.B benchmark per paper table/figure plus the ablations.
+# Also emits the engine-vs-serial comparison as results/BENCH_engine.json
+# for regression tracking.
 bench:
+	mkdir -p results
+	$(GO) test -run NONE -bench BenchmarkEngine -benchmem -json ./internal/ops > results/BENCH_engine.json
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table/figure as text tables (see cmd/bvbench -help

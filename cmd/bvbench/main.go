@@ -31,6 +31,7 @@ func main() {
 		sfs        = flag.String("sf", "1", "comma-separated SSB/TPCH scale factors")
 		trials     = flag.Int("trials", 3, "timing repetitions (best is reported)")
 		codecsFlag = flag.String("codecs", "", "comma-separated codec names (default: all 24)")
+		engine     = flag.Bool("engine", false, "evaluate query plans on the pooled parallel ops.Engine instead of the serial reference")
 		summary    = flag.Bool("summary", false, "print per-setting winners after each table")
 		format     = flag.String("format", "table", "output format: table | csv")
 	)
@@ -47,6 +48,7 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	cfg.UseEngine = *engine
 
 	var exps []bench.Experiment
 	if *expFlag == "all" {

@@ -63,6 +63,7 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 		drain        = fs.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 
 		maxInFlight = fs.Int("max-inflight", 64, "concurrent requests before shedding with 429")
+		cacheMB     = fs.Int("cache-mb", 32, "decoded-posting cache budget in MiB (0 disables)")
 		maxTerms    = fs.Int("max-terms", 16, "max query terms before 400")
 		maxK        = fs.Int("max-k", 1000, "max top-k before 400")
 		maxURL      = fs.Int("max-url", 8192, "max request-URI bytes before 414")
@@ -95,6 +96,7 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 		MaxQueryTerms:  *maxTerms,
 		MaxK:           *maxK,
 		MaxURLBytes:    *maxURL,
+		CacheBytes:     cacheBytes(*cacheMB),
 		Logger:         logger,
 	})
 	srv.SetLoader(load)
@@ -119,6 +121,15 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 	}()
 
 	return srv.Run(ctx, *addr)
+}
+
+// cacheBytes maps the -cache-mb flag onto Config.CacheBytes, where 0
+// means "default" and negative means "disabled".
+func cacheBytes(mb int) int {
+	if mb <= 0 {
+		return -1
+	}
+	return mb << 20
 }
 
 // loadIndex builds from raw documents or loads a serialized index. The

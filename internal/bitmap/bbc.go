@@ -132,6 +132,11 @@ func (p *bbcPosting) spans() spanReader { return &bbcReader{data: p.data} }
 
 func (p *bbcPosting) Decompress() []uint32 { return decompressSpans(p.spans(), p.n) }
 
+// DecompressAppend implements core.DecompressAppender on the span stream.
+func (p *bbcPosting) DecompressAppend(dst []uint32) []uint32 {
+	return decompressSpansAppend(p.spans(), dst)
+}
+
 func (p *bbcPosting) IntersectWith(other core.Posting) ([]uint32, error) {
 	q, ok := other.(*bbcPosting)
 	if !ok {

@@ -43,16 +43,20 @@ func (p *bitsetPosting) Len() int       { return p.n }
 func (p *bitsetPosting) SizeBytes() int { return len(p.words) * 8 }
 
 func (p *bitsetPosting) Decompress() []uint32 {
-	out := make([]uint32, 0, p.n)
+	return p.DecompressAppend(make([]uint32, 0, p.n))
+}
+
+// DecompressAppend implements core.DecompressAppender.
+func (p *bitsetPosting) DecompressAppend(dst []uint32) []uint32 {
 	for i, w := range p.words {
 		base := uint64(i) * 64
 		for w != 0 {
 			tz := bits.TrailingZeros64(w)
-			out = append(out, uint32(base+uint64(tz)))
+			dst = append(dst, uint32(base+uint64(tz)))
 			w &= w - 1
 		}
 	}
-	return out
+	return dst
 }
 
 // IntersectWith ANDs two bit vectors word-wise and extracts the result.

@@ -97,6 +97,11 @@ func (p *ewahPosting) spans() spanReader { return &ewahReader{words: p.words} }
 
 func (p *ewahPosting) Decompress() []uint32 { return decompressSpans(p.spans(), p.n) }
 
+// DecompressAppend implements core.DecompressAppender on the span stream.
+func (p *ewahPosting) DecompressAppend(dst []uint32) []uint32 {
+	return decompressSpansAppend(p.spans(), dst)
+}
+
 func (p *ewahPosting) IntersectWith(other core.Posting) ([]uint32, error) {
 	q, ok := other.(*ewahPosting)
 	if !ok {

@@ -133,11 +133,15 @@ func (p *roaringPosting) SizeBytes() int {
 }
 
 func (p *roaringPosting) Decompress() []uint32 {
-	out := make([]uint32, 0, p.n)
+	return p.DecompressAppend(make([]uint32, 0, p.n))
+}
+
+// DecompressAppend implements core.DecompressAppender.
+func (p *roaringPosting) DecompressAppend(dst []uint32) []uint32 {
 	for i, c := range p.cs {
-		out = c.appendAll(out, uint32(p.keys[i])<<16)
+		dst = c.appendAll(dst, uint32(p.keys[i])<<16)
 	}
-	return out
+	return dst
 }
 
 // IntersectWith merges bucket keys and intersects matching containers.

@@ -132,11 +132,15 @@ func (p *roaringRunPosting) SizeBytes() int {
 }
 
 func (p *roaringRunPosting) Decompress() []uint32 {
-	out := make([]uint32, 0, p.n)
+	return p.DecompressAppend(make([]uint32, 0, p.n))
+}
+
+// DecompressAppend implements core.DecompressAppender.
+func (p *roaringRunPosting) DecompressAppend(dst []uint32) []uint32 {
 	for i, c := range p.cs {
-		out = c.appendAll(out, uint32(p.keys[i])<<16)
+		dst = c.appendAll(dst, uint32(p.keys[i])<<16)
 	}
-	return out
+	return dst
 }
 
 // IntersectWith merges bucket keys and intersects matching containers

@@ -105,18 +105,24 @@ func appendWordBits(out []uint32, base uint64, w uint64) []uint32 {
 // decompressSpans extracts all set-bit positions from a span stream.
 // sizeHint preallocates the output.
 func decompressSpans(r spanReader, sizeHint int) []uint32 {
-	out := make([]uint32, 0, sizeHint)
+	return decompressSpansAppend(r, make([]uint32, 0, sizeHint))
+}
+
+// decompressSpansAppend appends all set-bit positions of a span stream
+// to dst — the core.DecompressAppender body shared by every RLE-style
+// codec in this package.
+func decompressSpansAppend(r spanReader, dst []uint32) []uint32 {
 	pos := uint64(0)
 	for {
 		s, ok := r.next()
 		if !ok {
-			return out
+			return dst
 		}
 		switch s.kind {
 		case oneFill:
-			out = appendRun(out, pos, s.n)
+			dst = appendRun(dst, pos, s.n)
 		case literalSpan:
-			out = appendWordBits(out, pos, s.word)
+			dst = appendWordBits(dst, pos, s.word)
 		}
 		pos += s.n
 	}

@@ -164,6 +164,11 @@ func (p *valwahPosting) spans() spanReader {
 
 func (p *valwahPosting) Decompress() []uint32 { return decompressSpans(p.spans(), p.n) }
 
+// DecompressAppend implements core.DecompressAppender on the span stream.
+func (p *valwahPosting) DecompressAppend(dst []uint32) []uint32 {
+	return decompressSpansAppend(p.spans(), dst)
+}
+
 func (p *valwahPosting) IntersectWith(other core.Posting) ([]uint32, error) {
 	q, ok := other.(*valwahPosting)
 	if !ok {

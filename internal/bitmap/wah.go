@@ -92,6 +92,11 @@ func (p *wahPosting) spans() spanReader { return &wahReader{words: p.words} }
 
 func (p *wahPosting) Decompress() []uint32 { return decompressSpans(p.spans(), p.n) }
 
+// DecompressAppend implements core.DecompressAppender on the span stream.
+func (p *wahPosting) DecompressAppend(dst []uint32) []uint32 {
+	return decompressSpansAppend(p.spans(), dst)
+}
+
 func (p *wahPosting) IntersectWith(other core.Posting) ([]uint32, error) {
 	q, ok := other.(*wahPosting)
 	if !ok {

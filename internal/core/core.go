@@ -46,6 +46,43 @@ type Posting interface {
 	Decompress() []uint32
 }
 
+// DecompressAppender is an optional Posting extension for callers that
+// manage their own decode buffers (arena or pool allocators in the query
+// engine): the posting's values are appended to dst, growing it only
+// when capacity runs out, so steady-state decodes are allocation-free.
+//
+// Implementations must treat dst[:len(dst)] as caller-owned data and
+// only append; every codec in this module implements it.
+type DecompressAppender interface {
+	// DecompressAppend appends the full sorted value list to dst and
+	// returns the extended slice.
+	DecompressAppend(dst []uint32) []uint32
+}
+
+// DecompressAppend appends p's values to dst, using the posting's native
+// DecompressAppend when available and falling back to Decompress plus
+// copy otherwise. It is the decode entry point for pooled buffers.
+func DecompressAppend(p Posting, dst []uint32) []uint32 {
+	if da, ok := p.(DecompressAppender); ok {
+		return da.DecompressAppend(dst)
+	}
+	return append(dst, p.Decompress()...)
+}
+
+// GrowLen extends dst by n elements (reallocating only when capacity is
+// insufficient) and returns the extended slice. The new tail is
+// uninitialized scratch for the caller to fill — a shared helper for
+// DecompressAppend implementations that decode block-wise into
+// positioned sub-slices rather than appending element by element.
+func GrowLen(dst []uint32, n int) []uint32 {
+	if need := len(dst) + n; need > cap(dst) {
+		grown := make([]uint32, need, max(need, 2*cap(dst)))
+		copy(grown, dst)
+		return grown
+	}
+	return dst[:len(dst)+n]
+}
+
 // Codec compresses sorted sets of uint32 values.
 //
 // Compress requires a strictly increasing slice; it returns an error

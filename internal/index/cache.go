@@ -1,0 +1,141 @@
+package index
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DecodedCache is a size-bounded, generation-aware LRU of decoded
+// posting lists: hot terms skip decompression entirely on repeat
+// queries. Entries are keyed by (generation, term), where a generation
+// identifies one Index attachment — a hot-reloaded index gets a fresh
+// generation, so entries decoded from the previous index can never be
+// served against the new one, even while in-flight requests still hold
+// the old snapshot. The cache is safe for concurrent use.
+//
+// Ownership rule: slices returned by the cache (through
+// Index.DecodedPostings) are shared and strictly read-only. Callers
+// that need to mutate must copy.
+type DecodedCache struct {
+	mu       sync.Mutex
+	maxBytes int
+	curBytes int
+	entries  map[cacheKey]*list.Element
+	lru      *list.List // front = most recently used
+
+	nextGen uint64
+	hits    int64
+	misses  int64
+}
+
+type cacheKey struct {
+	gen  uint64
+	term string
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	vals []uint32
+}
+
+// entryBytes approximates an entry's footprint: the values plus map,
+// list-element, and key overhead.
+func (e *cacheEntry) bytes() int { return 4*len(e.vals) + len(e.key.term) + 96 }
+
+// NewDecodedCache returns a cache bounded to roughly maxBytes of
+// decoded postings. maxBytes <= 0 yields a cache that stores nothing
+// (every lookup misses), which keeps call sites branch-free.
+func NewDecodedCache(maxBytes int) *DecodedCache {
+	return &DecodedCache{
+		maxBytes: maxBytes,
+		entries:  map[cacheKey]*list.Element{},
+		lru:      list.New(),
+	}
+}
+
+// register allocates a fresh generation for an attaching index.
+func (c *DecodedCache) register() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextGen++
+	return c.nextGen
+}
+
+// get returns the cached decode for (gen, term) and marks it most
+// recently used.
+func (c *DecodedCache) get(gen uint64, term string) ([]uint32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[cacheKey{gen, term}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).vals, true
+}
+
+// put stores a decode, evicting least-recently-used entries until the
+// byte budget holds. Values larger than the whole budget are not cached
+// (they would evict everything for a single entry).
+func (c *DecodedCache) put(gen uint64, term string, vals []uint32) {
+	e := &cacheEntry{key: cacheKey{gen, term}, vals: vals}
+	if c.maxBytes <= 0 || e.bytes() > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		// Another goroutine decoded the same term concurrently; keep the
+		// existing entry so all callers converge on one shared slice.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[e.key] = c.lru.PushFront(e)
+	c.curBytes += e.bytes()
+	for c.curBytes > c.maxBytes {
+		c.removeLocked(c.lru.Back())
+	}
+}
+
+func (c *DecodedCache) removeLocked(el *list.Element) {
+	if el == nil {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.curBytes -= e.bytes()
+}
+
+// DropOtherGenerations evicts every entry whose generation differs from
+// keep — the hot-reload invalidation hook: after a new index registers,
+// the previous index's decodes are dead weight and are dropped eagerly
+// rather than waiting for LRU pressure.
+func (c *DecodedCache) DropOtherGenerations(keep uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Back(); el != nil; {
+		prev := el.Prev()
+		if el.Value.(*cacheEntry).key.gen != keep {
+			c.removeLocked(el)
+		}
+		el = prev
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+	Bytes   int   `json:"bytes"`
+}
+
+// Stats reports hit/miss counters and current occupancy.
+func (c *DecodedCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries), Bytes: c.curBytes}
+}

@@ -1,0 +1,135 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDecodedCacheLRUEviction(t *testing.T) {
+	vals := make([]uint32, 100) // 400 bytes payload + ~100 overhead per entry
+	c := NewDecodedCache(3 * 520)
+	gen := c.register()
+
+	c.put(gen, "a", vals)
+	c.put(gen, "b", vals)
+	c.put(gen, "c", vals)
+	if st := c.Stats(); st.Entries != 3 {
+		t.Fatalf("expected 3 entries, got %+v", st)
+	}
+	// Touch "a" so "b" becomes the LRU victim.
+	if _, ok := c.get(gen, "a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	c.put(gen, "d", vals)
+	if _, ok := c.get(gen, "b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	for _, term := range []string{"a", "c", "d"} {
+		if _, ok := c.get(gen, term); !ok {
+			t.Fatalf("%s should still be cached", term)
+		}
+	}
+	if st := c.Stats(); st.Bytes > 3*520 {
+		t.Fatalf("byte budget exceeded: %+v", st)
+	}
+}
+
+func TestDecodedCacheBounds(t *testing.T) {
+	// Zero-budget cache stores nothing but stays safe to call.
+	c := NewDecodedCache(0)
+	gen := c.register()
+	c.put(gen, "x", []uint32{1, 2, 3})
+	if _, ok := c.get(gen, "x"); ok {
+		t.Fatal("zero-budget cache must not store entries")
+	}
+	// An entry larger than the whole budget is rejected, not admitted.
+	c = NewDecodedCache(64)
+	gen = c.register()
+	c.put(gen, "big", make([]uint32, 1000))
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("oversized entry was admitted: %+v", st)
+	}
+}
+
+func TestDecodedCacheGenerations(t *testing.T) {
+	c := NewDecodedCache(1 << 20)
+	g1 := c.register()
+	g2 := c.register()
+	c.put(g1, "term", []uint32{1})
+	c.put(g2, "term", []uint32{2})
+
+	// Same term, different generations: independent entries.
+	v1, _ := c.get(g1, "term")
+	v2, _ := c.get(g2, "term")
+	if v1[0] != 1 || v2[0] != 2 {
+		t.Fatalf("generations not isolated: %v %v", v1, v2)
+	}
+
+	// Reload invalidation drops everything except the surviving gen.
+	c.DropOtherGenerations(g2)
+	if _, ok := c.get(g1, "term"); ok {
+		t.Fatal("old-generation entry survived DropOtherGenerations")
+	}
+	if v, ok := c.get(g2, "term"); !ok || v[0] != 2 {
+		t.Fatal("surviving generation was dropped")
+	}
+}
+
+func TestIndexDecodedPostingsUsesCache(t *testing.T) {
+	idx := buildTestIndex(t, "Roaring")
+	c := NewDecodedCache(1 << 20)
+	idx.AttachCache(c)
+	if idx.Generation() == 0 {
+		t.Fatal("AttachCache should assign a nonzero generation")
+	}
+
+	first := idx.DecodedPostings("compressed")
+	again := idx.DecodedPostings("compressed")
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("cached decode differs: %v vs %v", first, again)
+	}
+	st := c.Stats()
+	if st.Hits < 1 || st.Misses < 1 {
+		t.Fatalf("expected at least one hit and one miss, got %+v", st)
+	}
+	if got := idx.DecodedPostings("no-such-term"); got != nil {
+		t.Fatalf("unknown term should decode to nil, got %v", got)
+	}
+}
+
+// TestIndexQueriesMatchWithCache: conjunctive, disjunctive, and top-k
+// results are identical with and without an attached cache, on cold and
+// warm paths.
+func TestIndexQueriesMatchWithCache(t *testing.T) {
+	for _, codec := range []string{"Roaring", "SIMDBP128*", "WAH"} {
+		plain := buildTestIndex(t, codec)
+		cached := buildTestIndex(t, codec)
+		cached.AttachCache(NewDecodedCache(1 << 20))
+
+		terms := []string{"compressed", "lists", "bitmap"}
+		for pass := 0; pass < 2; pass++ { // cold then warm
+			wantOr, err := plain.Disjunctive(terms...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotOr, err := cached.Disjunctive(terms...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotOr, wantOr) {
+				t.Fatalf("%s pass %d: Disjunctive with cache = %v, want %v", codec, pass, gotOr, wantOr)
+			}
+			wantK, err := plain.TopK(4, terms...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotK, err := cached.TopK(4, terms...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotK, wantK) {
+				t.Fatalf("%s pass %d: TopK with cache = %v, want %v", codec, pass, gotK, wantK)
+			}
+		}
+	}
+}

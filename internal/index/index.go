@@ -93,6 +93,45 @@ type Index struct {
 	codec core.Codec
 	terms map[string]termEntry
 	docs  int
+
+	// cache, when attached, memoizes decoded posting lists under this
+	// index's generation. See DecodedCache for the invalidation story.
+	cache *DecodedCache
+	gen   uint64
+}
+
+// AttachCache connects a decoded-posting cache to the index under a
+// fresh generation. Attach before the index is shared across
+// goroutines (i.e. before a server publishes the snapshot): the fields
+// set here are not synchronized on their own.
+func (idx *Index) AttachCache(c *DecodedCache) {
+	idx.cache = c
+	idx.gen = c.register()
+}
+
+// Generation reports the cache generation assigned by AttachCache
+// (0 when no cache is attached).
+func (idx *Index) Generation() uint64 { return idx.gen }
+
+// DecodedPostings returns the decoded posting list for a term (nil if
+// unindexed), consulting the attached cache first. The returned slice
+// is shared and read-only: it may be served concurrently to other
+// queries. Callers that need to mutate must copy.
+func (idx *Index) DecodedPostings(term string) []uint32 {
+	e, ok := idx.terms[term]
+	if !ok {
+		return nil
+	}
+	if idx.cache != nil {
+		if vals, ok := idx.cache.get(idx.gen, term); ok {
+			return vals
+		}
+	}
+	vals := e.posting.Decompress()
+	if idx.cache != nil {
+		idx.cache.put(idx.gen, term, vals)
+	}
+	return vals
 }
 
 // Docs reports the number of indexed documents.
@@ -133,8 +172,21 @@ func (idx *Index) Conjunctive(terms ...string) ([]uint32, error) {
 	return ops.Intersect(ps)
 }
 
-// Disjunctive returns the documents containing at least one term.
+// Disjunctive returns the documents containing at least one term. With
+// a cache attached, hot terms skip decompression: the union merges the
+// cached decoded lists (UnionMany never writes into its inputs, so the
+// shared slices stay intact). Without a cache the native compressed-form
+// union path is used, as before.
 func (idx *Index) Disjunctive(terms ...string) ([]uint32, error) {
+	if idx.cache != nil {
+		var lists [][]uint32
+		for _, t := range terms {
+			if _, ok := idx.terms[t]; ok {
+				lists = append(lists, idx.DecodedPostings(t))
+			}
+		}
+		return ops.UnionMany(lists), nil
+	}
 	var ps []core.Posting
 	for _, t := range terms {
 		if e, ok := idx.terms[t]; ok {
@@ -152,46 +204,40 @@ type Result struct {
 
 // TopK implements §A.1's two-step top-k: intersect the query terms for
 // candidates (the dominant cost), then rank candidates by summed term
-// frequency.
+// frequency. Each term's posting is decoded at most once per query
+// (served from the attached cache when hot) and candidates locate their
+// payload slot with one binary search per (candidate, term) pair — the
+// previous implementation re-decompressed the full posting for every
+// pair, O(candidates · terms · postingLen).
 func (idx *Index) TopK(k int, terms ...string) ([]Result, error) {
 	candidates, err := idx.Conjunctive(terms...)
 	if err != nil || len(candidates) == 0 {
 		return nil, err
 	}
+	type scorer struct {
+		vals  []uint32
+		freqs []uint16
+	}
+	scorers := make([]scorer, 0, len(terms))
+	for _, t := range terms {
+		if e, ok := idx.terms[t]; ok {
+			scorers = append(scorers, scorer{vals: idx.DecodedPostings(t), freqs: e.freqs})
+		}
+	}
 	results := make([]Result, len(candidates))
 	for i, doc := range candidates {
-		results[i] = Result{Doc: doc, Score: idx.score(doc, terms)}
+		s := 0
+		for _, sc := range scorers {
+			j := sort.Search(len(sc.vals), func(j int) bool { return sc.vals[j] >= doc })
+			if j < len(sc.vals) && sc.vals[j] == doc {
+				s += int(sc.freqs[j])
+			}
+		}
+		results[i] = Result{Doc: doc, Score: s}
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].Score > results[j].Score })
 	if k < len(results) {
 		results = results[:k]
 	}
 	return results, nil
-}
-
-// score sums the term frequencies of doc across terms, locating the
-// payload slot via SeekGEQ when the posting supports it.
-func (idx *Index) score(doc uint32, terms []string) int {
-	s := 0
-	for _, t := range terms {
-		e := idx.terms[t]
-		pos := idx.position(e.posting, doc)
-		if pos >= 0 {
-			s += int(e.freqs[pos])
-		}
-	}
-	return s
-}
-
-// position returns doc's rank within the posting, or -1.
-func (idx *Index) position(p core.Posting, doc uint32) int {
-	// Counting rank needs the values; a production system would store
-	// rank-aligned payloads per block. Decompress-and-search is fine at
-	// example scale and exact at any scale.
-	vals := p.Decompress()
-	i := sort.Search(len(vals), func(i int) bool { return vals[i] >= doc })
-	if i < len(vals) && vals[i] == doc {
-		return i
-	}
-	return -1
 }

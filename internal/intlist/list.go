@@ -171,12 +171,19 @@ func (p *listPosting) blockFirst(b int) uint32 { return p.skips[b].first }
 func (p *listPosting) noSkipMode() bool        { return p.noSkips }
 
 func (p *listPosting) Decompress() []uint32 {
-	out := make([]uint32, p.n)
+	return p.DecompressAppend(make([]uint32, 0, p.n))
+}
+
+// DecompressAppend implements core.DecompressAppender: blocks decode
+// directly into positioned sub-slices of the grown destination.
+func (p *listPosting) DecompressAppend(dst []uint32) []uint32 {
+	base := len(dst)
+	dst = core.GrowLen(dst, p.n)
 	for b := range p.skips {
-		lo := b * p.bs
-		p.decodeBlock(b, out[lo:lo+p.blockLen(b)])
+		lo := base + b*p.bs
+		p.decodeBlock(b, dst[lo:lo+p.blockLen(b)])
 	}
-	return out
+	return dst
 }
 
 // Iterator returns a skipping iterator (core.Seeker).

@@ -101,14 +101,18 @@ func (p *pefPosting) SizeBytes() int {
 }
 
 func (p *pefPosting) Decompress() []uint32 {
-	out := make([]uint32, 0, p.n)
+	return p.DecompressAppend(make([]uint32, 0, p.n))
+}
+
+// DecompressAppend implements core.DecompressAppender via the iterator.
+func (p *pefPosting) DecompressAppend(dst []uint32) []uint32 {
 	it := p.Iterator()
 	for {
 		v, ok := it.Next()
 		if !ok {
-			return out
+			return dst
 		}
-		out = append(out, v)
+		dst = append(dst, v)
 	}
 }
 

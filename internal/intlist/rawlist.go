@@ -39,6 +39,11 @@ func (p *rawPosting) Decompress() []uint32 {
 	return out
 }
 
+// DecompressAppend implements core.DecompressAppender.
+func (p *rawPosting) DecompressAppend(dst []uint32) []uint32 {
+	return append(dst, p.values...)
+}
+
 func (p *rawPosting) Iterator() core.Iterator { return &rawIterator{values: p.values} }
 
 type rawIterator struct {

@@ -95,12 +95,19 @@ func (p *storedPosting) decodeBlock(b int, buf []uint32) []uint32 {
 }
 
 func (p *storedPosting) Decompress() []uint32 {
-	out := make([]uint32, p.n)
+	return p.DecompressAppend(make([]uint32, 0, p.n))
+}
+
+// DecompressAppend implements core.DecompressAppender; block fetches go
+// through the Fetcher exactly as in Decompress.
+func (p *storedPosting) DecompressAppend(dst []uint32) []uint32 {
+	base := len(dst)
+	dst = core.GrowLen(dst, p.n)
 	for b := range p.skips {
-		lo := b * p.bs
-		p.decodeBlock(b, out[lo:lo+p.blockLen(b)])
+		lo := base + b*p.bs
+		p.decodeBlock(b, dst[lo:lo+p.blockLen(b)])
 	}
-	return out
+	return dst
 }
 
 // Iterator returns a skipping iterator; block fetches go through the

@@ -129,6 +129,12 @@ func (s *StoredWhole) Decompress() []uint32 {
 	return s.inner.Decompress()
 }
 
+// DecompressAppend fetches the whole payload, then decodes into dst.
+func (s *StoredWhole) DecompressAppend(dst []uint32) []uint32 {
+	s.d.account(s.size)
+	return core.DecompressAppend(s.inner, dst)
+}
+
 // IntersectWith fetches both whole payloads, then runs the native AND.
 func (s *StoredWhole) IntersectWith(other core.Posting) ([]uint32, error) {
 	o, ok := other.(*StoredWhole)

@@ -1,0 +1,98 @@
+package ops
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Scratch retention caps for pooled arenas: a single huge query must not
+// pin an unbounded amount of decode scratch in the pool forever.
+const (
+	arenaMaxRetainElems = 1 << 21 // 8 MiB of uint32 scratch per pooled arena
+	arenaMaxRetainBufs  = 64
+)
+
+// arena is the per-query scratch allocator behind Engine and Intersect.
+// Decode and merge targets are drawn from a free list that put refills,
+// so steady-state query evaluation performs no heap allocation. The
+// postings/lists/children fields are stack-disciplined collection
+// scratch for plan nodes: a node records the current length, appends its
+// entries, and truncates back on the way out, which keeps reuse safe
+// under recursion.
+//
+// An arena is NOT safe for concurrent use; the engine hands each
+// parallel worker its own arena and copies results across the boundary.
+type arena struct {
+	free     [][]uint32 // reusable buffers, length reset by get
+	retained int        // sum of caps across free
+
+	postings []core.Posting // operand scratch (stack-disciplined)
+	lists    [][]uint32     // list-collection scratch (stack-disciplined)
+	children []childRef     // plan-child ordering scratch (stack-disciplined)
+	heads    []heapHead     // k-way merge heap scratch (leaf-level use only)
+}
+
+// childRef orders a plan node's children by estimated cost without
+// mutating the shared Expr tree.
+type childRef struct {
+	cost int
+	idx  int
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+func getArena() *arena { return arenaPool.Get().(*arena) }
+
+// putArena trims retained scratch to the caps above and returns a to the
+// pool. Collection scratch is truncated but keeps its capacity.
+func putArena(a *arena) {
+	for len(a.free) > 0 && (len(a.free) > arenaMaxRetainBufs || a.retained > arenaMaxRetainElems) {
+		last := a.free[len(a.free)-1]
+		a.retained -= cap(last)
+		a.free[len(a.free)-1] = nil
+		a.free = a.free[:len(a.free)-1]
+	}
+	a.postings = a.postings[:0]
+	a.lists = a.lists[:0]
+	a.children = a.children[:0]
+	arenaPool.Put(a)
+}
+
+// get returns a zero-length buffer with capacity >= hint, preferring the
+// smallest free buffer that fits. The caller owns the buffer until it
+// either puts it back or hands ownership up the plan tree.
+func (a *arena) get(hint int) []uint32 {
+	best := -1
+	for i, b := range a.free {
+		if cap(b) >= hint && (best < 0 || cap(b) < cap(a.free[best])) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		buf := a.free[best]
+		a.retained -= cap(buf)
+		a.free[best] = a.free[len(a.free)-1]
+		a.free[len(a.free)-1] = nil
+		a.free = a.free[:len(a.free)-1]
+		return buf[:0]
+	}
+	if hint < 64 {
+		hint = 64
+	}
+	return make([]uint32, 0, hint)
+}
+
+// put returns buf's backing array to the free list. buf must not be
+// touched afterwards — that includes slices aliasing it, such as the
+// in-place results of skipProbe/mergeProbe/intersectSortedInPlace, so a
+// buffer and its shrunk alias count as ONE ownership, never two.
+// Adopting fresh heap slices (native codec op results) is allowed and
+// grows the free list.
+func (a *arena) put(buf []uint32) {
+	if cap(buf) == 0 {
+		return
+	}
+	a.retained += cap(buf)
+	a.free = append(a.free, buf)
+}

@@ -74,54 +74,32 @@ func Intersect(postings []core.Posting) ([]uint32, error) {
 	case 1:
 		return postings[0].Decompress(), nil
 	}
-	sorted := make([]core.Posting, len(postings))
-	copy(sorted, postings)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Len() < sorted[j].Len() })
-
-	var cur []uint32
-	haveCur := false
-	rest := sorted[1:]
-	// Native compressed-form AND for the first same-codec pair.
-	if inter, ok := sorted[0].(core.Intersecter); ok {
-		r, err := inter.IntersectWith(sorted[1])
-		switch {
-		case err == nil:
-			cur = r
-			haveCur = true
-			rest = sorted[2:]
-		case errors.Is(err, core.ErrIncompatible):
-			// Mixed operands: fall through to the generic path.
-		default:
-			return nil, err
-		}
+	// The heavy lifting shares the engine's pooled arena: the operand
+	// sort and the initial decompression of the smallest operand reuse
+	// pooled scratch instead of allocating per call (the probe loop
+	// itself lives in intersectInto / probeAnd, shared with Engine).
+	// The result is copied out so callers own an exact-size slice and
+	// the scratch can return to the pool.
+	a := getArena()
+	cur, err := intersectInto(a, postings)
+	if err != nil {
+		putArena(a)
+		return nil, err
 	}
-	if !haveCur {
-		cur = sorted[0].Decompress()
-	}
-	for _, p := range rest {
-		if len(cur) == 0 {
-			return cur, nil
-		}
-		if s, ok := p.(core.Seeker); ok {
-			if p.Len() < mergeRatio*len(cur) {
-				cur = mergeProbe(cur, s.Iterator())
-			} else {
-				cur = skipProbe(cur, s.Iterator())
-			}
-			continue
-		}
-		if lp, ok := p.(core.ListProber); ok {
-			// "Bitmap vs list" (§B.1): probe the running result against
-			// the compressed bitmap without decompressing it.
-			cur = lp.IntersectList(cur)
-			continue
-		}
-		cur = IntersectSorted(cur, p.Decompress())
-	}
-	return cur, nil
+	out := make([]uint32, len(cur))
+	copy(out, cur)
+	a.put(cur)
+	putArena(a)
+	return out, nil
 }
 
 // skipProbe keeps the elements of cur present in it, probing via SeekGEQ.
+//
+// Aliasing contract: the result is written into cur's own prefix
+// (out := cur[:0]); the write index never passes the read index, so the
+// filter is safe in place, and the returned slice shares cur's backing
+// array. Callers must treat cur as consumed — in arena terms, cur and
+// the result are ONE buffer, returned to the pool at most once.
 func skipProbe(cur []uint32, it core.Iterator) []uint32 {
 	out := cur[:0]
 	for _, v := range cur {
@@ -137,7 +115,9 @@ func skipProbe(cur []uint32, it core.Iterator) []uint32 {
 }
 
 // mergeProbe advances both sides in lockstep (merge-based intersection
-// for similar-size lists).
+// for similar-size lists). It filters cur in place under the same
+// aliasing contract as skipProbe: the returned slice is a prefix of
+// cur's backing array and cur is consumed.
 func mergeProbe(cur []uint32, it core.Iterator) []uint32 {
 	out := cur[:0]
 	w, ok := it.Next()

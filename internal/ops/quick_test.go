@@ -91,3 +91,40 @@ func normalizeQ(a []uint32) []uint32 {
 	}
 	return a
 }
+
+// planInput generates a random plan over a random mixed-codec posting
+// set, seeding the engine-vs-serial property below.
+type planInput struct {
+	Seed int64
+}
+
+// Generate implements quick.Generator.
+func (planInput) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(planInput{Seed: r.Int63()})
+}
+
+// TestQuickEngineMatchesSerial: for random Expr trees over mixed codec
+// families, the pooled parallel engine and the serial reference are
+// extensionally equal. Parallelism is forced (ParallelMinWork=1) so the
+// fan-out path is the one under test; with -race this doubles as the
+// data-race check on the worker pool.
+func TestQuickEngineMatchesSerial(t *testing.T) {
+	ev := NewEngine(EngineConfig{Parallelism: 4, ParallelMinWork: 1})
+	prop := func(in planInput) bool {
+		r := rand.New(rand.NewSource(in.Seed))
+		ps := randomPostings(t, r, 2+r.Intn(5), 300)
+		plan := randomExpr(r, len(ps), 3)
+		want, err := Eval(plan, ps)
+		if err != nil {
+			return false
+		}
+		got, err := ev.Eval(plan, ps)
+		if err != nil {
+			return false
+		}
+		return equalU32(normalizeQ(got), normalizeQ(want))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -83,6 +83,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"inFlight":        s.inFlight.Load(),
 		"reloads":         s.Reloads(),
 		"ready":           s.Ready(),
+		"postingCache":    s.CacheStats(),
 	})
 }
 

@@ -41,6 +41,12 @@ type Config struct {
 	MaxK          int // top-k limit before 400 (default 1000)
 	MaxURLBytes   int // request-URI bytes before 414 (default 8192)
 
+	// CacheBytes bounds the decoded-posting cache shared across index
+	// generations: hot terms skip decompression on repeat queries, and
+	// hot reloads invalidate stale entries by generation. Default
+	// 32 MiB; negative disables caching.
+	CacheBytes int
+
 	Logger *log.Logger // defaults to log.Default()
 
 	// Routes, when set, registers extra application routes (debug
@@ -72,6 +78,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxURLBytes <= 0 {
 		c.MaxURLBytes = 8192
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 32 << 20
+	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
 	}
@@ -84,6 +93,7 @@ type Server struct {
 	log *log.Logger
 
 	idx      atomic.Pointer[index.Index]
+	cache    *index.DecodedCache
 	ready    atomic.Bool
 	draining atomic.Bool
 	inFlight atomic.Int64
@@ -102,8 +112,21 @@ func New(idx *index.Index, cfg Config) *Server {
 		log: cfg.Logger,
 		sem: make(chan struct{}, cfg.MaxInFlight),
 	}
+	if cfg.CacheBytes > 0 {
+		s.cache = index.NewDecodedCache(cfg.CacheBytes)
+		idx.AttachCache(s.cache)
+	}
 	s.idx.Store(idx)
 	return s
+}
+
+// CacheStats reports decoded-posting cache effectiveness (zero value
+// when caching is disabled).
+func (s *Server) CacheStats() index.CacheStats {
+	if s.cache == nil {
+		return index.CacheStats{}
+	}
+	return s.cache.Stats()
 }
 
 // SetLoader installs the function Reload uses to load a replacement
@@ -144,6 +167,14 @@ func (s *Server) Reload() error {
 	if next == nil {
 		s.log.Printf("server: reload loader returned nil index, keeping current")
 		return errors.New("server: reload: loader returned nil index")
+	}
+	if s.cache != nil {
+		// The replacement index gets a fresh cache generation; decodes
+		// belonging to any other generation are dropped eagerly. In-flight
+		// requests still holding the old snapshot just miss the cache —
+		// they can never observe entries from the wrong index.
+		next.AttachCache(s.cache)
+		defer s.cache.DropOtherGenerations(next.Generation())
 	}
 	old := s.idx.Swap(next)
 	s.reloads.Add(1)

@@ -269,3 +269,64 @@ func TestConcurrentSearchReload(t *testing.T) {
 		t.Fatalf("reloads = %d, want 20", s.Reloads())
 	}
 }
+
+// TestReloadInvalidatesPostingCache: entries decoded against the old
+// index generation are dropped on hot reload, and the replacement index
+// repopulates the same shared cache under its own generation.
+func TestReloadInvalidatesPostingCache(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	// OR queries go through the decoded-posting cache; warm it.
+	rec, _ := get(t, h, "/search?q=compressed+bitmap&mode=or")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm-up search = %d", rec.Code)
+	}
+	warm := s.CacheStats()
+	if warm.Entries == 0 || warm.Misses == 0 {
+		t.Fatalf("cache not populated by OR query: %+v", warm)
+	}
+
+	s.SetLoader(func() (*index.Index, error) { return buildIndex(t, testDocs...), nil })
+	if err := s.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Entries != 0 {
+		t.Fatalf("old-generation entries survived reload: %+v", st)
+	}
+
+	// The new index fills the cache again and serves hits from it.
+	for i := 0; i < 2; i++ {
+		if rec, _ := get(t, h, "/search?q=compressed+bitmap&mode=or"); rec.Code != http.StatusOK {
+			t.Fatalf("post-reload search = %d", rec.Code)
+		}
+	}
+	after := s.CacheStats()
+	if after.Entries == 0 || after.Hits <= warm.Hits {
+		t.Fatalf("cache not repopulated after reload: %+v", after)
+	}
+
+	// A disabled cache keeps the endpoints working with zero stats.
+	off := New(buildIndex(t, testDocs...), Config{CacheBytes: -1, Logger: quiet})
+	if rec, _ := get(t, off.Handler(), "/search?q=compressed&mode=or"); rec.Code != http.StatusOK {
+		t.Fatalf("cacheless search = %d", rec.Code)
+	}
+	if st := off.CacheStats(); st != (index.CacheStats{}) {
+		t.Fatalf("disabled cache reported activity: %+v", st)
+	}
+}
+
+// TestStatsExposesPostingCache: /stats carries the cache counters.
+func TestStatsExposesPostingCache(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	get(t, h, "/search?q=compressed+bitmap&mode=or")
+	_, body := get(t, h, "/stats")
+	pc, ok := body["postingCache"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("stats missing postingCache: %v", body)
+	}
+	if pc["entries"].(float64) == 0 {
+		t.Fatalf("postingCache shows no entries after OR query: %v", pc)
+	}
+}
