@@ -21,10 +21,12 @@ race:
 
 # One testing.B benchmark per paper table/figure plus the ablations.
 # Also emits the engine-vs-serial comparison as results/BENCH_engine.json
+# and the decode-kernel microbenchmarks as results/BENCH_kernels.json
 # for regression tracking.
 bench:
 	mkdir -p results
 	$(GO) test -run NONE -bench BenchmarkEngine -benchmem -json ./internal/ops > results/BENCH_engine.json
+	$(GO) test -run NONE -bench '.' -benchmem -json ./internal/kernels > results/BENCH_kernels.json
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table/figure as text tables (see cmd/bvbench -help

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGeneratedFilesInSync regenerates every kernel file in memory and
+// compares it byte-for-byte against the committed copy under
+// internal/kernels. A mismatch means someone edited the generator (or a
+// generated file by hand) without rerunning go generate; CI enforces the
+// same invariant via `go generate ./... && git diff --exit-code`.
+func TestGeneratedFilesInSync(t *testing.T) {
+	files, err := Files()
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if len(files) == 0 {
+		t.Fatal("generator produced no files")
+	}
+	dir := filepath.Join("..", "..", "internal", "kernels")
+	for name, want := range files {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s: %v (run `go generate ./internal/kernels`)", name, err)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: committed file differs from generator output (run `go generate ./internal/kernels`)", name)
+		}
+	}
+}

@@ -1,9 +1,8 @@
 package bitmap
 
 import (
-	"math/bits"
-
 	"repro/internal/core"
+	"repro/internal/kernels"
 )
 
 // Bitset is the uncompressed bitmap baseline ("Bitset" in the paper's
@@ -48,63 +47,28 @@ func (p *bitsetPosting) Decompress() []uint32 {
 
 // DecompressAppend implements core.DecompressAppender.
 func (p *bitsetPosting) DecompressAppend(dst []uint32) []uint32 {
-	for i, w := range p.words {
-		base := uint64(i) * 64
-		for w != 0 {
-			tz := bits.TrailingZeros64(w)
-			dst = append(dst, uint32(base+uint64(tz)))
-			w &= w - 1
-		}
-	}
-	return dst
+	return kernels.ExtractWords(dst, p.words, 0)
 }
 
-// IntersectWith ANDs two bit vectors word-wise and extracts the result.
+// IntersectWith ANDs two bit vectors in 4-way-unrolled word batches and
+// extracts the result through the shared kernel.
 func (p *bitsetPosting) IntersectWith(other core.Posting) ([]uint32, error) {
 	q, ok := other.(*bitsetPosting)
 	if !ok {
 		return nil, core.ErrIncompatible
 	}
-	n := len(p.words)
-	if len(q.words) < n {
-		n = len(q.words)
-	}
-	var out []uint32
-	for i := 0; i < n; i++ {
-		w := p.words[i] & q.words[i]
-		base := uint64(i) * 64
-		for w != 0 {
-			tz := bits.TrailingZeros64(w)
-			out = append(out, uint32(base+uint64(tz)))
-			w &= w - 1
-		}
-	}
-	return out, nil
+	return kernels.AndWordsExtract(nil, p.words, q.words, 0), nil
 }
 
-// UnionWith ORs two bit vectors word-wise and extracts the result.
+// UnionWith ORs two bit vectors in 4-way-unrolled word batches and
+// extracts the result through the shared kernel.
 func (p *bitsetPosting) UnionWith(other core.Posting) ([]uint32, error) {
 	q, ok := other.(*bitsetPosting)
 	if !ok {
 		return nil, core.ErrIncompatible
 	}
-	a, b := p.words, q.words
-	if len(b) > len(a) {
-		a, b = b, a
-	}
 	out := make([]uint32, 0, p.n+q.n)
-	for i, w := range a {
-		if i < len(b) {
-			w |= b[i]
-		}
-		base := uint64(i) * 64
-		for w != 0 {
-			tz := bits.TrailingZeros64(w)
-			out = append(out, uint32(base+uint64(tz)))
-			w &= w - 1
-		}
-	}
-	return out, nil
+	return kernels.OrWordsExtract(out, p.words, q.words, 0), nil
 }
 
 // Contains reports whether v is set; used by list-vs-bitmap probing in

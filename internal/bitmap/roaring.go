@@ -1,10 +1,10 @@
 package bitmap
 
 import (
-	"math/bits"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/kernels"
 )
 
 // Roaring (§2.7) partitions the domain into 2^16-value buckets sharing
@@ -106,14 +106,7 @@ type bitmapContainer struct {
 func (c *bitmapContainer) card() int      { return c.n }
 func (c *bitmapContainer) sizeBytes() int { return 8192 }
 func (c *bitmapContainer) appendAll(out []uint32, high uint32) []uint32 {
-	for i, w := range c.words {
-		base := high | uint32(i)<<6
-		for w != 0 {
-			out = append(out, base+uint32(bits.TrailingZeros64(w)))
-			w &= w - 1
-		}
-	}
-	return out
+	return kernels.ExtractWords(out, c.words[:], high)
 }
 
 func (c *bitmapContainer) contains(low uint16) bool {
@@ -206,15 +199,7 @@ func andContainers(a, b container, out []uint32, high uint32) []uint32 {
 		case arrayContainer:
 			return andArrayBitmap(cb, ca, out, high)
 		case *bitmapContainer:
-			for i := range ca.words {
-				w := ca.words[i] & cb.words[i]
-				base := high | uint32(i)<<6
-				for w != 0 {
-					out = append(out, base+uint32(bits.TrailingZeros64(w)))
-					w &= w - 1
-				}
-			}
-			return out
+			return kernels.AndWordsExtract(out, ca.words[:], cb.words[:], high)
 		}
 	}
 	return out
@@ -292,15 +277,7 @@ func orContainers(a, b container, out []uint32, high uint32) []uint32 {
 		case arrayContainer:
 			return orArrayBitmap(cb, ca, out, high)
 		case *bitmapContainer:
-			for i := range ca.words {
-				w := ca.words[i] | cb.words[i]
-				base := high | uint32(i)<<6
-				for w != 0 {
-					out = append(out, base+uint32(bits.TrailingZeros64(w)))
-					w &= w - 1
-				}
-			}
-			return out
+			return kernels.OrWordsExtract(out, ca.words[:], cb.words[:], high)
 		}
 	}
 	return out

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/kernels"
 )
 
 // Roaring+Run serialization mirrors Roaring's layout with a third
@@ -82,6 +83,11 @@ func (RoaringRun) Decode(data []byte) (core.Posting, error) {
 			c := &bitmapContainer{n: card}
 			for k := range c.words {
 				c.words[k] = binary.LittleEndian.Uint64(rest[8*k:])
+			}
+			// card drives container-level size/merge decisions, so it must
+			// match the payload even when the grand total happens to add up.
+			if kernels.PopcountWords(c.words[:]) != card {
+				return nil, fmt.Errorf("%w: bitmap container cardinality mismatch", core.ErrBadFormat)
 			}
 			rest = rest[8192:]
 			p.cs = append(p.cs, c)

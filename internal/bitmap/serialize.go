@@ -6,6 +6,7 @@ import (
 	"math/bits"
 
 	"repro/internal/core"
+	"repro/internal/kernels"
 )
 
 // Binary serialization for the nine bitmap codecs. Layouts (after the
@@ -132,11 +133,18 @@ func (Bitset) Decode(data []byte) (core.Posting, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &bitsetPosting{words: words, n: n}
-	if err := core.VerifyDecompress(p); err != nil {
-		return nil, err
+	// A popcount over the words validates the payload against the header
+	// without materializing the list the way core.VerifyDecompress would:
+	// set bits are sorted by construction, so cardinality is the only
+	// degree of freedom left. The length bound keeps every position
+	// inside the 32-bit value space (2^32 bits = 2^26 words).
+	if len(words) > 1<<26 {
+		return nil, fmt.Errorf("%w: bitset payload overruns 32-bit position space", core.ErrBadFormat)
 	}
-	return p, nil
+	if got := kernels.PopcountWords(words); got != n {
+		return nil, fmt.Errorf("%w: bitset has %d bits set, header says %d", core.ErrBadFormat, got, n)
+	}
+	return &bitsetPosting{words: words, n: n}, nil
 }
 
 // --- word-aligned RLE codecs ---
@@ -369,6 +377,11 @@ func (Roaring) Decode(data []byte) (core.Posting, error) {
 			c := &bitmapContainer{n: card}
 			for k := range c.words {
 				c.words[k] = binary.LittleEndian.Uint64(rest[8*k:])
+			}
+			// card drives container-level size/merge decisions, so it must
+			// match the payload even when the grand total happens to add up.
+			if kernels.PopcountWords(c.words[:]) != card {
+				return nil, fmt.Errorf("%w: bitmap container cardinality mismatch", core.ErrBadFormat)
 			}
 			rest = rest[8192:]
 			p.cs = append(p.cs, c)

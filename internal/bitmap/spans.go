@@ -13,7 +13,7 @@
 // lengths and the byte-aligned codecs uniformly.
 package bitmap
 
-import "math/bits"
+import "repro/internal/kernels"
 
 type spanKind uint8
 
@@ -94,12 +94,7 @@ func appendRun(out []uint32, pos, n uint64) []uint32 {
 
 // appendWordBits appends the positions of set bits of w, offset by base.
 func appendWordBits(out []uint32, base uint64, w uint64) []uint32 {
-	for w != 0 {
-		tz := bits.TrailingZeros64(w)
-		out = append(out, uint32(base+uint64(tz)))
-		w &= w - 1
-	}
-	return out
+	return kernels.ExtractWord(out, w, uint32(base))
 }
 
 // decompressSpans extracts all set-bit positions from a span stream.

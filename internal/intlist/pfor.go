@@ -1,6 +1,9 @@
 package intlist
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
 
 // This file implements the PforDelta family (§3.3–3.5):
 //
@@ -17,40 +20,14 @@ import "repro/internal/core"
 
 // packSlots appends n fixed-width b-bit fields to dst (LSB-first).
 func packSlots(dst []byte, vals []uint32, b uint) []byte {
-	var acc uint64
-	var nbits uint
-	for _, v := range vals {
-		acc |= uint64(v&(1<<b-1)) << nbits
-		nbits += b
-		for nbits >= 8 {
-			dst = append(dst, byte(acc))
-			acc >>= 8
-			nbits -= 8
-		}
-	}
-	if nbits > 0 {
-		dst = append(dst, byte(acc))
-	}
-	return dst
+	return kernels.Pack(dst, vals, b)
 }
 
-// unpackSlots reads len(out) b-bit fields from src, returning bytes used.
+// unpackSlots reads len(out) b-bit fields from src, returning bytes
+// used. Decoding runs through the width-specialized unrolled kernels
+// (internal/kernels); kernels.UnpackRef is the old generic loop.
 func unpackSlots(src []byte, out []uint32, b uint) int {
-	var acc uint64
-	var nbits uint
-	i := 0
-	mask := uint64(1)<<b - 1
-	for k := range out {
-		for nbits < b {
-			acc |= uint64(src[i]) << nbits
-			i++
-			nbits += 8
-		}
-		out[k] = uint32(acc & mask)
-		acc >>= b
-		nbits -= b
-	}
-	return i
+	return kernels.Unpack(src, out, b)
 }
 
 // bitsFor returns the minimal width that can hold v (at least 1).

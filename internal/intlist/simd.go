@@ -1,6 +1,9 @@
 package intlist
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
 
 // The four SIMD-layout codecs (§3.10–3.11). All use the vertical 4-lane
 // 128-value packing of vpack.go inside the standard block frame:
@@ -37,6 +40,10 @@ func (simdBP128Block) DecodeBlock(src []byte, out []uint32) int {
 		return 0
 	}
 	b := uint(src[0])
+	if len(out) == BlockSize {
+		// Full block: fused unpack + prefix-sum, one pass, no scratch.
+		return 4 + kernels.VUnpackDelta(src[4:], (*[BlockSize - 1]uint32)(out[1:]), out[0], b)
+	}
 	var dec [128]uint32
 	used := 4 + vunpack128(src[4:], &dec, b)
 	prev := out[0]
@@ -71,6 +78,10 @@ func (simdBP128StarBlock) DecodeBlock(src []byte, out []uint32) int {
 		return 0
 	}
 	b := uint(src[0])
+	if len(out) == BlockSize {
+		// Full block: fused unpack + base add (offsets are absolute).
+		return 1 + kernels.VUnpackBase(src[1:], (*[BlockSize - 1]uint32)(out[1:]), out[0], b)
+	}
 	var dec [128]uint32
 	used := 1 + vunpack128(src[1:], &dec, b)
 	first := out[0]
@@ -133,6 +144,10 @@ func (simdPFDBlock) DecodeBlock(src []byte, out []uint32) int {
 	}
 	b := uint(src[0])
 	excCount := int(src[1])
+	if excCount == 0 && len(out) == BlockSize {
+		// Exception-free full block decodes exactly like SIMDPforDelta*.
+		return 2 + kernels.VUnpackDelta(src[2:], (*[BlockSize - 1]uint32)(out[1:]), out[0], b)
+	}
 	var dec [128]uint32
 	used := 2 + vunpack128(src[2:], &dec, b)
 	var positions [BlockSize]int
@@ -180,6 +195,10 @@ func (simdPFDStarBlock) DecodeBlock(src []byte, out []uint32) int {
 		return 0
 	}
 	b := uint(src[0])
+	if len(out) == BlockSize {
+		// Full block: fused unpack + prefix-sum, one pass, no scratch.
+		return 1 + kernels.VUnpackDelta(src[1:], (*[BlockSize - 1]uint32)(out[1:]), out[0], b)
+	}
 	var dec [128]uint32
 	used := 1 + vunpack128(src[1:], &dec, b)
 	prev := out[0]

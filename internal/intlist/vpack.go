@@ -1,6 +1,6 @@
 package intlist
 
-import "encoding/binary"
+import "repro/internal/kernels"
 
 // Vertical 4-lane bit packing — the SIMD-BP128 data layout (§3.10-3.11).
 //
@@ -9,67 +9,19 @@ import "encoding/binary"
 // exactly b 32-bit words, and the four lanes interleave word-wise, so
 // word k of the output is the four lane words of "bit-slice" k — byte
 // for byte the layout a 128-bit SIMD register file would process. Go
-// (stdlib only) cannot issue SIMD instructions, so the kernels below
-// process the same layout with branch-free 64-bit scalar code; see
-// DESIGN.md §2 for the substitution rationale.
+// (stdlib only) cannot issue SIMD instructions, so internal/kernels
+// processes the same layout with generated width-specialized unrolled
+// scalar code; see DESIGN.md §2 for the substitution rationale.
 
 // vpack128 packs in (128 values, each < 2^b) into 4*b uint32 words
 // appended to dst as little-endian bytes.
 func vpack128(dst []byte, in *[128]uint32, b uint) []byte {
-	if b == 0 {
-		return dst
-	}
-	mask := uint32(1)<<b - 1
-	if b == 32 {
-		mask = ^uint32(0)
-	}
-	start := len(dst)
-	dst = append(dst, make([]byte, 16*b)...)
-	out := dst[start:]
-	for lane := 0; lane < 4; lane++ {
-		var acc uint64
-		var nbits uint
-		w := lane
-		for row := 0; row < 32; row++ {
-			acc |= uint64(in[4*row+lane]&mask) << nbits
-			nbits += b
-			for nbits >= 32 {
-				binary.LittleEndian.PutUint32(out[4*w:], uint32(acc))
-				acc >>= 32
-				nbits -= 32
-				w += 4
-			}
-		}
-	}
-	return dst
+	return kernels.VPack128(dst, in, b)
 }
 
-// vunpack128 reverses vpack128, filling out from src (16*b bytes).
+// vunpack128 reverses vpack128, filling out from src (16*b bytes). The
+// SIMD codecs' full-block decodes bypass this for the fused
+// kernels.VUnpackDelta / kernels.VUnpackBase one-pass variants.
 func vunpack128(src []byte, out *[128]uint32, b uint) int {
-	if b == 0 {
-		for i := range out {
-			out[i] = 0
-		}
-		return 0
-	}
-	mask := uint64(1)<<b - 1
-	if b == 32 {
-		mask = 0xffffffff
-	}
-	for lane := 0; lane < 4; lane++ {
-		var acc uint64
-		var nbits uint
-		w := lane
-		for row := 0; row < 32; row++ {
-			for nbits < b {
-				acc |= uint64(binary.LittleEndian.Uint32(src[4*w:])) << nbits
-				nbits += 32
-				w += 4
-			}
-			out[4*row+lane] = uint32(acc & mask)
-			acc >>= b
-			nbits -= b
-		}
-	}
-	return int(16 * b)
+	return kernels.VUnpack(src, out, b)
 }

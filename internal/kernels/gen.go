@@ -1,0 +1,7 @@
+package kernels
+
+// The *_gen.go kernels in this package are emitted by cmd/genkernels
+// and committed. Regenerate after changing the generator; CI's drift
+// gate (go generate ./... && git diff --exit-code) keeps them in sync.
+
+//go:generate go run repro/cmd/genkernels -out .

@@ -1,0 +1,161 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// patterns returns the adversarial inputs every width is checked with:
+// random, all-zero, all-max, and single-bit walks (bit i set in value
+// i%128 only) — the cases where shift/mask bugs surface.
+func patterns(b uint, rng *rand.Rand) [][128]uint32 {
+	mask := uint32(uint64(1)<<b - 1)
+	var random, zero, maxv, walk [128]uint32
+	for i := range random {
+		random[i] = rng.Uint32() & mask
+		maxv[i] = mask
+		if b > 0 {
+			walk[i] = 1 << (uint(i) % b) & mask
+		}
+	}
+	return [][128]uint32{random, zero, maxv, walk}
+}
+
+func TestUnpackMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lengths := []int{1, 5, 31, 32, 33, 63, 64, 96, 100, 127, 128}
+	for b := uint(0); b <= 32; b++ {
+		for pi, vals := range patterns(b, rng) {
+			for _, n := range lengths {
+				packed := Pack(nil, vals[:n], b)
+				want := make([]uint32, n)
+				wantUsed := UnpackRef(packed, want, b)
+
+				// Exact-length src: the tail must take the reference path.
+				got := make([]uint32, n)
+				if used := Unpack(packed, got, b); used != wantUsed {
+					t.Fatalf("b=%d pat=%d n=%d: used %d, want %d", b, pi, n, used, wantUsed)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("b=%d pat=%d n=%d (exact): out[%d] = %d, want %d", b, pi, n, i, got[i], want[i])
+					}
+				}
+
+				// Slack after the payload: the tail may over-read through
+				// the kernel; results must be identical.
+				slack := append(append([]byte{}, packed...), make([]byte, 4*b)...)
+				got2 := make([]uint32, n)
+				if used := Unpack(slack, got2, b); used != wantUsed {
+					t.Fatalf("b=%d pat=%d n=%d (slack): used %d, want %d", b, pi, n, used, wantUsed)
+				}
+				for i := range want {
+					if got2[i] != want[i] {
+						t.Fatalf("b=%d pat=%d n=%d (slack): out[%d] = %d, want %d", b, pi, n, i, got2[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestVUnpackMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for b := uint(0); b <= 32; b++ {
+		for pi, vals := range patterns(b, rng) {
+			packed := VPack128(nil, &vals, b)
+			if len(packed) != int(16*b) {
+				t.Fatalf("b=%d: packed %d bytes, want %d", b, len(packed), 16*b)
+			}
+			var ref, got [128]uint32
+			refUsed := VUnpackRef(packed, &ref, b)
+			if ref != vals {
+				t.Fatalf("b=%d pat=%d: reference does not roundtrip", b, pi)
+			}
+			if used := VUnpack(packed, &got, b); used != refUsed {
+				t.Fatalf("b=%d pat=%d: used %d, want %d", b, pi, used, refUsed)
+			}
+			if got != ref {
+				t.Fatalf("b=%d pat=%d: VUnpack != VUnpackRef\n got %v\nwant %v", b, pi, got, ref)
+			}
+		}
+	}
+}
+
+func TestVUnpackDeltaMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for b := uint(0); b <= 32; b++ {
+		for pi, vals := range patterns(b, rng) {
+			packed := VPack128(nil, &vals, b)
+			prev := rng.Uint32()
+			var want [127]uint32
+			p := prev
+			for i := range want {
+				p += vals[i]
+				want[i] = p
+			}
+			var got [127]uint32
+			if used := VUnpackDelta(packed, &got, prev, b); used != int(16*b) {
+				t.Fatalf("b=%d pat=%d: used %d, want %d", b, pi, used, 16*b)
+			}
+			if got != want {
+				t.Fatalf("b=%d pat=%d: fused delta mismatch\n got %v\nwant %v", b, pi, got, want)
+			}
+		}
+	}
+}
+
+func TestVUnpackBaseMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for b := uint(0); b <= 32; b++ {
+		for pi, vals := range patterns(b, rng) {
+			packed := VPack128(nil, &vals, b)
+			base := rng.Uint32()
+			var want [127]uint32
+			for i := range want {
+				want[i] = base + vals[i]
+			}
+			var got [127]uint32
+			if used := VUnpackBase(packed, &got, base, b); used != int(16*b) {
+				t.Fatalf("b=%d pat=%d: used %d, want %d", b, pi, used, 16*b)
+			}
+			if got != want {
+				t.Fatalf("b=%d pat=%d: fused base mismatch\n got %v\nwant %v", b, pi, got, want)
+			}
+		}
+	}
+}
+
+// TestUnpackConcurrent exercises the kernels from parallel goroutines
+// so `go test -race ./internal/kernels` proves they are state-free.
+func TestUnpackConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var vals [128]uint32
+	for i := range vals {
+		vals[i] = rng.Uint32() & 0x1fff
+	}
+	horiz := Pack(nil, vals[:], 13)
+	vert := VPack128(nil, &vals, 13)
+	t.Run("group", func(t *testing.T) {
+		for g := 0; g < 8; g++ {
+			t.Run(fmt.Sprintf("reader-%d", g), func(t *testing.T) {
+				t.Parallel()
+				for iter := 0; iter < 100; iter++ {
+					out := make([]uint32, 128)
+					Unpack(horiz, out, 13)
+					var v [128]uint32
+					VUnpack(vert, &v, 13)
+					var d, bse [127]uint32
+					VUnpackDelta(vert, &d, 7, 13)
+					VUnpackBase(vert, &bse, 7, 13)
+					for i := range v {
+						if v[i] != vals[i] || out[i] != vals[i] {
+							t.Fatalf("corrupted decode at %d", i)
+						}
+					}
+				}
+			})
+		}
+	})
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package kernels
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions skip themselves when it is.
+const raceEnabled = false

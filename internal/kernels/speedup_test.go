@@ -1,0 +1,73 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestKernelSpeedup is the CI throughput gate: the width-specialized
+// kernels must stay measurably faster than the generic reference loops
+// they replaced. The bound (1.2x) is far below the typical speedup
+// (3-6x, see results/BENCH_kernels.json) so scheduler noise cannot
+// flake it, but a regression to generic-loop speed — e.g. a dispatch
+// bug routing everything through the reference — fails loudly. Skipped
+// under the race detector, which distorts relative timings.
+func TestKernelSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing comparison is meaningless under -race")
+	}
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	const b = 8
+	rng := rand.New(rand.NewSource(20))
+	var vals [128]uint32
+	for i := range vals {
+		vals[i] = rng.Uint32() & 0xff
+	}
+	horiz := Pack(nil, vals[:], b)
+	vert := VPack128(nil, &vals, b)
+
+	ratio := func(fast, slow func()) float64 {
+		best := 0.0
+		for try := 0; try < 3; try++ {
+			fr := testing.Benchmark(func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					fast()
+				}
+			})
+			sr := testing.Benchmark(func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					slow()
+				}
+			})
+			if r := float64(sr.NsPerOp()) / float64(fr.NsPerOp()); r > best {
+				best = r
+			}
+		}
+		return best
+	}
+
+	var out [128]uint32
+	if r := ratio(
+		func() { Unpack(horiz, out[:], b) },
+		func() { UnpackRef(horiz, out[:], b) },
+	); r < 1.2 {
+		t.Errorf("horizontal Unpack speedup %.2fx over reference, want >= 1.2x", r)
+	}
+	var dec [127]uint32
+	if r := ratio(
+		func() { VUnpackDelta(vert, &dec, 1, b) },
+		func() {
+			var tmp [128]uint32
+			VUnpackRef(vert, &tmp, b)
+			prev := uint32(1)
+			for i := range dec {
+				prev += tmp[i]
+				dec[i] = prev
+			}
+		},
+	); r < 1.2 {
+		t.Errorf("fused VUnpackDelta speedup %.2fx over reference, want >= 1.2x", r)
+	}
+}
