@@ -20,13 +20,16 @@ race:
 	$(GO) test -race ./internal/...
 
 # One testing.B benchmark per paper table/figure plus the ablations.
-# Also emits the engine-vs-serial comparison as results/BENCH_engine.json
-# and the decode-kernel microbenchmarks as results/BENCH_kernels.json
+# Also emits the engine-vs-serial comparison as results/BENCH_engine.json,
+# the decode-kernel microbenchmarks as results/BENCH_kernels.json, and
+# the index build/open benchmarks (sharded build, eager BVIX2 vs
+# mmap-backed BVIX3 time-to-first-query) as results/BENCH_index.json
 # for regression tracking.
 bench:
 	mkdir -p results
 	$(GO) test -run NONE -bench BenchmarkEngine -benchmem -json ./internal/ops > results/BENCH_engine.json
 	$(GO) test -run NONE -bench '.' -benchmem -json ./internal/kernels > results/BENCH_kernels.json
+	$(GO) test -run NONE -bench BenchmarkIndex -benchmem -json ./internal/index > results/BENCH_index.json
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table/figure as text tables (see cmd/bvbench -help

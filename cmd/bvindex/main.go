@@ -6,6 +6,7 @@
 // Usage:
 //
 //	bvindex -build -in docs.txt -out docs.idx -codec Roaring
+//	bvindex -build -in docs.txt -out docs.idx -shards 8 -format bvix2
 //	bvindex -index docs.idx -query "compressed lists"            # AND
 //	bvindex -index docs.idx -query "bitmap inverted" -mode or
 //	bvindex -index docs.idx -query "compression" -mode topk -k 3
@@ -30,6 +31,8 @@ func main() {
 		outFile   = flag.String("out", "", "output index file (build mode)")
 		indexFile = flag.String("index", "", "index file to query")
 		codecName = flag.String("codec", "Roaring", "codec for posting lists (build mode)")
+		format    = flag.String("format", "bvix3", "output format: bvix3 | bvix2 (build mode)")
+		shards    = flag.Int("shards", 0, "tokenizer shards for parallel build (0 = GOMAXPROCS)")
 		query     = flag.String("query", "", "space-separated query terms")
 		mode      = flag.String("mode", "and", "query mode: and | or | topk")
 		k         = flag.Int("k", 5, "result count for -mode topk")
@@ -38,7 +41,7 @@ func main() {
 
 	switch {
 	case *build:
-		if err := runBuild(*inFile, *outFile, *codecName); err != nil {
+		if err := runBuild(*inFile, *outFile, *codecName, *format, *shards); err != nil {
 			fatal("%v", err)
 		}
 	case *query != "":
@@ -50,9 +53,12 @@ func main() {
 	}
 }
 
-func runBuild(inFile, outFile, codecName string) error {
+func runBuild(inFile, outFile, codecName, format string, shards int) error {
 	if outFile == "" {
 		return fmt.Errorf("build mode needs -out")
+	}
+	if format != "bvix3" && format != "bvix2" {
+		return fmt.Errorf("unknown format %q (bvix3 | bvix2)", format)
 	}
 	codec, err := codecs.ByName(codecName)
 	if err != nil {
@@ -68,6 +74,7 @@ func runBuild(inFile, outFile, codecName string) error {
 		r = f
 	}
 	builder := index.NewBuilder(codec)
+	builder.SetShards(shards)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	docs := 0
@@ -89,7 +96,11 @@ func runBuild(inFile, outFile, codecName string) error {
 		return err
 	}
 	defer f.Close()
-	n, err := idx.WriteTo(f)
+	write := idx.WriteBVIX3
+	if format == "bvix2" {
+		write = idx.WriteTo
+	}
+	n, err := write(f)
 	if err != nil {
 		return err
 	}
@@ -102,15 +113,13 @@ func runQuery(indexFile, query, mode string, k int, w io.Writer) error {
 	if indexFile == "" {
 		return fmt.Errorf("query mode needs -index")
 	}
-	f, err := os.Open(indexFile)
+	// OpenFile maps BVIX3 indexes zero-copy and materializes only the
+	// postings the query touches; older formats load eagerly.
+	idx, err := index.OpenFile(indexFile)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	idx, err := index.Read(f)
-	if err != nil {
-		return err
-	}
+	defer idx.Close()
 	terms := index.Tokenize(query)
 	switch mode {
 	case "and":

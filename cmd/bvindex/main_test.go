@@ -24,7 +24,7 @@ func TestBuildAndQuery(t *testing.T) {
 		"bitmap and inverted compression compression",
 	})
 	idxFile := filepath.Join(t.TempDir(), "out.idx")
-	if err := runBuild(docsFile, idxFile, "Roaring"); err != nil {
+	if err := runBuild(docsFile, idxFile, "Roaring", "bvix3", 0); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -52,15 +52,18 @@ func TestBuildAndQuery(t *testing.T) {
 
 func TestBuildErrors(t *testing.T) {
 	docsFile := writeDocs(t, []string{"a doc"})
-	if err := runBuild(docsFile, "", "Roaring"); err == nil {
+	if err := runBuild(docsFile, "", "Roaring", "bvix3", 0); err == nil {
 		t.Error("missing -out accepted")
 	}
 	out := filepath.Join(t.TempDir(), "x.idx")
-	if err := runBuild(docsFile, out, "NoSuchCodec"); err == nil {
+	if err := runBuild(docsFile, out, "NoSuchCodec", "bvix3", 0); err == nil {
 		t.Error("unknown codec accepted")
 	}
-	if err := runBuild(filepath.Join(t.TempDir(), "missing.txt"), out, "Roaring"); err == nil {
+	if err := runBuild(filepath.Join(t.TempDir(), "missing.txt"), out, "Roaring", "bvix3", 0); err == nil {
 		t.Error("missing input accepted")
+	}
+	if err := runBuild(docsFile, out, "Roaring", "bvix9", 0); err == nil {
+		t.Error("unknown format accepted")
 	}
 }
 
@@ -71,7 +74,7 @@ func TestQueryErrors(t *testing.T) {
 	}
 	docsFile := writeDocs(t, []string{"a doc"})
 	idxFile := filepath.Join(t.TempDir(), "q.idx")
-	if err := runBuild(docsFile, idxFile, "VB"); err != nil {
+	if err := runBuild(docsFile, idxFile, "VB", "bvix2", 2); err != nil {
 		t.Fatal(err)
 	}
 	if err := runQuery(idxFile, "doc", "nonsense", 5, &buf); err == nil {

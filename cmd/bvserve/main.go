@@ -54,6 +54,7 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 		inFile    = fs.String("in", "", "documents to index, one per line")
 		indexFile = fs.String("index", "", "pre-built index file (bvindex -build)")
 		codecName = fs.String("codec", "Roaring", "codec for posting lists (with -in)")
+		shards    = fs.Int("shards", 0, "tokenizer shards for parallel builds with -in (0 = GOMAXPROCS)")
 		addr      = fs.String("addr", ":8080", "listen address")
 
 		readTimeout  = fs.Duration("read-timeout", 5*time.Second, "max time to read a request")
@@ -77,7 +78,7 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 	}
 
 	load := func() (*index.Index, error) {
-		return loadIndex(*inFile, *indexFile, *codecName, *maxDocs, *maxLine)
+		return loadIndex(*inFile, *indexFile, *codecName, *shards, *maxDocs, *maxLine)
 	}
 	idx, err := load()
 	if err != nil {
@@ -136,15 +137,17 @@ func cacheBytes(mb int) int {
 // ingest path is bounded: more than maxDocs lines or a line longer than
 // maxLineBytes is a clear error naming the offending line, not a silent
 // truncation or an unbounded build.
-func loadIndex(inFile, indexFile, codecName string, maxDocs, maxLineBytes int) (*index.Index, error) {
+//
+// The -index path goes through index.OpenFile, which maps BVIX3 files
+// zero-copy and materializes postings lazily. Superseded snapshots from
+// hot reloads are deliberately never Closed: in-flight requests may
+// still hold borrowed views into the mapping, and a process keeps only
+// a handful of snapshot mappings alive across its lifetime — the kernel
+// reclaims the pages when the process exits.
+func loadIndex(inFile, indexFile, codecName string, shards, maxDocs, maxLineBytes int) (*index.Index, error) {
 	switch {
 	case indexFile != "":
-		f, err := os.Open(indexFile)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return index.Read(f)
+		return index.OpenFile(indexFile)
 	case inFile != "":
 		codec, err := codecs.ByName(codecName)
 		if err != nil {
@@ -156,6 +159,7 @@ func loadIndex(inFile, indexFile, codecName string, maxDocs, maxLineBytes int) (
 		}
 		defer f.Close()
 		b := index.NewBuilder(codec)
+		b.SetShards(shards)
 		sc := bufio.NewScanner(f)
 		// The scanner's cap is max(bufCap, maxLineBytes), so the initial
 		// buffer must not exceed the configured line limit.

@@ -24,7 +24,7 @@ func TestLoadIndexPaths(t *testing.T) {
 	if err := os.WriteFile(docs, []byte("alpha beta\ngamma\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	idx, err := loadIndex(docs, "", "VB", defaultMaxDocs, defaultMaxLine)
+	idx, err := loadIndex(docs, "", "VB", 0, defaultMaxDocs, defaultMaxLine)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestLoadIndexPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	loaded, err := loadIndex("", idxFile, "", defaultMaxDocs, defaultMaxLine)
+	loaded, err := loadIndex("", idxFile, "", 0, defaultMaxDocs, defaultMaxLine)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,10 +49,10 @@ func TestLoadIndexPaths(t *testing.T) {
 		t.Fatalf("loaded docs = %d", loaded.Docs())
 	}
 	// Neither input: error.
-	if _, err := loadIndex("", "", "Roaring", defaultMaxDocs, defaultMaxLine); err == nil {
+	if _, err := loadIndex("", "", "Roaring", 0, defaultMaxDocs, defaultMaxLine); err == nil {
 		t.Error("expected error with no inputs")
 	}
-	if _, err := loadIndex(docs, "", "NoSuchCodec", defaultMaxDocs, defaultMaxLine); err == nil {
+	if _, err := loadIndex(docs, "", "NoSuchCodec", 0, defaultMaxDocs, defaultMaxLine); err == nil {
 		t.Error("expected error for unknown codec")
 	}
 }
@@ -65,7 +65,7 @@ func TestLoadIndexBounds(t *testing.T) {
 	if err := os.WriteFile(many, []byte("one\ntwo\nthree\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err := loadIndex(many, "", "Roaring", 2, defaultMaxLine)
+	_, err := loadIndex(many, "", "Roaring", 0, 2, defaultMaxLine)
 	if err == nil || !strings.Contains(err.Error(), "max-docs") {
 		t.Fatalf("over max-docs: err = %v, want message naming -max-docs", err)
 	}
@@ -76,7 +76,7 @@ func TestLoadIndexBounds(t *testing.T) {
 	if err := os.WriteFile(long, []byte("short line\n"+strings.Repeat("x", 300)+"\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err = loadIndex(long, "", "Roaring", defaultMaxDocs, 128)
+	_, err = loadIndex(long, "", "Roaring", 0, defaultMaxDocs, 128)
 	if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "max-line") {
 		t.Fatalf("over max-line: err = %v, want message naming line 2 and -max-line", err)
 	}
@@ -86,7 +86,7 @@ func TestLoadIndexBounds(t *testing.T) {
 	if err := os.WriteFile(blanks, []byte("\n\nalpha\n\nbeta\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	idx, err := loadIndex(blanks, "", "Roaring", 2, defaultMaxLine)
+	idx, err := loadIndex(blanks, "", "Roaring", 0, 2, defaultMaxLine)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -214,7 +214,7 @@ func andRunRun(a, b *runContainer, out []uint32, high uint32) []uint32 {
 	i, j := 0, 0
 	for i < len(a.runs) && j < len(b.runs) {
 		ra, rb := a.runs[i], b.runs[j]
-		lo, hi := maxU16(ra.start, rb.start), minU16(ra.last, rb.last)
+		lo, hi := max(ra.start, rb.start), min(ra.last, rb.last)
 		if lo <= hi {
 			for v := uint32(lo); v <= uint32(hi); v++ {
 				out = append(out, high|v)
@@ -367,18 +367,4 @@ func (p *roaringRunPosting) RunStats() (runs, arrays, bitmaps int) {
 		}
 	}
 	return
-}
-
-func minU16(a, b uint16) uint16 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxU16(a, b uint16) uint16 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -145,14 +145,14 @@ func intersectSpanReaders(a, b spanReader) []uint32 {
 			continue
 		}
 		if ca.cur.kind == oneFill && cb.cur.kind == oneFill {
-			run := min64(ca.remaining(), cb.remaining())
+			run := min(ca.remaining(), cb.remaining())
 			out = appendRun(out, ca.pos, run)
 			ca.advance(run)
 			cb.advance(run)
 			continue
 		}
 		// At least one literal: combine up to 64 bits.
-		n := min64(min64(ca.remaining(), cb.remaining()), 64)
+		n := min(min(ca.remaining(), cb.remaining()), 64)
 		w := ca.bits(n) & cb.bits(n)
 		if w != 0 {
 			out = appendWordBits(out, ca.pos, w)
@@ -170,7 +170,7 @@ func unionSpanReaders(a, b spanReader) []uint32 {
 	ca, cb := newSpanCursor(a), newSpanCursor(b)
 	for ca.ok && cb.ok {
 		if ca.cur.kind == zeroFill && cb.cur.kind == zeroFill {
-			skip := min64(ca.remaining(), cb.remaining())
+			skip := min(ca.remaining(), cb.remaining())
 			ca.advance(skip)
 			cb.advance(skip)
 			continue
@@ -190,7 +190,7 @@ func unionSpanReaders(a, b spanReader) []uint32 {
 			cb.advance(run)
 			continue
 		}
-		n := min64(min64(ca.remaining(), cb.remaining()), 64)
+		n := min(min(ca.remaining(), cb.remaining()), 64)
 		w := ca.bits(n) | cb.bits(n)
 		if w != 0 {
 			out = appendWordBits(out, ca.pos, w)
@@ -215,13 +215,6 @@ func drainCursor(out []uint32, c *spanCursor) []uint32 {
 		c.advance(rem)
 	}
 	return out
-}
-
-func min64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // forEachGroup partitions the bitmap defined by sorted values into

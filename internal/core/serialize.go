@@ -15,6 +15,15 @@ import (
 // MarshalBinary output. Every codec in this module implements it;
 // codecs.Decode dispatches on the format tag when the producing codec
 // is unknown.
+//
+// Borrowed-bytes contract: data may be a view into memory the caller
+// does not own — a slice of an mmap-ed index section that can be
+// unmapped later (see index.OpenFile). Decode must therefore copy
+// everything it keeps: the returned Posting must not retain data or
+// any subslice of it. All codecs in this module satisfy this by
+// construction (they parse into freshly allocated structures); new
+// Decoder implementations must preserve it, or lazily materialized
+// postings would dangle after the index file is closed.
 type Decoder interface {
 	Decode(data []byte) (Posting, error)
 }

@@ -146,10 +146,3 @@ func TestMarkovN(t *testing.T) {
 		t.Fatalf("MarkovN returned %d, want near 5000", len(vals))
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

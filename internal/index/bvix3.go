@@ -1,0 +1,589 @@
+package index
+
+import (
+	"bytes"
+	"encoding"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/codecs"
+	"repro/internal/core"
+	"repro/internal/index/mapfile"
+)
+
+// BVIX3 is the serving-oriented on-disk index format: three
+// section-aligned, length-prefixed, CRC-checked segments laid out so a
+// file can be opened zero-copy from an mmap and queried before any
+// posting is decoded.
+//
+// File layout (little-endian throughout):
+//
+//	[0,5)    magic "BVIX3"
+//	[5]      format version (1)
+//	[6,8)    zero padding
+//	[8,12)   document count u32
+//	[12,16)  term count u32
+//	[16,20)  skip-frame length u32 (terms per frame; writer uses 64)
+//	[20,24)  section count u32 (always 3)
+//	[24,84)  section table: 3 × { off u64, len u64, crc32c u32 }
+//	         in file order dict, frames, payload; offsets absolute
+//	[84,88)  crc32c over bytes [5,84) — the header checksum
+//	[88,…)   zero padding to the 64-byte-aligned dict section
+//
+// Sections, each 64-byte aligned with zero padding between them:
+//
+//	dict:    per term, sorted by name: nameLen u16, name bytes,
+//	         posting count u32, payload offset u64 (relative to the
+//	         payload section), posting blob length u32.
+//	frames:  one u64 per skip frame — the dict-relative offset of the
+//	         frame's first record. Lookup binary-searches the frames on
+//	         their first term (read zero-copy out of the dict) and
+//	         scans at most frameLen records, so no per-term table is
+//	         ever materialized on the heap.
+//	payload: per term, in dict order and 8-byte aligned: the posting's
+//	         self-describing compressed blob, then the u16 frequency
+//	         payload (2 × count bytes). Records tile the section
+//	         exactly — open re-derives every record boundary and
+//	         rejects files whose dict disagrees with the payload.
+//
+// Every byte of the file is covered by a check: the magic by equality,
+// [5,84) by the header CRC, each section by its table CRC, and all
+// padding by an explicit zeros check. A single flipped bit anywhere
+// surfaces as an error (core.ErrChecksum for CRC-covered ranges).
+const (
+	bvix3Version    = 1
+	bvix3HeaderSize = 88
+	bvix3DataStart  = 128 // first section offset: align64(headerSize)
+	bvix3Align      = 64
+	bvix3RecAlign   = 8
+	bvix3FrameLen   = 64
+	// bvix3RecordFixed is a dict record's size net of the name bytes.
+	bvix3RecordFixed = 2 + 4 + 8 + 4
+)
+
+var bvix3Magic = []byte("BVIX3")
+
+func align(n, a uint64) uint64 { return (n + a - 1) &^ (a - 1) }
+
+// WriteBVIX3 serializes the index in the BVIX3 format. Output depends
+// only on index contents: a parallel build writes byte-identical files
+// to a serial one. Lazily opened indexes are materialized in full
+// (every posting decoded, then re-marshaled), so WriteBVIX3 also works
+// as a format converter.
+func (idx *Index) WriteBVIX3(w io.Writer) (int64, error) {
+	names, entries, err := idx.sortedEntries()
+	if err != nil {
+		return 0, err
+	}
+	var dict, frames, payload []byte
+	for i, name := range names {
+		if i%bvix3FrameLen == 0 {
+			frames = binary.LittleEndian.AppendUint64(frames, uint64(len(dict)))
+		}
+		e := entries[i]
+		blob, err := e.posting.(encoding.BinaryMarshaler).MarshalBinary()
+		if err != nil {
+			return 0, fmt.Errorf("index: term %q: %w", name, err)
+		}
+		for len(payload)%bvix3RecAlign != 0 {
+			payload = append(payload, 0)
+		}
+		payOff := uint64(len(payload))
+		payload = append(payload, blob...)
+		for _, f := range e.freqs {
+			payload = binary.LittleEndian.AppendUint16(payload, f)
+		}
+		dict = binary.LittleEndian.AppendUint16(dict, uint16(len(name)))
+		dict = append(dict, name...)
+		dict = binary.LittleEndian.AppendUint32(dict, uint32(len(e.freqs)))
+		dict = binary.LittleEndian.AppendUint64(dict, payOff)
+		dict = binary.LittleEndian.AppendUint32(dict, uint32(len(blob)))
+	}
+
+	dictOff := uint64(bvix3DataStart)
+	framesOff := align(dictOff+uint64(len(dict)), bvix3Align)
+	payloadOff := align(framesOff+uint64(len(frames)), bvix3Align)
+
+	hdr := make([]byte, 0, bvix3HeaderSize)
+	hdr = append(hdr, bvix3Magic...)
+	hdr = append(hdr, bvix3Version, 0, 0)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(idx.Docs()))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(names)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, bvix3FrameLen)
+	hdr = binary.LittleEndian.AppendUint32(hdr, 3)
+	for _, sec := range []struct {
+		off uint64
+		b   []byte
+	}{{dictOff, dict}, {framesOff, frames}, {payloadOff, payload}} {
+		hdr = binary.LittleEndian.AppendUint64(hdr, sec.off)
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(sec.b)))
+		hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(sec.b, castagnoli))
+	}
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(hdr[len(bvix3Magic):], castagnoli))
+
+	var n int64
+	emit := func(p []byte) error {
+		k, err := w.Write(p)
+		n += int64(k)
+		return err
+	}
+	pad := func(upto uint64) error {
+		if uint64(n) < upto {
+			return emit(make([]byte, upto-uint64(n)))
+		}
+		return nil
+	}
+	for _, step := range []func() error{
+		func() error { return emit(hdr) },
+		func() error { return pad(dictOff) },
+		func() error { return emit(dict) },
+		func() error { return pad(framesOff) },
+		func() error { return emit(frames) },
+		func() error { return pad(payloadOff) },
+		func() error { return emit(payload) },
+	} {
+		if err := step(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// sortedEntries enumerates every (term, entry) pair in name order,
+// materializing through the lazy backend when the index was opened
+// from a mapping.
+func (idx *Index) sortedEntries() ([]string, []termEntry, error) {
+	if idx.lazy != nil {
+		return idx.lazy.allEntries()
+	}
+	names := make([]string, 0, len(idx.terms))
+	for t := range idx.terms {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	entries := make([]termEntry, len(names))
+	for i, t := range names {
+		entries[i] = idx.terms[t]
+	}
+	return names, entries, nil
+}
+
+// bvix3Geometry is the validated shape of one BVIX3 file: borrowed
+// section slices plus the aggregates the dict walk established.
+type bvix3Geometry struct {
+	docs      int
+	terms     int
+	frameLen  int
+	dict      []byte
+	frames    []byte
+	payload   []byte
+	sizeBytes int // sum of posting blob lengths
+}
+
+// dictRecord is one parsed dict entry. name borrows from the dict
+// section; callers copy it before retaining.
+type dictRecord struct {
+	name    []byte
+	count   int
+	payOff  uint64
+	postLen uint32
+	next    int // dict offset of the following record
+}
+
+// parseDictRecord reads the record starting at dict[off]. Bounds are
+// re-checked on every parse so the lookup path never trusts offsets
+// further than the open-time validation that produced them.
+func parseDictRecord(dict []byte, off int) (dictRecord, error) {
+	if off < 0 || off+2 > len(dict) {
+		return dictRecord{}, fmt.Errorf("index: dict record at %d overruns section", off)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(dict[off:]))
+	if off+bvix3RecordFixed+nameLen > len(dict) {
+		return dictRecord{}, fmt.Errorf("index: dict record at %d overruns section", off)
+	}
+	name := dict[off+2 : off+2+nameLen]
+	p := off + 2 + nameLen
+	return dictRecord{
+		name:    name,
+		count:   int(binary.LittleEndian.Uint32(dict[p:])),
+		payOff:  binary.LittleEndian.Uint64(dict[p+4:]),
+		postLen: binary.LittleEndian.Uint32(dict[p+12:]),
+		next:    off + bvix3RecordFixed + nameLen,
+	}, nil
+}
+
+// parseBVIX3 validates a whole BVIX3 file: header checksum, section
+// geometry and checksums, zero padding, and a full dictionary walk
+// that cross-checks the skip frames, name ordering, per-term counts
+// against the document count, and the exact tiling of the payload
+// section. No posting is decoded. After parseBVIX3 succeeds, every
+// record offset the lookup path can derive is in bounds.
+func parseBVIX3(data []byte) (*bvix3Geometry, error) {
+	if len(data) < bvix3DataStart {
+		return nil, fmt.Errorf("index: %w: %d bytes is shorter than a BVIX3 header", core.ErrChecksum, len(data))
+	}
+	if !bytes.Equal(data[:len(bvix3Magic)], bvix3Magic) {
+		return nil, fmt.Errorf("index: bad magic %q", data[:len(bvix3Magic)])
+	}
+	if got := binary.LittleEndian.Uint32(data[bvix3HeaderSize-4:]); got != crc32.Checksum(data[len(bvix3Magic):bvix3HeaderSize-4], castagnoli) {
+		return nil, fmt.Errorf("index: %w: BVIX3 header checksum mismatch", core.ErrChecksum)
+	}
+	if v := data[5]; v != bvix3Version {
+		return nil, fmt.Errorf("index: %w: BVIX3 file declares version %d, this build reads version %d", core.ErrVersion, v, bvix3Version)
+	}
+	if data[6] != 0 || data[7] != 0 {
+		return nil, fmt.Errorf("index: BVIX3 header padding not zero")
+	}
+	g := &bvix3Geometry{
+		docs:     int(binary.LittleEndian.Uint32(data[8:])),
+		terms:    int(binary.LittleEndian.Uint32(data[12:])),
+		frameLen: int(binary.LittleEndian.Uint32(data[16:])),
+	}
+	if sc := binary.LittleEndian.Uint32(data[20:]); sc != 3 {
+		return nil, fmt.Errorf("index: BVIX3 declares %d sections, want 3", sc)
+	}
+	if g.terms > 0 && g.frameLen <= 0 {
+		return nil, fmt.Errorf("index: BVIX3 frame length %d invalid", g.frameLen)
+	}
+
+	type section struct {
+		off, length uint64
+		crc         uint32
+	}
+	var secs [3]section
+	for i := range secs {
+		p := 24 + i*20
+		secs[i] = section{
+			off:    binary.LittleEndian.Uint64(data[p:]),
+			length: binary.LittleEndian.Uint64(data[p+8:]),
+			crc:    binary.LittleEndian.Uint32(data[p+16:]),
+		}
+	}
+	// Geometry: sections are 64-aligned, in order, and tile the file
+	// exactly (padding gaps must be zero so no byte escapes coverage).
+	want := uint64(bvix3DataStart)
+	for i, s := range secs {
+		if s.off != want {
+			return nil, fmt.Errorf("index: BVIX3 section %d at offset %d, want %d", i, s.off, want)
+		}
+		if s.off+s.length < s.off || s.off+s.length > uint64(len(data)) {
+			return nil, fmt.Errorf("index: %w: BVIX3 section %d overruns file", core.ErrChecksum, i)
+		}
+		want = align(s.off+s.length, bvix3Align)
+	}
+	if end := secs[2].off + secs[2].length; end != uint64(len(data)) {
+		return nil, fmt.Errorf("index: %d trailing bytes after BVIX3 payload section", uint64(len(data))-end)
+	}
+	zeroRuns := [][2]uint64{
+		{bvix3HeaderSize, secs[0].off},
+		{secs[0].off + secs[0].length, secs[1].off},
+		{secs[1].off + secs[1].length, secs[2].off},
+	}
+	for _, run := range zeroRuns {
+		for _, b := range data[run[0]:run[1]] {
+			if b != 0 {
+				return nil, fmt.Errorf("index: BVIX3 padding bytes not zero")
+			}
+		}
+	}
+	for i, s := range secs {
+		if got := crc32.Checksum(data[s.off:s.off+s.length], castagnoli); got != s.crc {
+			return nil, fmt.Errorf("index: %w: BVIX3 section %d crc32c %08x, table says %08x", core.ErrChecksum, i, got, s.crc)
+		}
+	}
+	g.dict = data[secs[0].off : secs[0].off+secs[0].length]
+	g.frames = data[secs[1].off : secs[1].off+secs[1].length]
+	g.payload = data[secs[2].off : secs[2].off+secs[2].length]
+
+	frameCount := 0
+	if g.terms > 0 {
+		frameCount = (g.terms + g.frameLen - 1) / g.frameLen
+	}
+	if len(g.frames) != 8*frameCount {
+		return nil, fmt.Errorf("index: BVIX3 frames section is %d bytes, want %d for %d terms", len(g.frames), 8*frameCount, g.terms)
+	}
+
+	// The dict walk: every record parses, names strictly increase,
+	// frames point exactly at every frameLen-th record, and payload
+	// records tile their section with only deterministic alignment
+	// padding between them.
+	cur, payCur := 0, uint64(0)
+	var prev []byte
+	for i := 0; i < g.terms; i++ {
+		if i%g.frameLen == 0 {
+			if got := binary.LittleEndian.Uint64(g.frames[8*(i/g.frameLen):]); got != uint64(cur) {
+				return nil, fmt.Errorf("index: BVIX3 frame %d points at %d, record is at %d", i/g.frameLen, got, cur)
+			}
+		}
+		rec, err := parseDictRecord(g.dict, cur)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && bytes.Compare(prev, rec.name) >= 0 {
+			return nil, fmt.Errorf("index: BVIX3 dict not sorted at term %d (%q after %q)", i, rec.name, prev)
+		}
+		if rec.count > g.docs {
+			return nil, fmt.Errorf("index: term %q declares %d postings in a %d-document index", rec.name, rec.count, g.docs)
+		}
+		if rec.payOff != align(payCur, bvix3RecAlign) {
+			return nil, fmt.Errorf("index: term %q payload at %d, want %d", rec.name, rec.payOff, align(payCur, bvix3RecAlign))
+		}
+		payCur = rec.payOff + uint64(rec.postLen) + 2*uint64(rec.count)
+		if payCur > uint64(len(g.payload)) {
+			return nil, fmt.Errorf("index: term %q payload overruns section", rec.name)
+		}
+		g.sizeBytes += int(rec.postLen)
+		prev, cur = rec.name, rec.next
+	}
+	if cur != len(g.dict) {
+		return nil, fmt.Errorf("index: %d trailing bytes after last BVIX3 dict record", len(g.dict)-cur)
+	}
+	if payCur != uint64(len(g.payload)) {
+		return nil, fmt.Errorf("index: %d trailing bytes after last BVIX3 payload record", uint64(len(g.payload))-payCur)
+	}
+	return g, nil
+}
+
+// materialize decodes one record's posting and frequency payload into
+// heap-owned memory. Decoders copy what they keep (the core.Decoder
+// borrowed-bytes contract), so the result never aliases the mapping.
+func (g *bvix3Geometry) materialize(rec dictRecord) (termEntry, error) {
+	blob := g.payload[rec.payOff : rec.payOff+uint64(rec.postLen)]
+	p, err := codecs.Decode(blob)
+	if err != nil {
+		return termEntry{}, fmt.Errorf("index: term %q posting: %w", rec.name, err)
+	}
+	if p.Len() != rec.count {
+		return termEntry{}, fmt.Errorf("index: term %q: %d postings but %d frequencies", rec.name, p.Len(), rec.count)
+	}
+	freqB := g.payload[rec.payOff+uint64(rec.postLen):][:2*rec.count]
+	freqs := make([]uint16, rec.count)
+	for i := range freqs {
+		freqs[i] = binary.LittleEndian.Uint16(freqB[2*i:])
+	}
+	return termEntry{posting: p, freqs: freqs}, nil
+}
+
+// readBVIX3 is the eager path used by Read: validate everything, then
+// materialize every term into an ordinary heap index. data may be
+// heap-backed or mapped; nothing in the result aliases it.
+func readBVIX3(data []byte) (*Index, error) {
+	g, err := parseBVIX3(data)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{terms: make(map[string]termEntry, g.terms), docs: g.docs}
+	cur := 0
+	for i := 0; i < g.terms; i++ {
+		rec, err := parseDictRecord(g.dict, cur)
+		if err != nil {
+			return nil, err
+		}
+		e, err := g.materialize(rec)
+		if err != nil {
+			return nil, err
+		}
+		idx.terms[string(rec.name)] = e
+		cur = rec.next
+	}
+	return idx, nil
+}
+
+// lazyIndex backs an Index opened from a BVIX3 mapping: terms
+// materialize on first access straight out of the mapped sections and
+// are memoized. All borrowed-byte reads happen under the read lock;
+// close takes the write lock before unmapping, so no lookup can touch
+// the mapping mid-unmap.
+type lazyIndex struct {
+	geo       bvix3Geometry
+	termCount int
+	sizeBytes int
+
+	mu     sync.RWMutex
+	ready  map[string]termEntry
+	closed bool
+	closer io.Closer // the mapping; nil when backed by heap bytes
+}
+
+// entry resolves and memoizes one term. Terms that fail to decode are
+// reported absent — unreachable in practice, since every section
+// checksum was verified at open time.
+func (lz *lazyIndex) entry(term string) (termEntry, bool) {
+	lz.mu.RLock()
+	if e, ok := lz.ready[term]; ok {
+		lz.mu.RUnlock()
+		return e, true
+	}
+	if lz.closed {
+		lz.mu.RUnlock()
+		return termEntry{}, false
+	}
+	e, ok := func() (termEntry, bool) {
+		rec, ok := lz.locate(term)
+		if !ok {
+			return termEntry{}, false
+		}
+		e, err := lz.geo.materialize(rec)
+		return e, err == nil
+	}()
+	lz.mu.RUnlock()
+	if !ok {
+		return termEntry{}, false
+	}
+	lz.mu.Lock()
+	if prev, dup := lz.ready[term]; dup {
+		e = prev // concurrent materializers converge on one shared entry
+	} else {
+		lz.ready[term] = e
+	}
+	lz.mu.Unlock()
+	return e, true
+}
+
+// locate finds a term's dict record: binary search over the skip
+// frames on each frame's first name (read zero-copy from the dict),
+// then a scan of at most frameLen records. Caller holds the read lock.
+func (lz *lazyIndex) locate(term string) (dictRecord, bool) {
+	nFrames := len(lz.geo.frames) / 8
+	if nFrames == 0 {
+		return dictRecord{}, false
+	}
+	// First frame whose first name is > term; the record, if present,
+	// lives in the frame before it.
+	f := sort.Search(nFrames, func(f int) bool {
+		off := int(binary.LittleEndian.Uint64(lz.geo.frames[8*f:]))
+		rec, err := parseDictRecord(lz.geo.dict, off)
+		return err == nil && compareBytesString(rec.name, term) > 0
+	})
+	if f == 0 {
+		return dictRecord{}, false
+	}
+	f--
+	cur := int(binary.LittleEndian.Uint64(lz.geo.frames[8*f:]))
+	remaining := lz.termCount - f*lz.geo.frameLen
+	for i := 0; i < min(lz.geo.frameLen, remaining); i++ {
+		rec, err := parseDictRecord(lz.geo.dict, cur)
+		if err != nil {
+			return dictRecord{}, false
+		}
+		switch c := compareBytesString(rec.name, term); {
+		case c == 0:
+			return rec, true
+		case c > 0:
+			return dictRecord{}, false
+		}
+		cur = rec.next
+	}
+	return dictRecord{}, false
+}
+
+// allEntries materializes every term in dict order (for format
+// conversion via WriteTo/WriteBVIX3).
+func (lz *lazyIndex) allEntries() ([]string, []termEntry, error) {
+	lz.mu.RLock()
+	defer lz.mu.RUnlock()
+	if lz.closed {
+		return nil, nil, fmt.Errorf("index: use of closed index")
+	}
+	names := make([]string, 0, lz.termCount)
+	entries := make([]termEntry, 0, lz.termCount)
+	cur := 0
+	for i := 0; i < lz.termCount; i++ {
+		rec, err := parseDictRecord(lz.geo.dict, cur)
+		if err != nil {
+			return nil, nil, err
+		}
+		e, err := lz.geo.materialize(rec)
+		if err != nil {
+			return nil, nil, err
+		}
+		names = append(names, string(rec.name))
+		entries = append(entries, e)
+		cur = rec.next
+	}
+	return names, entries, nil
+}
+
+func (lz *lazyIndex) close() error {
+	lz.mu.Lock()
+	defer lz.mu.Unlock()
+	if lz.closed {
+		return nil
+	}
+	lz.closed = true
+	lz.geo.dict, lz.geo.frames, lz.geo.payload = nil, nil, nil
+	if lz.closer != nil {
+		return lz.closer.Close()
+	}
+	return nil
+}
+
+// compareBytesString is bytes.Compare against a string without
+// converting (the lookup path runs it per probed record).
+func compareBytesString(b []byte, s string) int {
+	for i := 0; i < len(b) && i < len(s); i++ {
+		if b[i] != s[i] {
+			if b[i] < s[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(b) < len(s):
+		return -1
+	case len(b) > len(s):
+		return 1
+	}
+	return 0
+}
+
+// openBVIX3Lazy validates data (every section checksum included — the
+// laziness is in skipping posting materialization, not integrity) and
+// returns an index whose postings decode on first access. closer, when
+// non-nil, owns the mapping behind data and is closed by Index.Close.
+func openBVIX3Lazy(data []byte, closer io.Closer) (*Index, error) {
+	g, err := parseBVIX3(data)
+	if err != nil {
+		return nil, err
+	}
+	lz := &lazyIndex{
+		geo:       *g,
+		termCount: g.terms,
+		sizeBytes: g.sizeBytes,
+		ready:     make(map[string]termEntry),
+		closer:    closer,
+	}
+	return &Index{docs: g.docs, lazy: lz}, nil
+}
+
+// OpenFile opens a persisted index from disk by path. BVIX3 files are
+// memory-mapped where the platform supports it (see mapfile) and their
+// postings materialize lazily on first access, so time-to-first-query
+// is dominated by checksum verification rather than decompression.
+// BVIX1/BVIX2 files are read eagerly, exactly as Read would. The
+// returned index must be Closed when it came from a BVIX3 file and is
+// no longer being served; see Index.Close for the ownership rules.
+func OpenFile(path string) (*Index, error) {
+	mf, err := mapfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	data := mf.Data()
+	if len(data) >= len(bvix3Magic) && bytes.Equal(data[:len(bvix3Magic)], bvix3Magic) {
+		idx, err := openBVIX3Lazy(data, mf)
+		if err != nil {
+			mf.Close()
+			return nil, err
+		}
+		return idx, nil
+	}
+	// Legacy formats: parse eagerly from the mapped view (every parser
+	// copies what it keeps), then release the mapping.
+	defer mf.Close()
+	return Read(bytes.NewReader(data))
+}

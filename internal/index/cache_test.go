@@ -92,8 +92,8 @@ func TestIndexDecodedPostingsUsesCache(t *testing.T) {
 	if st.Hits < 1 || st.Misses < 1 {
 		t.Fatalf("expected at least one hit and one miss, got %+v", st)
 	}
-	if got := idx.DecodedPostings("no-such-term"); got != nil {
-		t.Fatalf("unknown term should decode to nil, got %v", got)
+	if got := idx.DecodedPostings("no-such-term"); got == nil || len(got) != 0 {
+		t.Fatalf("unknown term should decode to the empty sentinel, got %v", got)
 	}
 }
 

@@ -51,6 +51,61 @@ func FuzzIndexRead(f *testing.F) {
 	})
 }
 
+// FuzzBVIX3Read feeds arbitrary bytes through both BVIX3 open paths —
+// the eager Read dispatch and the lazy zero-copy opener. Truncations,
+// flipped section lengths, and bad CRCs must surface as errors, never
+// panics; validation is pure arithmetic over declared counts before
+// anything is allocated, so a lying header cannot force an allocation
+// larger than the input itself. Accepted inputs must answer lookups
+// (including the lazy skip-frame search) without panicking.
+func FuzzBVIX3Read(f *testing.F) {
+	for _, codecName := range []string{"Roaring", "VB", "PEF", "WAH"} {
+		idx, err := buildFuzzIndex(codecName)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := idx.WriteBVIX3(&buf); err != nil {
+			f.Fatal(err)
+		}
+		file := buf.Bytes()
+		f.Add(file)
+		f.Add(file[:len(file)/2])
+		f.Add(file[:bvix3HeaderSize])
+		// Flipped section length, resealed so the geometry checks (not
+		// the header CRC) are what the fuzzer starts from.
+		bent := append([]byte{}, file...)
+		bent[24+8] ^= 0xFF
+		reseal3Header(bent)
+		f.Add(bent)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("BVIX3"))
+	f.Add(append([]byte("BVIX3\x01\x00\x00"), make([]byte, bvix3DataStart)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if idx, err := Read(bytes.NewReader(data)); err == nil {
+			if idx.Docs() < 0 || idx.Terms() < 0 || idx.SizeBytes() < 0 {
+				t.Fatalf("accepted index with nonsense shape: docs=%d terms=%d size=%d",
+					idx.Docs(), idx.Terms(), idx.SizeBytes())
+			}
+		}
+		lazy, err := openBVIX3Lazy(data, nil)
+		if err != nil {
+			return
+		}
+		// Lazy-accepted: lookups and materialization must hold up.
+		for _, probe := range []string{"compressed", "lists", "", "zzz"} {
+			_ = lazy.DecodedPostings(probe)
+		}
+		if _, err := lazy.Conjunctive("compressed", "lists"); err != nil {
+			t.Logf("conjunctive on accepted index: %v", err)
+		}
+		if lazy.SizeBytes() < 0 || lazy.Terms() < 0 {
+			t.Fatalf("lazy index with nonsense shape: terms=%d size=%d", lazy.Terms(), lazy.SizeBytes())
+		}
+	})
+}
+
 // buildFuzzIndex builds a small index without *testing.T plumbing so
 // both seeds and other tests can reuse it.
 func buildFuzzIndex(codecName string) (*Index, error) {

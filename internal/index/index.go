@@ -7,8 +7,11 @@ package index
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/ops"
@@ -16,56 +19,149 @@ import (
 
 // Builder accumulates documents and compresses the index in one shot
 // (document IDs are assigned in insertion order, so posting lists are
-// naturally sorted).
+// naturally sorted). AddDocument only records the text; tokenization
+// and compression happen in Build, sharded across GOMAXPROCS-capped
+// workers. The built index is identical for every shard count, so the
+// parallel build is a pure throughput lever.
 type Builder struct {
-	codec    core.Codec
-	postings map[string][]uint32
-	freqs    map[string][]uint16
-	docs     int
+	codec  core.Codec
+	texts  []string
+	shards int
 }
 
 // NewBuilder returns a builder that will compress postings with codec.
 func NewBuilder(codec core.Codec) *Builder {
-	return &Builder{
-		codec:    codec,
-		postings: map[string][]uint32{},
-		freqs:    map[string][]uint16{},
-	}
+	return &Builder{codec: codec}
 }
 
-// AddDocument indexes text and returns its document ID.
+// SetShards fixes the ingestion shard count for Build. n <= 0 (the
+// default) picks GOMAXPROCS. Explicit values are honored as given so
+// determinism tests can compare arbitrary shardings; the auto default
+// never exceeds the core count.
+func (b *Builder) SetShards(n int) { b.shards = n }
+
+// AddDocument records text for indexing and returns its document ID.
 func (b *Builder) AddDocument(text string) uint32 {
-	id := uint32(b.docs)
-	b.docs++
-	counts := map[string]int{}
-	for _, tok := range Tokenize(text) {
-		counts[tok]++
-	}
-	terms := make([]string, 0, len(counts))
-	for t := range counts {
-		terms = append(terms, t)
-	}
-	sort.Strings(terms)
-	for _, t := range terms {
-		b.postings[t] = append(b.postings[t], id)
-		f := counts[t]
-		if f > 65535 {
-			f = 65535
-		}
-		b.freqs[t] = append(b.freqs[t], uint16(f))
-	}
+	id := uint32(len(b.texts))
+	b.texts = append(b.texts, text)
 	return id
 }
 
-// Build compresses every posting list and returns the finished index.
+// shardAccum is one ingestion shard's term maps over a contiguous
+// document ID range. Ranges are disjoint and increasing, so per-term
+// lists from consecutive shards concatenate into exactly the list a
+// serial pass would have produced.
+type shardAccum struct {
+	postings map[string][]uint32
+	freqs    map[string][]uint16
+}
+
+// Build tokenizes and compresses every posting list and returns the
+// finished index. Ingestion fans out over contiguous document shards
+// and compression over a term-level worker pool; the result is
+// bit-identical to a single-shard build.
 func (b *Builder) Build() (*Index, error) {
-	idx := &Index{codec: b.codec, terms: map[string]termEntry{}, docs: b.docs}
-	for t, list := range b.postings {
-		p, err := b.codec.Compress(list)
-		if err != nil {
-			return nil, fmt.Errorf("index: term %q: %w", t, err)
+	shards := b.shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > len(b.texts) {
+		shards = max(len(b.texts), 1)
+	}
+
+	// Phase 1: per-shard tokenization into private term maps.
+	accums := make([]shardAccum, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * len(b.texts) / shards
+		hi := (s + 1) * len(b.texts) / shards
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			acc := shardAccum{postings: map[string][]uint32{}, freqs: map[string][]uint16{}}
+			counts := map[string]int{}
+			for id := lo; id < hi; id++ {
+				clear(counts)
+				for _, tok := range Tokenize(b.texts[id]) {
+					counts[tok]++
+				}
+				for t, f := range counts {
+					acc.postings[t] = append(acc.postings[t], uint32(id))
+					acc.freqs[t] = append(acc.freqs[t], uint16(min(f, 65535)))
+				}
+			}
+			accums[s] = acc
+		}(s, lo, hi)
+	}
+	wg.Wait()
+
+	// Per-shard appends happen in document order within a shard but the
+	// map iteration above is unordered across terms; that is fine — the
+	// per-term sequences are what must stay ordered, and they are.
+	names := map[string]struct{}{}
+	for _, acc := range accums {
+		for t := range acc.postings {
+			names[t] = struct{}{}
 		}
-		idx.terms[t] = termEntry{posting: p, freqs: b.freqs[t]}
+	}
+	sorted := make([]string, 0, len(names))
+	for t := range names {
+		sorted = append(sorted, t)
+	}
+	sort.Strings(sorted)
+
+	// Phase 2: deterministic merge + compression, fanned out over a
+	// worker pool. Each worker owns whole terms, so no two goroutines
+	// ever touch the same output slot.
+	entries := make([]termEntry, len(sorted))
+	workers := min(runtime.GOMAXPROCS(0), max(len(sorted), 1))
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		buildErr error
+		cwg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(sorted) || failed.Load() {
+					return
+				}
+				t := sorted[i]
+				var list []uint32
+				var freqs []uint16
+				for _, acc := range accums {
+					if p, ok := acc.postings[t]; ok {
+						if list == nil {
+							list, freqs = p, acc.freqs[t] // sole/first shard: reuse in place
+						} else {
+							list = append(list, p...)
+							freqs = append(freqs, acc.freqs[t]...)
+						}
+					}
+				}
+				p, err := b.codec.Compress(list)
+				if err != nil {
+					errOnce.Do(func() { buildErr = fmt.Errorf("index: term %q: %w", t, err) })
+					failed.Store(true)
+					return
+				}
+				entries[i] = termEntry{posting: p, freqs: freqs}
+			}
+		}()
+	}
+	cwg.Wait()
+	if buildErr != nil {
+		return nil, buildErr
+	}
+
+	idx := &Index{codec: b.codec, terms: make(map[string]termEntry, len(sorted)), docs: len(b.texts)}
+	for i, t := range sorted {
+		idx.terms[t] = entries[i]
 	}
 	return idx, nil
 }
@@ -89,15 +185,35 @@ type termEntry struct {
 }
 
 // Index answers boolean and top-k queries over compressed postings.
+// Indexes come from two sources: Builder.Build / Read materialize every
+// term eagerly into the terms map, while OpenFile on a BVIX3 file keeps
+// postings in the mapped region and materializes them lazily through
+// the lazy backend on first access.
 type Index struct {
 	codec core.Codec
 	terms map[string]termEntry
 	docs  int
 
+	// lazy, when non-nil, backs terms not present in the eager map with
+	// records materialized on demand from a BVIX3 mapping.
+	lazy *lazyIndex
+
 	// cache, when attached, memoizes decoded posting lists under this
 	// index's generation. See DecodedCache for the invalidation story.
 	cache *DecodedCache
 	gen   uint64
+}
+
+// entry resolves a term to its posting entry, consulting the eager map
+// first and then the lazy BVIX3 backend.
+func (idx *Index) entry(term string) (termEntry, bool) {
+	if e, ok := idx.terms[term]; ok {
+		return e, true
+	}
+	if idx.lazy != nil {
+		return idx.lazy.entry(term)
+	}
+	return termEntry{}, false
 }
 
 // AttachCache connects a decoded-posting cache to the index under a
@@ -113,14 +229,21 @@ func (idx *Index) AttachCache(c *DecodedCache) {
 // (0 when no cache is attached).
 func (idx *Index) Generation() uint64 { return idx.gen }
 
-// DecodedPostings returns the decoded posting list for a term (nil if
-// unindexed), consulting the attached cache first. The returned slice
-// is shared and read-only: it may be served concurrently to other
-// queries. Callers that need to mutate must copy.
+// EmptyPostings is the sentinel slice DecodedPostings returns for terms
+// absent from the index: non-nil, zero length, shared, and read-only.
+// Callers can range over or len() it without a nil check and must never
+// append to or mutate it.
+var EmptyPostings = make([]uint32, 0)
+
+// DecodedPostings returns the decoded posting list for a term,
+// consulting the attached cache first. Unknown terms yield the
+// EmptyPostings sentinel (never nil). The returned slice is shared and
+// read-only: it may be served concurrently to other queries. Callers
+// that need to mutate must copy.
 func (idx *Index) DecodedPostings(term string) []uint32 {
-	e, ok := idx.terms[term]
+	e, ok := idx.entry(term)
 	if !ok {
-		return nil
+		return EmptyPostings
 	}
 	if idx.cache != nil {
 		if vals, ok := idx.cache.get(idx.gen, term); ok {
@@ -138,10 +261,23 @@ func (idx *Index) DecodedPostings(term string) []uint32 {
 func (idx *Index) Docs() int { return idx.docs }
 
 // Terms reports the vocabulary size.
-func (idx *Index) Terms() int { return len(idx.terms) }
+func (idx *Index) Terms() int {
+	if idx.lazy != nil {
+		return idx.lazy.termCount
+	}
+	return len(idx.terms)
+}
 
-// SizeBytes reports the compressed footprint of all posting lists.
+// SizeBytes reports the compressed footprint of all posting lists. For
+// lazily opened indexes this is the serialized posting footprint from
+// the dictionary scan done at open time — no posting is materialized
+// to answer it. (Serialized blobs carry self-describing headers, so
+// the number runs slightly higher than the in-memory accounting of a
+// built index.)
 func (idx *Index) SizeBytes() int {
+	if idx.lazy != nil {
+		return idx.lazy.sizeBytes
+	}
 	s := 0
 	for _, e := range idx.terms {
 		s += e.posting.SizeBytes()
@@ -149,13 +285,38 @@ func (idx *Index) SizeBytes() int {
 	return s
 }
 
-// Postings returns the compressed posting list for a term (nil if the
-// term is unindexed).
+// Postings returns the compressed posting list for a term. Unknown
+// terms yield the EmptyPosting sentinel (never nil), so callers can
+// chain Len/Decompress without a nil check.
 func (idx *Index) Postings(term string) core.Posting {
-	if e, ok := idx.terms[term]; ok {
+	if e, ok := idx.entry(term); ok {
 		return e.posting
 	}
-	return nil
+	return EmptyPosting
+}
+
+// EmptyPosting is the sentinel Postings returns for terms absent from
+// the index: an immutable posting with zero values. Comparable with ==.
+var EmptyPosting core.Posting = emptyPosting{}
+
+// emptyPosting is the canonical zero-value posting behind EmptyPosting.
+type emptyPosting struct{}
+
+func (emptyPosting) Len() int                               { return 0 }
+func (emptyPosting) SizeBytes() int                         { return 0 }
+func (emptyPosting) Decompress() []uint32                   { return EmptyPostings }
+func (emptyPosting) DecompressAppend(dst []uint32) []uint32 { return dst }
+
+// Close releases the mapped file backing an index opened with OpenFile
+// (a no-op for built or eagerly read indexes). Postings materialized
+// before Close remain usable — decoders copy out of the mapping — but
+// terms not yet materialized become unreachable: lookups report them
+// as absent. Do not Close an index that is still being served.
+func (idx *Index) Close() error {
+	if idx.lazy == nil {
+		return nil
+	}
+	return idx.lazy.close()
 }
 
 // Conjunctive returns the documents containing every term, via SvS
@@ -163,7 +324,7 @@ func (idx *Index) Postings(term string) core.Posting {
 func (idx *Index) Conjunctive(terms ...string) ([]uint32, error) {
 	ps := make([]core.Posting, 0, len(terms))
 	for _, t := range terms {
-		e, ok := idx.terms[t]
+		e, ok := idx.entry(t)
 		if !ok {
 			return nil, nil // a missing term empties the conjunction
 		}
@@ -181,7 +342,7 @@ func (idx *Index) Disjunctive(terms ...string) ([]uint32, error) {
 	if idx.cache != nil {
 		var lists [][]uint32
 		for _, t := range terms {
-			if _, ok := idx.terms[t]; ok {
+			if _, ok := idx.entry(t); ok {
 				lists = append(lists, idx.DecodedPostings(t))
 			}
 		}
@@ -189,7 +350,7 @@ func (idx *Index) Disjunctive(terms ...string) ([]uint32, error) {
 	}
 	var ps []core.Posting
 	for _, t := range terms {
-		if e, ok := idx.terms[t]; ok {
+		if e, ok := idx.entry(t); ok {
 			ps = append(ps, e.posting)
 		}
 	}
@@ -220,7 +381,7 @@ func (idx *Index) TopK(k int, terms ...string) ([]Result, error) {
 	}
 	scorers := make([]scorer, 0, len(terms))
 	for _, t := range terms {
-		if e, ok := idx.terms[t]; ok {
+		if e, ok := idx.entry(t); ok {
 			scorers = append(scorers, scorer{vals: idx.DecodedPostings(t), freqs: e.freqs})
 		}
 	}

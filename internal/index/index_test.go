@@ -110,11 +110,44 @@ func TestIndexAccessors(t *testing.T) {
 	if idx.Terms() == 0 || idx.SizeBytes() <= 0 {
 		t.Error("Terms/SizeBytes look wrong")
 	}
-	if idx.Postings("bitmap") == nil {
+	if idx.Postings("bitmap") == nil || idx.Postings("bitmap") == EmptyPosting {
 		t.Error("Postings(bitmap) missing")
 	}
-	if idx.Postings("nonexistent") != nil {
-		t.Error("Postings should return nil for unknown terms")
+	if idx.Postings("nonexistent") != EmptyPosting {
+		t.Error("Postings should return the EmptyPosting sentinel for unknown terms")
+	}
+}
+
+// TestUnknownTermSentinels pins the documented sentinel contract:
+// unknown terms yield EmptyPosting / EmptyPostings, never nil, so
+// callers can chain Len/Decompress/len without nil checks.
+func TestUnknownTermSentinels(t *testing.T) {
+	idx := buildTestIndex(t, "Roaring")
+	p := idx.Postings("no-such-term")
+	if p == nil {
+		t.Fatal("Postings returned nil for an unknown term")
+	}
+	if p != EmptyPosting {
+		t.Fatalf("Postings returned %T, want the EmptyPosting sentinel", p)
+	}
+	if p.Len() != 0 || p.SizeBytes() != 0 || len(p.Decompress()) != 0 {
+		t.Fatalf("EmptyPosting not empty: Len=%d SizeBytes=%d", p.Len(), p.SizeBytes())
+	}
+	d := idx.DecodedPostings("no-such-term")
+	if d == nil {
+		t.Fatal("DecodedPostings returned nil for an unknown term")
+	}
+	if len(d) != 0 {
+		t.Fatalf("DecodedPostings for unknown term has %d values", len(d))
+	}
+	// The sentinel survives a round trip through a lazily opened index.
+	lazy := openLazy(t, idx)
+	defer lazy.Close()
+	if lazy.Postings("no-such-term") != EmptyPosting {
+		t.Fatal("lazy index did not return the EmptyPosting sentinel")
+	}
+	if got := lazy.DecodedPostings("no-such-term"); got == nil || len(got) != 0 {
+		t.Fatalf("lazy DecodedPostings = %v, want empty sentinel", got)
 	}
 }
 

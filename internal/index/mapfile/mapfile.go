@@ -1,0 +1,49 @@
+// Package mapfile provides a read-only view of a file's contents that
+// is memory-mapped where the platform supports it (linux, darwin) and
+// falls back to a plain read elsewhere, behind one portable API. It is
+// the zero-copy substrate of the BVIX3 lazy index open path: callers
+// slice File.Data directly and must not write through it.
+//
+// Ownership: Data is valid until Close. On mapped platforms Close
+// unmaps the region, after which any access to previously returned
+// slices faults — callers that hand out sub-slices (the index package)
+// must fence access themselves. On fallback platforms Data is ordinary
+// heap memory and survives Close, but callers must not rely on that.
+package mapfile
+
+import "fmt"
+
+// File is a read-only view of one file's entire contents.
+type File struct {
+	data   []byte
+	mapped bool
+	closed bool
+}
+
+// Data returns the file contents. The slice is read-only and shared;
+// it is valid until Close.
+func (f *File) Data() []byte { return f.data }
+
+// Mapped reports whether the view is an actual memory mapping (true on
+// linux/darwin for non-empty files) or a heap copy (the portable
+// fallback, and all empty files).
+func (f *File) Mapped() bool { return f.mapped }
+
+// Close releases the view. Closing twice is safe; only the first call
+// does work. After Close, slices of Data must not be touched on mapped
+// platforms.
+func (f *File) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	data, mapped := f.data, f.mapped
+	f.data, f.mapped = nil, false
+	if !mapped || len(data) == 0 {
+		return nil
+	}
+	if err := unmap(data); err != nil {
+		return fmt.Errorf("mapfile: unmap: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package mapfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenReadsContents(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "blob")
+	want := bytes.Repeat([]byte("mapfile"), 1000)
+	if err := os.WriteFile(p, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Data(), want) {
+		t.Fatalf("Data mismatch: %d bytes, want %d", len(f.Data()), len(want))
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if f.Data() != nil {
+		t.Fatal("Data non-nil after Close")
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(p, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Data()) != 0 {
+		t.Fatalf("empty file mapped to %d bytes", len(f.Data()))
+	}
+	if f.Mapped() {
+		t.Fatal("empty file should not report a real mapping")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

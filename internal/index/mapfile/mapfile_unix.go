@@ -1,0 +1,41 @@
+//go:build linux || darwin
+
+package mapfile
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// Open maps path read-only. The descriptor is closed before returning;
+// the mapping keeps the underlying file alive on its own. MAP_PRIVATE
+// keeps the view stable against concurrent writers on platforms where
+// that matters (pages are still shared until someone writes, so a
+// private read-only mapping costs nothing extra).
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &File{}, nil // zero-length mmap is an error; empty view suffices
+	}
+	if size > math.MaxInt || size != int64(int(size)) {
+		return nil, fmt.Errorf("mapfile: %s: %d bytes exceeds addressable size", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("mapfile: mmap %s: %w", path, err)
+	}
+	return &File{data: data, mapped: true}, nil
+}
+
+func unmap(data []byte) error { return syscall.Munmap(data) }

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"sort"
 
 	"repro/internal/codecs"
 	"repro/internal/core"
@@ -18,24 +17,32 @@ import (
 // posting via its self-describing binary encoding, so an index written
 // with one codec loads without knowing which codec built it.
 //
-// Two on-disk formats exist:
+// Three on-disk formats exist:
 //
-//   - Versioned "BVIX2" (current, always written): magic, one version
-//     byte, the payload, then a CRC32-C (Castagnoli) trailer u32 over
-//     version byte + payload. Read verifies the checksum before parsing
-//     anything, so a flipped bit anywhere after the magic surfaces as
-//     core.ErrChecksum rather than a confusing decode error — and a
-//     version byte this build does not know yields core.ErrVersion.
+//   - "BVIX3" (current serving format, written by WriteBVIX3): three
+//     section-aligned, individually CRC-checked segments (term dict,
+//     skip frames, posting payloads) laid out for zero-copy mmap open
+//     with lazy posting materialization. See bvix3.go for the layout.
+//     Read accepts it eagerly; OpenFile opens it lazily.
+//   - Versioned "BVIX2" (streaming format, written by WriteTo): magic,
+//     one version byte, the payload, then a CRC32-C (Castagnoli)
+//     trailer u32 over version byte + payload. Read verifies the
+//     checksum before parsing anything, so a flipped bit anywhere after
+//     the magic surfaces as core.ErrChecksum rather than a confusing
+//     decode error — and a version byte this build does not know yields
+//     core.ErrVersion.
 //   - Legacy "BVIX1" (the unversioned seed format): magic then payload,
 //     no version byte, no checksum. Read still accepts it.
 //
-// Payload layout (little-endian): doc count u32, term count u32, then
-// per term (sorted by name for determinism): name (u16 len + bytes),
-// frequencies (u32 count + u16 values), posting blob (u32 len + bytes).
+// BVIX2 payload layout (little-endian): doc count u32, term count u32,
+// then per term (sorted by name for determinism): name (u16 len +
+// bytes), frequencies (u32 count + u16 values), posting blob (u32 len +
+// bytes).
 
 var (
 	legacyMagic = []byte("BVIX1")
 	indexMagic  = []byte("BVIX2")
+	// bvix3Magic lives in bvix3.go with the rest of the BVIX3 format.
 )
 
 // formatVersion is the payload version written inside BVIX2 files.
@@ -43,8 +50,14 @@ const formatVersion = 1
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// WriteTo serializes the index in the versioned, checksummed format.
+// WriteTo serializes the index in the versioned, checksummed BVIX2
+// streaming format. Lazily opened indexes are materialized in full
+// first, so WriteTo doubles as a BVIX3 → BVIX2 converter.
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	names, entries, serr := idx.sortedEntries()
+	if serr != nil {
+		return 0, serr
+	}
 	bw := bufio.NewWriter(w)
 	crc := crc32.New(castagnoli)
 	var n int64
@@ -69,17 +82,12 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(idx.docs))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(idx.terms)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(names)))
 	if err := write(hdr[:], true); err != nil {
 		return n, err
 	}
-	names := make([]string, 0, len(idx.terms))
-	for t := range idx.terms {
-		names = append(names, t)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		e := idx.terms[name]
+	for i, name := range names {
+		e := entries[i]
 		var buf []byte
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
 		buf = append(buf, name...)
@@ -113,6 +121,16 @@ func Read(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("index: reading magic: %w", err)
 	}
 	switch {
+	case bytes.Equal(magic, bvix3Magic):
+		// The BVIX3 parser works on the whole file (its section offsets
+		// are absolute), so re-prefix the magic already consumed.
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: reading body: %w", err)
+		}
+		data := make([]byte, 0, len(bvix3Magic)+len(rest))
+		data = append(append(data, bvix3Magic...), rest...)
+		return readBVIX3(data)
 	case bytes.Equal(magic, indexMagic):
 		return readVersioned(br)
 	case bytes.Equal(magic, legacyMagic):

@@ -14,7 +14,7 @@ import (
 
 // IntersectSorted is the reference merge intersection of plain lists.
 func IntersectSorted(a, b []uint32) []uint32 {
-	out := make([]uint32, 0, minInt(len(a), len(b)))
+	out := make([]uint32, 0, min(len(a), len(b)))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -258,11 +258,4 @@ func siftDown(h []heapHead, i int) {
 		h[i], h[small] = h[small], h[i]
 		i = small
 	}
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

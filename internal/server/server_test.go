@@ -8,6 +8,8 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -313,6 +315,133 @@ func TestReloadInvalidatesPostingCache(t *testing.T) {
 	}
 	if st := off.CacheStats(); st != (index.CacheStats{}) {
 		t.Fatalf("disabled cache reported activity: %+v", st)
+	}
+}
+
+// TestTwoConsecutiveReloadsInvalidateCache: the cache generation logic
+// must hold up across back-to-back hot swaps, not just one. Three index
+// versions map the same term to different documents; after each reload
+// the served answer must come from the new index, never from a decode
+// cached under an earlier generation. Concurrent queriers run
+// throughout (exercised under -race in CI) and every response they see
+// must match exactly one complete version — no half-swapped or
+// cross-generation results. The middle generation is loaded through the
+// lazy mmap-backed BVIX3 path to prove cache invalidation composes with
+// zero-copy open; superseded snapshots are not Closed, mirroring how
+// bvserve leaves old mappings to the kernel.
+func TestTwoConsecutiveReloadsInvalidateCache(t *testing.T) {
+	versions := [][]string{
+		{"marker one", "filler text"},
+		{"filler text", "marker two"},
+		{"filler text", "filler again", "marker three"},
+	}
+	wantDoc := []float64{0, 1, 2} // where "marker" lives in each version
+
+	s := New(buildIndex(t, versions[0]...), Config{Logger: quiet})
+	h := s.Handler()
+
+	markerDoc := func() float64 {
+		t.Helper()
+		rec, body := get(t, h, "/search?q=marker&mode=or")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("search = %d", rec.Code)
+		}
+		docs := body["docs"].([]interface{})
+		if len(docs) != 1 {
+			t.Fatalf("marker docs = %v", docs)
+		}
+		return docs[0].(float64)
+	}
+
+	// Warm the v0 generation: second query must be a cache hit.
+	markerDoc()
+	if got := markerDoc(); got != wantDoc[0] {
+		t.Fatalf("v0 marker doc = %v, want %v", got, wantDoc[0])
+	}
+	if st := s.CacheStats(); st.Hits == 0 {
+		t.Fatalf("v0 queries never hit the cache: %+v", st)
+	}
+
+	// Queriers hammer the endpoint across both swaps. Each response must
+	// be exactly one version's answer — a stale cached decode would show
+	// up as a marker doc ID that no longer exists in the served index.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search?q=marker&mode=or", nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("concurrent search = %d", rec.Code)
+					return
+				}
+				var body struct{ Docs []float64 }
+				if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+					t.Errorf("concurrent search body: %v", err)
+					return
+				}
+				if len(body.Docs) != 1 || (body.Docs[0] != 0 && body.Docs[0] != 1 && body.Docs[0] != 2) {
+					t.Errorf("cross-generation result: %v", body.Docs)
+					return
+				}
+			}
+		}()
+	}
+
+	gens := []uint64{s.Index().Generation()}
+	for i, docs := range [][]string{versions[1], versions[2]} {
+		docs := docs
+		lazy := i == 0 // load v1 via the mmap-backed zero-copy path
+		s.SetLoader(func() (*index.Index, error) {
+			if !lazy {
+				return buildIndex(t, docs...), nil
+			}
+			path := filepath.Join(t.TempDir(), "v.idx")
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := buildIndex(t, docs...).WriteBVIX3(f); err != nil {
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+			return index.OpenFile(path)
+		})
+		if err := s.Reload(); err != nil {
+			t.Fatal(err)
+		}
+		gens = append(gens, s.Index().Generation())
+		// Cold read from the new generation, then a warm one: both must
+		// answer from the freshly swapped index.
+		for pass := 0; pass < 2; pass++ {
+			if got := markerDoc(); got != wantDoc[i+1] {
+				t.Fatalf("after reload %d pass %d: marker doc = %v, want %v", i+1, pass, got, wantDoc[i+1])
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if gens[0] == gens[1] || gens[1] == gens[2] || gens[0] == gens[2] {
+		t.Fatalf("generations not distinct across reloads: %v", gens)
+	}
+	if got := s.Reloads(); got != 2 {
+		t.Fatalf("Reloads = %d, want 2", got)
+	}
+	// Only the final generation may own cache entries.
+	st := s.CacheStats()
+	if st.Entries == 0 {
+		t.Fatalf("final generation has no cached decodes: %+v", st)
 	}
 }
 
