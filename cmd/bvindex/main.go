@@ -87,25 +87,25 @@ func runBuild(inFile, outFile, codecName, format string, shards int) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
+	if docs == 0 {
+		return fmt.Errorf("empty corpus: no non-blank documents in input, refusing to write %s", outFile)
+	}
 	idx, err := builder.Build()
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(outFile)
-	if err != nil {
+	// WriteFile publishes atomically (temp file, fsync, rename, dir
+	// sync): an unwritable path or a failure mid-write surfaces here and
+	// never leaves a torn index at outFile.
+	if err := idx.WriteFile(outFile, index.Format(format)); err != nil {
 		return err
 	}
-	defer f.Close()
-	write := idx.WriteBVIX3
-	if format == "bvix2" {
-		write = idx.WriteTo
-	}
-	n, err := write(f)
+	st, err := os.Stat(outFile)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("indexed %d documents, %d terms, %d compressed posting bytes -> %s (%d bytes)\n",
-		docs, idx.Terms(), idx.SizeBytes(), outFile, n)
+		docs, idx.Terms(), idx.SizeBytes(), outFile, st.Size())
 	return nil
 }
 

@@ -84,3 +84,54 @@ func TestQueryErrors(t *testing.T) {
 		t.Error("non-index file accepted")
 	}
 }
+
+// TestBuildEmptyCorpus: a corpus with no non-blank documents must be
+// refused, not silently written as an empty index with exit 0.
+func TestBuildEmptyCorpus(t *testing.T) {
+	docsFile := writeDocs(t, []string{"", "   ", "\t"})
+	out := filepath.Join(t.TempDir(), "empty.idx")
+	err := runBuild(docsFile, out, "Roaring", "bvix3", 0)
+	if err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	if !strings.Contains(err.Error(), "empty corpus") {
+		t.Fatalf("error does not name the cause: %v", err)
+	}
+	if _, serr := os.Stat(out); !os.IsNotExist(serr) {
+		t.Fatalf("empty-corpus build left a file at %s", out)
+	}
+}
+
+// TestBuildUnwritableOutput: an unwritable output path is a clean
+// error, and a previously published index at that path survives the
+// failed attempt untouched (atomic publish).
+func TestBuildUnwritableOutput(t *testing.T) {
+	docsFile := writeDocs(t, []string{"a doc"})
+	out := filepath.Join(t.TempDir(), "no", "such", "dir", "x.idx")
+	if err := runBuild(docsFile, out, "Roaring", "bvix3", 0); err == nil {
+		t.Fatal("unwritable output path accepted")
+	}
+
+	dir := t.TempDir()
+	published := filepath.Join(dir, "keep.idx")
+	if err := runBuild(docsFile, published, "Roaring", "bvix3", 0); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(published)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Routing the output path through the published file itself yields
+	// ENOTDIR for any uid (a chmod-based probe is useless under root).
+	moreDocs := writeDocs(t, []string{"a doc", "another doc"})
+	if err := runBuild(moreDocs, filepath.Join(published, "sub.idx"), "Roaring", "bvix3", 0); err == nil {
+		t.Fatal("write through a file path component accepted")
+	}
+	after, err := os.ReadFile(published)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed build disturbed the previously published index")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/codecs"
+	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/server"
 )
@@ -71,6 +72,9 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 
 		maxDocs = fs.Int("max-docs", 1<<22, "max documents to ingest from -in")
 		maxLine = fs.Int("max-line", 1<<20, "max bytes per -in document line")
+
+		loadRetries   = fs.Int("load-retries", 5, "attempts for the initial index load when failures are transient")
+		allowDegraded = fs.Bool("allow-degraded", true, "serve a checksum-failed index in degraded mode (quarantined terms withheld) instead of exiting")
 	)
 	fs.SetOutput(logger.Writer())
 	if err := fs.Parse(args); err != nil {
@@ -78,9 +82,17 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 	}
 
 	load := func() (*index.Index, error) {
-		return loadIndex(*inFile, *indexFile, *codecName, *shards, *maxDocs, *maxLine)
+		idx, err := loadIndex(*inFile, *indexFile, *codecName, *shards, *maxDocs, *maxLine, *allowDegraded)
+		if err != nil {
+			return nil, err
+		}
+		if h := idx.Health(); h.Degraded {
+			logger.Printf("bvserve: WARNING: serving DEGRADED index: sections %v failed checksums, %d terms quarantined; rebuild the index (see the corruption-recovery runbook)",
+				h.QuarantinedSections, h.QuarantinedTerms)
+		}
+		return idx, nil
 	}
-	idx, err := load()
+	idx, err := loadWithRetry(ctx, logger, *loadRetries, load)
 	if err != nil {
 		return err
 	}
@@ -133,6 +145,35 @@ func cacheBytes(mb int) int {
 	return mb << 20
 }
 
+// loadWithRetry runs load, retrying transient failures (as classified
+// by core.IsTransient: resource exhaustion, timeouts) with capped
+// exponential backoff. Permanent failures — corrupt files, unknown
+// versions, missing paths — fail immediately; retrying cannot fix
+// them. Respects ctx so shutdown interrupts a backoff sleep.
+func loadWithRetry(ctx context.Context, logger *log.Logger, attempts int, load func() (*index.Index, error)) (*index.Index, error) {
+	const maxDelay = 5 * time.Second
+	delay := 100 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		idx, err := load()
+		if err == nil {
+			return idx, nil
+		}
+		if attempt >= attempts || !core.IsTransient(err) {
+			return nil, err
+		}
+		logger.Printf("bvserve: load attempt %d/%d failed (transient): %v; retrying in %s",
+			attempt, attempts, err, delay)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
 // loadIndex builds from raw documents or loads a serialized index. The
 // ingest path is bounded: more than maxDocs lines or a line longer than
 // maxLineBytes is a clear error naming the offending line, not a silent
@@ -140,14 +181,23 @@ func cacheBytes(mb int) int {
 //
 // The -index path goes through index.OpenFile, which maps BVIX3 files
 // zero-copy and materializes postings lazily. Superseded snapshots from
-// hot reloads are deliberately never Closed: in-flight requests may
-// still hold borrowed views into the mapping, and a process keeps only
-// a handful of snapshot mappings alive across its lifetime — the kernel
-// reclaims the pages when the process exits.
-func loadIndex(inFile, indexFile, codecName string, shards, maxDocs, maxLineBytes int) (*index.Index, error) {
+// hot reloads are retired by the serving layer and Closed once their
+// in-flight queries drain. When the file fails its checksums and
+// allowDegraded is set, the open falls back to degraded mode: verified
+// content serves, the rest is quarantined, and /healthz reports the
+// damage.
+func loadIndex(inFile, indexFile, codecName string, shards, maxDocs, maxLineBytes int, allowDegraded bool) (*index.Index, error) {
 	switch {
 	case indexFile != "":
-		return index.OpenFile(indexFile)
+		idx, err := index.OpenFile(indexFile)
+		if err != nil && allowDegraded && errors.Is(err, core.ErrChecksum) {
+			deg, derr := index.OpenFileDegraded(indexFile)
+			if derr != nil {
+				return nil, err // salvage failed too; the strict error names the damage
+			}
+			return deg, nil
+		}
+		return idx, err
 	case inFile != "":
 		codec, err := codecs.ByName(codecName)
 		if err != nil {

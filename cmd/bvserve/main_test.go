@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
+	"fmt"
 	"log"
 	"os"
 	"path/filepath"
@@ -11,6 +13,9 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
 )
 
 const (
@@ -24,7 +29,7 @@ func TestLoadIndexPaths(t *testing.T) {
 	if err := os.WriteFile(docs, []byte("alpha beta\ngamma\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	idx, err := loadIndex(docs, "", "VB", 0, defaultMaxDocs, defaultMaxLine)
+	idx, err := loadIndex(docs, "", "VB", 0, defaultMaxDocs, defaultMaxLine, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +46,7 @@ func TestLoadIndexPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	loaded, err := loadIndex("", idxFile, "", 0, defaultMaxDocs, defaultMaxLine)
+	loaded, err := loadIndex("", idxFile, "", 0, defaultMaxDocs, defaultMaxLine, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,10 +54,10 @@ func TestLoadIndexPaths(t *testing.T) {
 		t.Fatalf("loaded docs = %d", loaded.Docs())
 	}
 	// Neither input: error.
-	if _, err := loadIndex("", "", "Roaring", 0, defaultMaxDocs, defaultMaxLine); err == nil {
+	if _, err := loadIndex("", "", "Roaring", 0, defaultMaxDocs, defaultMaxLine, true); err == nil {
 		t.Error("expected error with no inputs")
 	}
-	if _, err := loadIndex(docs, "", "NoSuchCodec", 0, defaultMaxDocs, defaultMaxLine); err == nil {
+	if _, err := loadIndex(docs, "", "NoSuchCodec", 0, defaultMaxDocs, defaultMaxLine, true); err == nil {
 		t.Error("expected error for unknown codec")
 	}
 }
@@ -65,7 +70,7 @@ func TestLoadIndexBounds(t *testing.T) {
 	if err := os.WriteFile(many, []byte("one\ntwo\nthree\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err := loadIndex(many, "", "Roaring", 0, 2, defaultMaxLine)
+	_, err := loadIndex(many, "", "Roaring", 0, 2, defaultMaxLine, true)
 	if err == nil || !strings.Contains(err.Error(), "max-docs") {
 		t.Fatalf("over max-docs: err = %v, want message naming -max-docs", err)
 	}
@@ -76,7 +81,7 @@ func TestLoadIndexBounds(t *testing.T) {
 	if err := os.WriteFile(long, []byte("short line\n"+strings.Repeat("x", 300)+"\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err = loadIndex(long, "", "Roaring", 0, defaultMaxDocs, 128)
+	_, err = loadIndex(long, "", "Roaring", 0, defaultMaxDocs, 128, true)
 	if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "max-line") {
 		t.Fatalf("over max-line: err = %v, want message naming line 2 and -max-line", err)
 	}
@@ -86,7 +91,7 @@ func TestLoadIndexBounds(t *testing.T) {
 	if err := os.WriteFile(blanks, []byte("\n\nalpha\n\nbeta\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	idx, err := loadIndex(blanks, "", "Roaring", 0, 2, defaultMaxLine)
+	idx, err := loadIndex(blanks, "", "Roaring", 0, 2, defaultMaxLine, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,5 +180,116 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-in", "/does/not/exist.txt"}, logger); err == nil {
 		t.Error("missing input file accepted")
+	}
+}
+
+// TestLoadWithRetryTransient: transient failures back off and retry;
+// the call succeeds once the underlying condition clears.
+func TestLoadWithRetryTransient(t *testing.T) {
+	buf := &syncBuffer{}
+	logger := log.New(buf, "", 0)
+	attempts := 0
+	idx, err := loadWithRetry(context.Background(), logger, 5, func() (*index.Index, error) {
+		attempts++
+		if attempts < 3 {
+			return nil, core.Transient(errors.New("index store warming up"))
+		}
+		return buildSmallIndex(t), nil
+	})
+	if err != nil {
+		t.Fatalf("loadWithRetry = %v", err)
+	}
+	if idx == nil || attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	if !strings.Contains(buf.String(), "retrying in") {
+		t.Fatalf("no backoff logged:\n%s", buf.String())
+	}
+}
+
+// TestLoadWithRetryPermanent: a permanent failure (corrupt index) must
+// not be retried — it exits immediately with the cause.
+func TestLoadWithRetryPermanent(t *testing.T) {
+	attempts := 0
+	_, err := loadWithRetry(context.Background(), log.New(&syncBuffer{}, "", 0), 5, func() (*index.Index, error) {
+		attempts++
+		return nil, fmt.Errorf("open: %w", core.ErrChecksum)
+	})
+	if err == nil || attempts != 1 {
+		t.Fatalf("permanent failure: err=%v attempts=%d, want 1 attempt", err, attempts)
+	}
+}
+
+// TestLoadWithRetryContextCancel: shutdown interrupts the backoff
+// sleep instead of waiting it out.
+func TestLoadWithRetryContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(20 * time.Millisecond); cancel() }()
+	start := time.Now()
+	_, err := loadWithRetry(ctx, log.New(&syncBuffer{}, "", 0), 100, func() (*index.Index, error) {
+		return nil, core.Transient(errors.New("never ready"))
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("cancel did not interrupt the backoff")
+	}
+}
+
+func buildSmallIndex(t *testing.T) *index.Index {
+	t.Helper()
+	idx, err := loadIndexFromDocs(t, "alpha beta\ngamma alpha\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func loadIndexFromDocs(t *testing.T, content string) (*index.Index, error) {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "docs.txt")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return loadIndex(p, "", "Roaring", 0, defaultMaxDocs, defaultMaxLine, true)
+}
+
+// TestLoadIndexDegradedFallback: with -allow-degraded a checksum-failed
+// BVIX3 file serves in degraded mode; without it the corruption is
+// fatal. Damage beyond salvage (a corrupt header) is fatal either way.
+func TestLoadIndexDegradedFallback(t *testing.T) {
+	idx := buildSmallIndex(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.bvix3")
+	if err := idx.WriteFile(path, index.FormatBVIX3); err != nil {
+		t.Fatal(err)
+	}
+	file, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file[len(file)-1] ^= 0x01 // last payload byte: a section CRC now fails
+	if err := os.WriteFile(path, file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := loadIndex("", path, "", 0, defaultMaxDocs, defaultMaxLine, false); err == nil {
+		t.Fatal("corrupt index accepted without -allow-degraded")
+	}
+	deg, err := loadIndex("", path, "", 0, defaultMaxDocs, defaultMaxLine, true)
+	if err != nil {
+		t.Fatalf("degraded fallback failed: %v", err)
+	}
+	if !deg.Health().Degraded {
+		t.Fatal("fallback index does not report degraded")
+	}
+
+	file[8] ^= 0x01 // header byte: salvage impossible
+	if err := os.WriteFile(path, file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadIndex("", path, "", 0, defaultMaxDocs, defaultMaxLine, true); err == nil {
+		t.Fatal("unsalvageable index accepted")
 	}
 }

@@ -101,9 +101,19 @@ func (RoaringRun) Decode(data []byte) (core.Posting, error) {
 				return nil, fmt.Errorf("%w: truncated run list", core.ErrBadFormat)
 			}
 			c := &runContainer{n: card, runs: make([]interval, nr)}
+			covered := 0
 			for k := range c.runs {
 				c.runs[k].start = binary.LittleEndian.Uint16(rest[4*k:])
 				c.runs[k].last = binary.LittleEndian.Uint16(rest[4*k+2:])
+				if c.runs[k].last < c.runs[k].start {
+					return nil, fmt.Errorf("%w: inverted run interval", core.ErrBadFormat)
+				}
+				covered += int(c.runs[k].last-c.runs[k].start) + 1
+			}
+			// Like the bitmap popcount check: the declared cardinality
+			// must match the bytes, not be taken on faith.
+			if covered != card {
+				return nil, fmt.Errorf("%w: run container cardinality mismatch", core.ErrBadFormat)
 			}
 			rest = rest[4*nr:]
 			p.cs = append(p.cs, c)
@@ -111,6 +121,15 @@ func (RoaringRun) Decode(data []byte) (core.Posting, error) {
 			return nil, fmt.Errorf("%w: container kind %d", core.ErrBadFormat, kind)
 		}
 		p.keys = append(p.keys, key)
+	}
+	// As in Roaring.Decode: the header count must match the
+	// byte-bounded container total before it sizes any buffer.
+	total := 0
+	for _, c := range p.cs {
+		total += c.card()
+	}
+	if total != n {
+		return nil, fmt.Errorf("%w: Roaring+Run header declares %d values, containers hold %d", core.ErrBadFormat, n, total)
 	}
 	if err := core.VerifyDecompress(p); err != nil {
 		return nil, err

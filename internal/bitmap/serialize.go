@@ -390,6 +390,17 @@ func (Roaring) Decode(data []byte) (core.Posting, error) {
 		}
 		p.keys = append(p.keys, key)
 	}
+	// The header count must equal the byte-bounded container total
+	// before VerifyDecompress trusts it to size the decode buffer: a
+	// lying header otherwise forces an allocation the payload's actual
+	// contents never justify.
+	total := 0
+	for _, c := range p.cs {
+		total += c.card()
+	}
+	if total != n {
+		return nil, fmt.Errorf("%w: Roaring header declares %d values, containers hold %d", core.ErrBadFormat, n, total)
+	}
 	if err := core.VerifyDecompress(p); err != nil {
 		return nil, err
 	}

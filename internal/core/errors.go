@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"io/fs"
+	"syscall"
+)
+
+// Error taxonomy for the persistence and serving stack: every failure
+// an open/load path can surface is either transient (the same call may
+// succeed if retried — a deployment race, resource pressure, an
+// interrupted syscall) or permanent (the artifact itself is wrong —
+// corrupt, truncated, or from an unknown format version — and no
+// amount of retrying will fix it). Callers that own a retry loop
+// (cmd/bvserve's startup open) branch on IsTransient; callers that own
+// a recovery path (degraded open, rebuild runbooks) branch on the
+// permanent sentinels ErrChecksum / ErrVersion.
+
+// ErrTransient is the sentinel wrapped by Transient and matched by
+// IsTransient: the operation failed for a reason that retrying with
+// backoff may cure.
+var ErrTransient = errors.New("core: transient failure")
+
+// transientError carries an underlying cause while matching
+// ErrTransient through errors.Is.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+
+func (e *transientError) Unwrap() error { return e.err }
+
+func (e *transientError) Is(target error) bool { return target == ErrTransient }
+
+// Transient marks err as retryable: the result matches both
+// ErrTransient and err's own chain through errors.Is/As. A nil err
+// returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// transientErrnos are the syscall failures worth retrying: resource
+// pressure and interruption, not missing or malformed data.
+var transientErrnos = []syscall.Errno{
+	syscall.EINTR, syscall.EAGAIN, syscall.EBUSY,
+	syscall.ENFILE, syscall.EMFILE, syscall.ENOMEM,
+}
+
+// IsTransient reports whether err is worth retrying: it (or anything
+// in its chain) was marked with Transient, is a timeout, or is one of
+// the retryable syscall errnos. Checksum, version, and not-exist
+// failures are permanent — a corrupt or absent artifact does not heal
+// on retry. (Callers that know better, e.g. a server watching a path a
+// deployer is about to populate, can wrap with Transient themselves.)
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	if errors.Is(err, ErrChecksum) || errors.Is(err, ErrVersion) || errors.Is(err, fs.ErrNotExist) {
+		return false
+	}
+	var timeout interface{ Timeout() bool }
+	if errors.As(err, &timeout) && timeout.Timeout() {
+		return true
+	}
+	for _, errno := range transientErrnos {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsPermanentFormat reports whether err means the artifact itself is
+// unusable as-is: corrupt bytes (ErrChecksum) or an unknown format
+// version (ErrVersion). These are the errors degraded-mode recovery
+// exists for.
+func IsPermanentFormat(err error) bool {
+	return errors.Is(err, ErrChecksum) || errors.Is(err, ErrVersion)
+}

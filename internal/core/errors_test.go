@@ -1,0 +1,81 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"syscall"
+	"testing"
+)
+
+func TestTransientWrapping(t *testing.T) {
+	base := errors.New("disk hiccup")
+	err := Transient(base)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatal("Transient(err) must match ErrTransient")
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("Transient(err) must still match the underlying cause")
+	}
+	wrapped := fmt.Errorf("open index: %w", err)
+	if !IsTransient(wrapped) {
+		t.Fatal("IsTransient must see through fmt.Errorf %w wrapping")
+	}
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) must be nil")
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"marked", Transient(errors.New("x")), true},
+		{"checksum", fmt.Errorf("index: %w: bad crc", ErrChecksum), false},
+		{"version", fmt.Errorf("index: %w: v9", ErrVersion), false},
+		{"not-exist", fmt.Errorf("open: %w", fs.ErrNotExist), false},
+		{"eintr", fmt.Errorf("read: %w", syscall.EINTR), true},
+		{"eagain", fmt.Errorf("mmap: %w", syscall.EAGAIN), true},
+		{"emfile", fmt.Errorf("open: %w", syscall.EMFILE), true},
+		{"enoent-errno", fmt.Errorf("open: %w", syscall.ENOENT), false},
+		{"timeout", timeoutErr{}, true},
+		{"plain", errors.New("who knows"), false},
+	}
+	for _, tc := range cases {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("IsTransient(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// timeoutErr mimics net.Error-style timeouts without importing net.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestMarkedChecksumStaysTransient(t *testing.T) {
+	// An explicit Transient mark wins over the permanent default: a
+	// caller that knows a checksum failure is a mid-publish race (reader
+	// raced the atomic rename) may mark it for retry.
+	err := Transient(fmt.Errorf("index: %w", ErrChecksum))
+	if !IsTransient(err) {
+		t.Fatal("explicit Transient mark must override the permanent default")
+	}
+}
+
+func TestIsPermanentFormat(t *testing.T) {
+	if !IsPermanentFormat(fmt.Errorf("x: %w", ErrChecksum)) {
+		t.Fatal("checksum must classify as permanent format damage")
+	}
+	if !IsPermanentFormat(fmt.Errorf("x: %w", ErrVersion)) {
+		t.Fatal("version must classify as permanent format damage")
+	}
+	if IsPermanentFormat(Transient(errors.New("x"))) {
+		t.Fatal("transient errors are not format damage")
+	}
+}

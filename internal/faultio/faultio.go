@@ -1,0 +1,421 @@
+// Package faultio is a deterministic fault-injection layer over the
+// handful of file-system operations the index persistence stack
+// performs. Production code takes a faultio.FS (normally faultio.OS,
+// which forwards to the os package); robustness tests substitute an
+// Injector that fails the Nth operation, tears a write after k bytes,
+// flips a bit in flight, or adds latency — all from an explicit fault
+// plan or a seed, so every failure a test provokes is replayable.
+//
+// The package has two halves:
+//
+//   - FS / File / OS / Injector / Recorder: the operation-level layer.
+//     A Recorder counts and sizes the operations a workload performs;
+//     a crash matrix then iterates kill points 1..N with Injectors
+//     whose faults have Kill set, simulating a process that dies
+//     mid-protocol (every op after the fault fails with ErrKilled).
+//   - Mutate: the storage-corruption layer. Given a byte image and a
+//     seed it applies a deterministic plan of bit flips, zeroed runs,
+//     and truncations — the at-rest damage a torn or bit-rotted file
+//     exhibits — for fuzzing open paths.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// Op identifies one file-system operation kind.
+type Op uint8
+
+const (
+	// OpAny matches every operation in a Fault; Injector counts it as
+	// the global operation index.
+	OpAny Op = iota
+	OpCreate
+	OpOpen
+	OpRead
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpSyncDir
+	OpReadFile
+)
+
+var opNames = map[Op]string{
+	OpAny: "any", OpCreate: "create", OpOpen: "open", OpRead: "read",
+	OpWrite: "write", OpSync: "sync", OpClose: "close", OpRename: "rename",
+	OpRemove: "remove", OpSyncDir: "syncdir", OpReadFile: "readfile",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// ErrInjected is the default error returned by a triggered fault.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// ErrKilled is returned by every operation after a Kill fault fires:
+// the simulated process is dead and performs no further I/O.
+var ErrKilled = errors.New("faultio: process killed by fault plan")
+
+// File is the writable-file surface the persistence code needs.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data and metadata to stable storage.
+	Sync() error
+	// Name reports the path the file was created or opened with.
+	Name() string
+}
+
+// FS is the file-system surface the persistence code needs. All paths
+// are interpreted exactly as the os package would.
+type FS interface {
+	// Create truncates-or-creates path for writing.
+	Create(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// SyncDir fsyncs the directory at dir, making directory entries
+	// (renames, creates) durable.
+	SyncDir(dir string) error
+	// ReadFile reads the whole file at path.
+	ReadFile(path string) ([]byte, error)
+}
+
+// OS is the pass-through FS backed by the real os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(path string) (File, error) { return os.Create(path) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Directory fsync is advisory on some platforms; a sync error still
+	// matters more than a close error here.
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Mode selects what a triggered Fault does to its operation.
+type Mode uint8
+
+const (
+	// ModeErr fails the operation outright with Fault.Err (or
+	// ErrInjected) without performing it.
+	ModeErr Mode = iota
+	// ModeTorn performs only the first TornBytes bytes of a write, then
+	// fails. Meaningful for OpWrite only; other ops treat it as ModeErr.
+	ModeTorn
+	// ModeFlip flips bit FlipBit of the write payload and lets the
+	// operation succeed — silent in-flight corruption. Meaningful for
+	// OpWrite only; other ops perform normally.
+	ModeFlip
+	// ModeDelay sleeps Delay, then performs the operation normally.
+	ModeDelay
+)
+
+// Fault is one rule in an injection plan: when the N-th operation
+// matching Op runs, apply Mode.
+type Fault struct {
+	Op   Op  // operation kind to match (OpAny = every op)
+	N    int // 1-based index among matching operations
+	Mode Mode
+
+	Err       error         // ModeErr/ModeTorn failure (default ErrInjected)
+	TornBytes int           // ModeTorn: bytes of the write that persist
+	FlipBit   int           // ModeFlip: bit index within the write payload
+	Delay     time.Duration // ModeDelay: added latency
+
+	// Kill marks the fault as fatal: after it triggers, every further
+	// operation on the injector fails with ErrKilled, modeling a process
+	// crash rather than one flaky syscall.
+	Kill bool
+}
+
+func (f Fault) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// OpRecord is one operation observed by a Recorder or Injector trace.
+type OpRecord struct {
+	Op    Op
+	Bytes int // payload size for OpWrite/OpRead; 0 otherwise
+}
+
+// Injector wraps a base FS and applies a fault plan. It is safe for
+// concurrent use; operation counting is serialized internally.
+type Injector struct {
+	base   FS
+	mu     sync.Mutex
+	counts map[Op]int
+	total  int
+	faults []Fault
+	killed bool
+	trace  []OpRecord
+	fired  int
+}
+
+// NewInjector wraps base with the given fault plan.
+func NewInjector(base FS, faults ...Fault) *Injector {
+	return &Injector{base: base, counts: make(map[Op]int), faults: faults}
+}
+
+// PlanFromSeed derives a deterministic single-fault plan from seed,
+// aimed at a workload of roughly opCount operations: the fault lands on
+// a pseudo-random op index with a pseudo-random mode. Fuzzers iterate
+// seeds to sweep the space of (kill point × mode) without encoding it.
+func PlanFromSeed(seed int64, opCount int) []Fault {
+	if opCount < 1 {
+		opCount = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := Fault{
+		Op:   OpAny,
+		N:    1 + rng.Intn(opCount),
+		Kill: rng.Intn(2) == 0,
+	}
+	switch rng.Intn(3) {
+	case 0:
+		f.Mode = ModeErr
+	case 1:
+		f.Mode = ModeTorn
+		f.TornBytes = rng.Intn(1 << 12)
+	case 2:
+		f.Mode = ModeFlip
+		f.FlipBit = rng.Intn(1 << 15)
+	}
+	return []Fault{f}
+}
+
+// Fired reports how many faults have triggered so far.
+func (in *Injector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Trace returns the operations observed so far, in order.
+func (in *Injector) Trace() []OpRecord {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]OpRecord, len(in.trace))
+	copy(out, in.trace)
+	return out
+}
+
+// before records one operation and resolves the fault, if any, that
+// applies to it. The returned fault has already been counted as fired.
+func (in *Injector) before(op Op, bytes int) (Fault, bool, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.killed {
+		return Fault{}, false, ErrKilled
+	}
+	in.counts[op]++
+	in.total++
+	in.trace = append(in.trace, OpRecord{Op: op, Bytes: bytes})
+	for _, f := range in.faults {
+		n := in.counts[op]
+		if f.Op == OpAny {
+			n = in.total
+		} else if f.Op != op {
+			continue
+		}
+		if n != f.N {
+			continue
+		}
+		in.fired++
+		if f.Kill {
+			in.killed = true
+		}
+		return f, true, nil
+	}
+	return Fault{}, false, nil
+}
+
+// Create implements FS.
+func (in *Injector) Create(path string) (File, error) {
+	f, ok, err := in.before(OpCreate, 0)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		switch f.Mode {
+		case ModeDelay:
+			time.Sleep(f.Delay)
+		default:
+			return nil, fmt.Errorf("create %s: %w", path, f.err())
+		}
+	}
+	file, err := in.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{in: in, f: file}, nil
+}
+
+// Rename implements FS.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	return in.plainOp(OpRename, func() error { return in.base.Rename(oldpath, newpath) })
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(path string) error {
+	return in.plainOp(OpRemove, func() error { return in.base.Remove(path) })
+}
+
+// SyncDir implements FS.
+func (in *Injector) SyncDir(dir string) error {
+	return in.plainOp(OpSyncDir, func() error { return in.base.SyncDir(dir) })
+}
+
+// ReadFile implements FS.
+func (in *Injector) ReadFile(path string) ([]byte, error) {
+	f, ok, err := in.before(OpReadFile, 0)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		switch f.Mode {
+		case ModeDelay:
+			time.Sleep(f.Delay)
+		default:
+			return nil, fmt.Errorf("readfile %s: %w", path, f.err())
+		}
+	}
+	return in.base.ReadFile(path)
+}
+
+// plainOp runs a no-payload operation under the plan.
+func (in *Injector) plainOp(op Op, run func() error) error {
+	f, ok, err := in.before(op, 0)
+	if err != nil {
+		return err
+	}
+	if ok {
+		switch f.Mode {
+		case ModeDelay:
+			time.Sleep(f.Delay)
+		default:
+			return fmt.Errorf("%s: %w", op, f.err())
+		}
+	}
+	return run()
+}
+
+// injectFile threads a File's operations back through its Injector.
+type injectFile struct {
+	in *Injector
+	f  File
+}
+
+func (w *injectFile) Name() string { return w.f.Name() }
+
+func (w *injectFile) Write(p []byte) (int, error) {
+	f, ok, err := w.in.before(OpWrite, len(p))
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return w.f.Write(p)
+	}
+	switch f.Mode {
+	case ModeDelay:
+		time.Sleep(f.Delay)
+		return w.f.Write(p)
+	case ModeTorn:
+		k := f.TornBytes
+		if k > len(p) {
+			k = len(p)
+		}
+		n, werr := w.f.Write(p[:k])
+		if werr != nil {
+			return n, werr
+		}
+		return n, fmt.Errorf("torn write after %d of %d bytes: %w", n, len(p), f.err())
+	case ModeFlip:
+		if len(p) == 0 {
+			return w.f.Write(p)
+		}
+		flipped := append([]byte(nil), p...)
+		bit := f.FlipBit % (len(p) * 8)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		return w.f.Write(flipped)
+	default:
+		return 0, fmt.Errorf("write %s: %w", w.f.Name(), f.err())
+	}
+}
+
+func (w *injectFile) Sync() error {
+	return w.in.plainOp(OpSync, w.f.Sync)
+}
+
+func (w *injectFile) Close() error {
+	return w.in.plainOp(OpClose, w.f.Close)
+}
+
+// Record runs workload against base through a fault-free Injector and
+// returns the operation trace — the preparation step for a crash
+// matrix, which then replays the workload once per kill point.
+func Record(base FS, workload func(FS) error) ([]OpRecord, error) {
+	in := NewInjector(base)
+	err := workload(in)
+	return in.Trace(), err
+}
+
+// Mutate applies a deterministic corruption plan derived from seed to
+// data, in place, returning the (possibly shorter) result: between one
+// and four mutations drawn from bit flips, zeroed runs, and tail
+// truncation. Seed 0 returns data unchanged, so fuzzers keep one
+// known-clean input. Mutate never grows data.
+func Mutate(data []byte, seed int64) []byte {
+	if seed == 0 || len(data) == 0 {
+		return data
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for n := 1 + rng.Intn(4); n > 0 && len(data) > 0; n-- {
+		switch rng.Intn(4) {
+		case 0, 1: // bit flip (weighted: the classic single-event upset)
+			i := rng.Intn(len(data))
+			data[i] ^= 1 << rng.Intn(8)
+		case 2: // zeroed run: a lost sector / hole
+			i := rng.Intn(len(data))
+			run := 1 + rng.Intn(512)
+			for j := i; j < len(data) && j < i+run; j++ {
+				data[j] = 0
+			}
+		case 3: // truncation: a torn tail
+			data = data[:rng.Intn(len(data)+1)]
+		}
+	}
+	return data
+}

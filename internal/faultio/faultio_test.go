@@ -1,0 +1,166 @@
+package faultio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeWorkload is the canonical protocol the injector tests drive:
+// create, two writes, sync, close, rename, syncdir — the same op
+// sequence as an atomic index publish.
+func writeWorkload(fs FS, dir string) error {
+	tmp := filepath.Join(dir, "f.tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, "f")); err != nil {
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+func TestRecordCountsOps(t *testing.T) {
+	dir := t.TempDir()
+	trace, err := Record(OS, func(fs FS) error { return writeWorkload(fs, dir) })
+	if err != nil {
+		t.Fatalf("clean workload: %v", err)
+	}
+	want := []Op{OpCreate, OpWrite, OpWrite, OpSync, OpClose, OpRename, OpSyncDir}
+	if len(trace) != len(want) {
+		t.Fatalf("trace has %d ops, want %d: %v", len(trace), len(want), trace)
+	}
+	for i, rec := range trace {
+		if rec.Op != want[i] {
+			t.Fatalf("op %d is %v, want %v", i, rec.Op, want[i])
+		}
+	}
+	if trace[1].Bytes != 6 || trace[2].Bytes != 5 {
+		t.Fatalf("write sizes %d,%d want 6,5", trace[1].Bytes, trace[2].Bytes)
+	}
+}
+
+func TestInjectErrOnNthOp(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("boom")
+	for n := 1; n <= 7; n++ {
+		in := NewInjector(OS, Fault{Op: OpAny, N: n, Mode: ModeErr, Err: boom, Kill: true})
+		err := writeWorkload(in, dir)
+		if !errors.Is(err, boom) {
+			t.Fatalf("kill point %d: err = %v, want boom", n, err)
+		}
+		if in.Fired() != 1 {
+			t.Fatalf("kill point %d: %d faults fired, want 1", n, in.Fired())
+		}
+	}
+}
+
+func TestKillFailsEverythingAfter(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, Fault{Op: OpSync, N: 1, Mode: ModeErr, Kill: true})
+	if err := writeWorkload(in, dir); !errors.Is(err, ErrInjected) {
+		t.Fatalf("workload err = %v, want ErrInjected", err)
+	}
+	if err := in.Rename("a", "b"); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-kill op err = %v, want ErrKilled", err)
+	}
+	if _, err := in.ReadFile("a"); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-kill read err = %v, want ErrKilled", err)
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, Fault{Op: OpWrite, N: 1, Mode: ModeTorn, TornBytes: 3, Kill: true})
+	err := writeWorkload(in, dir)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("workload err = %v, want ErrInjected", err)
+	}
+	got, rerr := os.ReadFile(filepath.Join(dir, "f.tmp"))
+	if rerr != nil {
+		t.Fatalf("reading torn file: %v", rerr)
+	}
+	if string(got) != "hel" {
+		t.Fatalf("torn file holds %q, want %q", got, "hel")
+	}
+}
+
+func TestFlipCorruptsInFlight(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, Fault{Op: OpWrite, N: 2, Mode: ModeFlip, FlipBit: 0})
+	if err := writeWorkload(in, dir); err != nil {
+		t.Fatalf("flip workload should succeed, got %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte("hello "), "world"...)
+	want[6] ^= 1 // bit 0 of the second write's payload
+	if string(got) != string(want) {
+		t.Fatalf("file holds %q, want %q", got, want)
+	}
+}
+
+func TestDelayAddsLatencyOnly(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, Fault{Op: OpSync, N: 1, Mode: ModeDelay, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := writeWorkload(in, dir); err != nil {
+		t.Fatalf("delay workload should succeed, got %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("workload took %s, want >= 30ms of injected latency", d)
+	}
+}
+
+func TestPlanFromSeedDeterministic(t *testing.T) {
+	for seed := int64(1); seed < 50; seed++ {
+		a := PlanFromSeed(seed, 20)
+		b := PlanFromSeed(seed, 20)
+		if len(a) != 1 || a[0] != b[0] {
+			t.Fatalf("seed %d: plans differ: %+v vs %+v", seed, a, b)
+		}
+		if a[0].N < 1 || a[0].N > 20 {
+			t.Fatalf("seed %d: op index %d out of range", seed, a[0].N)
+		}
+	}
+}
+
+func TestMutateDeterministicAndBounded(t *testing.T) {
+	base := make([]byte, 4096)
+	for i := range base {
+		base[i] = byte(i)
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		a := Mutate(append([]byte(nil), base...), seed)
+		b := Mutate(append([]byte(nil), base...), seed)
+		if string(a) != string(b) {
+			t.Fatalf("seed %d: mutation not deterministic", seed)
+		}
+		if len(a) > len(base) {
+			t.Fatalf("seed %d: mutation grew data", seed)
+		}
+		if seed == 0 && string(a) != string(base) {
+			t.Fatal("seed 0 must be the identity mutation")
+		}
+	}
+}

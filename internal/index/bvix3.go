@@ -216,6 +216,15 @@ func parseDictRecord(dict []byte, off int) (dictRecord, error) {
 	}, nil
 }
 
+// bvix3Section is one entry of the header's section table.
+type bvix3Section struct {
+	off, length uint64
+	crc         uint32
+}
+
+// bvix3SectionNames index the section table for quarantine reporting.
+var bvix3SectionNames = [3]string{"dict", "frames", "payload"}
+
 // parseBVIX3 validates a whole BVIX3 file: header checksum, section
 // geometry and checksums, zero padding, and a full dictionary walk
 // that cross-checks the skip frames, name ordering, per-term counts
@@ -223,20 +232,47 @@ func parseDictRecord(dict []byte, off int) (dictRecord, error) {
 // section. No posting is decoded. After parseBVIX3 succeeds, every
 // record offset the lookup path can derive is in bounds.
 func parseBVIX3(data []byte) (*bvix3Geometry, error) {
+	g, secs, err := parseBVIX3Shell(data)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range secs {
+		if got := crc32.Checksum(data[s.off:s.off+s.length], castagnoli); got != s.crc {
+			return nil, fmt.Errorf("index: %w: BVIX3 section %d crc32c %08x, table says %08x", core.ErrChecksum, i, got, s.crc)
+		}
+	}
+	valid, err := g.walkDict(true, true)
+	if err != nil {
+		return nil, err
+	}
+	if valid != g.terms {
+		return nil, fmt.Errorf("index: BVIX3 dict walk validated %d of %d terms", valid, g.terms)
+	}
+	return g, nil
+}
+
+// parseBVIX3Shell validates everything up to (but not including) the
+// per-section checksums and the dictionary walk: magic, header CRC,
+// version, section geometry, padding zeros, and frame-table sizing.
+// It is the part of open that must hold even for degraded-mode
+// recovery — a file whose shell fails has no trustworthy map of its
+// own bytes and cannot be salvaged section by section.
+func parseBVIX3Shell(data []byte) (*bvix3Geometry, [3]bvix3Section, error) {
+	var secs [3]bvix3Section
 	if len(data) < bvix3DataStart {
-		return nil, fmt.Errorf("index: %w: %d bytes is shorter than a BVIX3 header", core.ErrChecksum, len(data))
+		return nil, secs, fmt.Errorf("index: %w: %d bytes is shorter than a BVIX3 header", core.ErrChecksum, len(data))
 	}
 	if !bytes.Equal(data[:len(bvix3Magic)], bvix3Magic) {
-		return nil, fmt.Errorf("index: bad magic %q", data[:len(bvix3Magic)])
+		return nil, secs, fmt.Errorf("index: bad magic %q", data[:len(bvix3Magic)])
 	}
 	if got := binary.LittleEndian.Uint32(data[bvix3HeaderSize-4:]); got != crc32.Checksum(data[len(bvix3Magic):bvix3HeaderSize-4], castagnoli) {
-		return nil, fmt.Errorf("index: %w: BVIX3 header checksum mismatch", core.ErrChecksum)
+		return nil, secs, fmt.Errorf("index: %w: BVIX3 header checksum mismatch", core.ErrChecksum)
 	}
 	if v := data[5]; v != bvix3Version {
-		return nil, fmt.Errorf("index: %w: BVIX3 file declares version %d, this build reads version %d", core.ErrVersion, v, bvix3Version)
+		return nil, secs, fmt.Errorf("index: %w: BVIX3 file declares version %d, this build reads version %d", core.ErrVersion, v, bvix3Version)
 	}
 	if data[6] != 0 || data[7] != 0 {
-		return nil, fmt.Errorf("index: BVIX3 header padding not zero")
+		return nil, secs, fmt.Errorf("index: BVIX3 header padding not zero")
 	}
 	g := &bvix3Geometry{
 		docs:     int(binary.LittleEndian.Uint32(data[8:])),
@@ -244,20 +280,15 @@ func parseBVIX3(data []byte) (*bvix3Geometry, error) {
 		frameLen: int(binary.LittleEndian.Uint32(data[16:])),
 	}
 	if sc := binary.LittleEndian.Uint32(data[20:]); sc != 3 {
-		return nil, fmt.Errorf("index: BVIX3 declares %d sections, want 3", sc)
+		return nil, secs, fmt.Errorf("index: BVIX3 declares %d sections, want 3", sc)
 	}
 	if g.terms > 0 && g.frameLen <= 0 {
-		return nil, fmt.Errorf("index: BVIX3 frame length %d invalid", g.frameLen)
+		return nil, secs, fmt.Errorf("index: BVIX3 frame length %d invalid", g.frameLen)
 	}
 
-	type section struct {
-		off, length uint64
-		crc         uint32
-	}
-	var secs [3]section
 	for i := range secs {
 		p := 24 + i*20
-		secs[i] = section{
+		secs[i] = bvix3Section{
 			off:    binary.LittleEndian.Uint64(data[p:]),
 			length: binary.LittleEndian.Uint64(data[p+8:]),
 			crc:    binary.LittleEndian.Uint32(data[p+16:]),
@@ -268,15 +299,15 @@ func parseBVIX3(data []byte) (*bvix3Geometry, error) {
 	want := uint64(bvix3DataStart)
 	for i, s := range secs {
 		if s.off != want {
-			return nil, fmt.Errorf("index: BVIX3 section %d at offset %d, want %d", i, s.off, want)
+			return nil, secs, fmt.Errorf("index: BVIX3 section %d at offset %d, want %d", i, s.off, want)
 		}
 		if s.off+s.length < s.off || s.off+s.length > uint64(len(data)) {
-			return nil, fmt.Errorf("index: %w: BVIX3 section %d overruns file", core.ErrChecksum, i)
+			return nil, secs, fmt.Errorf("index: %w: BVIX3 section %d overruns file", core.ErrChecksum, i)
 		}
 		want = align(s.off+s.length, bvix3Align)
 	}
 	if end := secs[2].off + secs[2].length; end != uint64(len(data)) {
-		return nil, fmt.Errorf("index: %d trailing bytes after BVIX3 payload section", uint64(len(data))-end)
+		return nil, secs, fmt.Errorf("index: %d trailing bytes after BVIX3 payload section", uint64(len(data))-end)
 	}
 	zeroRuns := [][2]uint64{
 		{bvix3HeaderSize, secs[0].off},
@@ -286,13 +317,8 @@ func parseBVIX3(data []byte) (*bvix3Geometry, error) {
 	for _, run := range zeroRuns {
 		for _, b := range data[run[0]:run[1]] {
 			if b != 0 {
-				return nil, fmt.Errorf("index: BVIX3 padding bytes not zero")
+				return nil, secs, fmt.Errorf("index: BVIX3 padding bytes not zero")
 			}
-		}
-	}
-	for i, s := range secs {
-		if got := crc32.Checksum(data[s.off:s.off+s.length], castagnoli); got != s.crc {
-			return nil, fmt.Errorf("index: %w: BVIX3 section %d crc32c %08x, table says %08x", core.ErrChecksum, i, got, s.crc)
 		}
 	}
 	g.dict = data[secs[0].off : secs[0].off+secs[0].length]
@@ -304,48 +330,82 @@ func parseBVIX3(data []byte) (*bvix3Geometry, error) {
 		frameCount = (g.terms + g.frameLen - 1) / g.frameLen
 	}
 	if len(g.frames) != 8*frameCount {
-		return nil, fmt.Errorf("index: BVIX3 frames section is %d bytes, want %d for %d terms", len(g.frames), 8*frameCount, g.terms)
+		return nil, secs, fmt.Errorf("index: BVIX3 frames section is %d bytes, want %d for %d terms", len(g.frames), 8*frameCount, g.terms)
 	}
+	return g, secs, nil
+}
 
-	// The dict walk: every record parses, names strictly increase,
-	// frames point exactly at every frameLen-th record, and payload
-	// records tile their section with only deterministic alignment
-	// padding between them.
+// walkDict is the dictionary walk: every record parses, names strictly
+// increase, per-term counts fit the document count, and payload
+// records tile their section with only deterministic alignment padding
+// between them. With checkFrames, each frameLen-th record is also
+// cross-checked against the skip-frame table (degraded opens that
+// rebuild the frames skip this). The walk accumulates g.sizeBytes over
+// the records it accepts and returns how many validated. In strict
+// mode the first violation is returned as an error; otherwise the walk
+// stops there and reports the valid prefix — the salvageable part of a
+// corrupt dictionary, every record of which has fully bounds-checked
+// payload geometry.
+func (g *bvix3Geometry) walkDict(strict, checkFrames bool) (int, error) {
 	cur, payCur := 0, uint64(0)
 	var prev []byte
 	for i := 0; i < g.terms; i++ {
-		if i%g.frameLen == 0 {
+		if checkFrames && i%g.frameLen == 0 {
 			if got := binary.LittleEndian.Uint64(g.frames[8*(i/g.frameLen):]); got != uint64(cur) {
-				return nil, fmt.Errorf("index: BVIX3 frame %d points at %d, record is at %d", i/g.frameLen, got, cur)
+				if !strict {
+					return i, nil
+				}
+				return i, fmt.Errorf("index: BVIX3 frame %d points at %d, record is at %d", i/g.frameLen, got, cur)
 			}
 		}
 		rec, err := parseDictRecord(g.dict, cur)
 		if err != nil {
-			return nil, err
+			if !strict {
+				return i, nil
+			}
+			return i, err
 		}
 		if i > 0 && bytes.Compare(prev, rec.name) >= 0 {
-			return nil, fmt.Errorf("index: BVIX3 dict not sorted at term %d (%q after %q)", i, rec.name, prev)
+			if !strict {
+				return i, nil
+			}
+			return i, fmt.Errorf("index: BVIX3 dict not sorted at term %d (%q after %q)", i, rec.name, prev)
 		}
 		if rec.count > g.docs {
-			return nil, fmt.Errorf("index: term %q declares %d postings in a %d-document index", rec.name, rec.count, g.docs)
+			if !strict {
+				return i, nil
+			}
+			return i, fmt.Errorf("index: term %q declares %d postings in a %d-document index", rec.name, rec.count, g.docs)
 		}
 		if rec.payOff != align(payCur, bvix3RecAlign) {
-			return nil, fmt.Errorf("index: term %q payload at %d, want %d", rec.name, rec.payOff, align(payCur, bvix3RecAlign))
+			if !strict {
+				return i, nil
+			}
+			return i, fmt.Errorf("index: term %q payload at %d, want %d", rec.name, rec.payOff, align(payCur, bvix3RecAlign))
 		}
 		payCur = rec.payOff + uint64(rec.postLen) + 2*uint64(rec.count)
 		if payCur > uint64(len(g.payload)) {
-			return nil, fmt.Errorf("index: term %q payload overruns section", rec.name)
+			if !strict {
+				return i, nil
+			}
+			return i, fmt.Errorf("index: term %q payload overruns section", rec.name)
 		}
 		g.sizeBytes += int(rec.postLen)
 		prev, cur = rec.name, rec.next
 	}
 	if cur != len(g.dict) {
-		return nil, fmt.Errorf("index: %d trailing bytes after last BVIX3 dict record", len(g.dict)-cur)
+		if !strict {
+			return g.terms, nil
+		}
+		return g.terms, fmt.Errorf("index: %d trailing bytes after last BVIX3 dict record", len(g.dict)-cur)
 	}
 	if payCur != uint64(len(g.payload)) {
-		return nil, fmt.Errorf("index: %d trailing bytes after last BVIX3 payload record", uint64(len(g.payload))-payCur)
+		if !strict {
+			return g.terms, nil
+		}
+		return g.terms, fmt.Errorf("index: %d trailing bytes after last BVIX3 payload record", uint64(len(g.payload))-payCur)
 	}
-	return g, nil
+	return g.terms, nil
 }
 
 // materialize decodes one record's posting and frequency payload into
@@ -403,6 +463,12 @@ type lazyIndex struct {
 	termCount int
 	sizeBytes int
 
+	// degraded marks an index salvaged by OpenFileDegraded; quarantined
+	// names (payload records that failed verification) are reported
+	// absent without touching the mapping. Both are fixed at open time.
+	degraded    bool
+	quarantined map[string]struct{}
+
 	mu     sync.RWMutex
 	ready  map[string]termEntry
 	closed bool
@@ -413,6 +479,9 @@ type lazyIndex struct {
 // reported absent — unreachable in practice, since every section
 // checksum was verified at open time.
 func (lz *lazyIndex) entry(term string) (termEntry, bool) {
+	if _, bad := lz.quarantined[term]; bad {
+		return termEntry{}, false
+	}
 	lz.mu.RLock()
 	if e, ok := lz.ready[term]; ok {
 		lz.mu.RUnlock()
@@ -482,7 +551,9 @@ func (lz *lazyIndex) locate(term string) (dictRecord, bool) {
 }
 
 // allEntries materializes every term in dict order (for format
-// conversion via WriteTo/WriteBVIX3).
+// conversion via WriteTo/WriteBVIX3). On a degraded index the
+// quarantined terms are skipped — rewriting a salvaged index persists
+// exactly what it can still serve, which is the rebuild runbook.
 func (lz *lazyIndex) allEntries() ([]string, []termEntry, error) {
 	lz.mu.RLock()
 	defer lz.mu.RUnlock()
@@ -497,13 +568,16 @@ func (lz *lazyIndex) allEntries() ([]string, []termEntry, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		cur = rec.next
+		if _, bad := lz.quarantined[string(rec.name)]; bad {
+			continue
+		}
 		e, err := lz.geo.materialize(rec)
 		if err != nil {
 			return nil, nil, err
 		}
 		names = append(names, string(rec.name))
 		entries = append(entries, e)
-		cur = rec.next
 	}
 	return names, entries, nil
 }
@@ -561,6 +635,11 @@ func openBVIX3Lazy(data []byte, closer io.Closer) (*Index, error) {
 	return &Index{docs: g.docs, lazy: lz}, nil
 }
 
+// openMapFile is the mapping entry point OpenFile uses — a variable so
+// tests can route opens through the portable (non-mmap) fallback and
+// exercise that path on every platform.
+var openMapFile = mapfile.Open
+
 // OpenFile opens a persisted index from disk by path. BVIX3 files are
 // memory-mapped where the platform supports it (see mapfile) and their
 // postings materialize lazily on first access, so time-to-first-query
@@ -569,9 +648,9 @@ func openBVIX3Lazy(data []byte, closer io.Closer) (*Index, error) {
 // returned index must be Closed when it came from a BVIX3 file and is
 // no longer being served; see Index.Close for the ownership rules.
 func OpenFile(path string) (*Index, error) {
-	mf, err := mapfile.Open(path)
+	mf, err := openMapFile(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("index: open %s: %w", path, err)
 	}
 	data := mf.Data()
 	if len(data) >= len(bvix3Magic) && bytes.Equal(data[:len(bvix3Magic)], bvix3Magic) {

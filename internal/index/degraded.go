@@ -1,0 +1,186 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Degraded-mode open: the recovery path for a BVIX3 file whose header
+// is intact but whose section checksums are not. Instead of refusing
+// the whole file, open quarantines what cannot be verified and serves
+// the rest:
+//
+//   - frames section corrupt: the skip-frame table is redundant (it is
+//     derivable from the dict), so it is rebuilt in memory and nothing
+//     is quarantined.
+//   - dict section corrupt: the dictionary is walked record by record
+//     with full bounds/order/tiling validation and cut at the first
+//     violation; the valid prefix is served, the rest quarantined.
+//   - payload section corrupt: every surviving term's posting blob is
+//     decoded and cross-checked against its dict record up front;
+//     terms whose payload no longer decodes cleanly are quarantined by
+//     name, the rest are served from the verified decode.
+//
+// A degraded index reports its salvage summary through Index.Health,
+// which the serving layer surfaces on /healthz. Terms it serves from a
+// CRC-failed payload section decoded cleanly and matched their
+// declared counts, but the end-to-end checksum guarantee is gone —
+// degraded mode is for limping until the index is rebuilt, not for
+// running indefinitely; see the corruption-recovery runbook in the
+// README.
+
+// Health describes what an open salvaged. The zero value means a
+// fully verified index.
+type Health struct {
+	// Degraded is true when any section failed its checksum and the
+	// index is serving a salvaged subset.
+	Degraded bool `json:"degraded"`
+	// QuarantinedSections names the sections that failed their CRC.
+	QuarantinedSections []string `json:"quarantinedSections,omitempty"`
+	// QuarantinedTerms counts terms withheld from serving.
+	QuarantinedTerms int `json:"quarantinedTerms,omitempty"`
+}
+
+// Health reports the index's salvage state: the zero value for any
+// fully verified index (built, read, or lazily opened), the salvage
+// summary for one opened by OpenFileDegraded.
+func (idx *Index) Health() Health { return idx.health }
+
+// OpenFileDegraded opens a persisted index like OpenFile but, when a
+// BVIX3 file fails section checksums, falls back to degraded mode:
+// quarantine what cannot be verified, serve the rest, and report the
+// damage through Index.Health. Files whose header or geometry is
+// unusable — and corrupt BVIX1/BVIX2 files, whose single trailer
+// checksum cannot localize damage — still fail outright.
+func OpenFileDegraded(path string) (*Index, error) {
+	mf, err := openMapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: open %s: %w", path, err)
+	}
+	data := mf.Data()
+	if len(data) >= len(bvix3Magic) && bytes.Equal(data[:len(bvix3Magic)], bvix3Magic) {
+		idx, err := openBVIX3Degraded(data, mf)
+		if err != nil {
+			mf.Close()
+			return nil, err
+		}
+		return idx, nil
+	}
+	defer mf.Close()
+	return Read(bytes.NewReader(data))
+}
+
+// postingInRange reports whether every decoded docid is strictly
+// increasing and below docs — the invariant a CRC-clean payload
+// guarantees and an unchecksummed one must prove.
+func postingInRange(p core.Posting, docs int) bool {
+	vals := p.Decompress()
+	for i, v := range vals {
+		if int(v) >= docs || (i > 0 && v <= vals[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// openBVIX3Degraded opens data leniently: a clean file comes back
+// exactly as openBVIX3Lazy would return it; a file with section CRC
+// failures comes back degraded with the salvage recorded in Health.
+func openBVIX3Degraded(data []byte, closer io.Closer) (*Index, error) {
+	g, secs, err := parseBVIX3Shell(data)
+	if err != nil {
+		return nil, err
+	}
+	var bad [3]bool
+	var badNames []string
+	for i, s := range secs {
+		if crc32.Checksum(data[s.off:s.off+s.length], castagnoli) != s.crc {
+			bad[i] = true
+			badNames = append(badNames, bvix3SectionNames[i])
+		}
+	}
+	badDict, badFrames, badPayload := bad[0], bad[1], bad[2]
+	if !badDict && !badFrames && !badPayload {
+		return openBVIX3Lazy(data, closer)
+	}
+
+	// Walk the dictionary: strict when its CRC held (a violation then
+	// means damage beyond what degraded mode can reason about), prefix
+	// salvage when it did not. Frame cross-checks are skipped — the
+	// frames are rebuilt from the walk below.
+	valid, err := g.walkDict(!badDict, false)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w: BVIX3 dict inconsistent with checksummed header: %v", core.ErrChecksum, err)
+	}
+
+	// Rebuild the skip frames over the valid prefix. Even when the
+	// frames section's CRC held, a shortened prefix (corrupt dict)
+	// invalidates its tail, so any degraded open rebuilds.
+	frames := make([]byte, 0, 8*((valid+g.frameLen-1)/max(g.frameLen, 1)))
+	cur := 0
+	for i := 0; i < valid; i++ {
+		rec, err := parseDictRecord(g.dict, cur)
+		if err != nil {
+			return nil, err // unreachable: the walk validated this prefix
+		}
+		if i%g.frameLen == 0 {
+			frames = binary.LittleEndian.AppendUint64(frames, uint64(cur))
+		}
+		cur = rec.next
+	}
+	g.frames = frames
+
+	lz := &lazyIndex{
+		geo:         *g,
+		termCount:   valid,
+		sizeBytes:   g.sizeBytes,
+		degraded:    true,
+		quarantined: map[string]struct{}{},
+		ready:       make(map[string]termEntry),
+		closer:      closer,
+	}
+
+	// With a corrupt payload section nothing in it can be taken on
+	// faith: verify-decode every surviving record now. A record passes
+	// only if its blob decodes, its count matches its dict record, and
+	// the decoded docids are strictly increasing and in range — corrupt
+	// bytes can decode "cleanly" into garbage values, and serving a
+	// docid beyond Docs() would poison everything downstream. Clean
+	// decodes are memoized and served; failures are quarantined by
+	// name. (This forfeits lazy open's deferred decode — acceptable in
+	// a mode whose purpose is limping through damage.)
+	if badPayload {
+		cur := 0
+		for i := 0; i < valid; i++ {
+			rec, err := parseDictRecord(g.dict, cur)
+			if err != nil {
+				return nil, err // unreachable: the walk validated this prefix
+			}
+			cur = rec.next
+			e, merr := lz.geo.materialize(rec)
+			if merr == nil && !postingInRange(e.posting, g.docs) {
+				merr = fmt.Errorf("index: term %q: decoded postings out of range", rec.name)
+			}
+			if merr != nil {
+				lz.quarantined[string(rec.name)] = struct{}{}
+				continue
+			}
+			lz.ready[string(rec.name)] = e
+		}
+	}
+
+	return &Index{
+		docs: g.docs,
+		lazy: lz,
+		health: Health{
+			Degraded:            true,
+			QuarantinedSections: badNames,
+			QuarantinedTerms:    (g.terms - valid) + len(lz.quarantined),
+		},
+	}, nil
+}

@@ -202,6 +202,15 @@ type Index struct {
 	// index's generation. See DecodedCache for the invalidation story.
 	cache *DecodedCache
 	gen   uint64
+
+	// health records what degraded-mode open salvaged; the zero value
+	// means a fully verified index. See OpenFileDegraded.
+	health Health
+
+	// closeOnce makes Close idempotent across every backend and gates
+	// the closeHooks, which observability and tests attach via OnClose.
+	closeOnce  sync.Once
+	closeHooks []func()
 }
 
 // entry resolves a term to its posting entry, consulting the eager map
@@ -260,10 +269,11 @@ func (idx *Index) DecodedPostings(term string) []uint32 {
 // Docs reports the number of indexed documents.
 func (idx *Index) Docs() int { return idx.docs }
 
-// Terms reports the vocabulary size.
+// Terms reports the vocabulary size — for a degraded index, the terms
+// actually servable (quarantined ones excluded).
 func (idx *Index) Terms() int {
 	if idx.lazy != nil {
-		return idx.lazy.termCount
+		return idx.lazy.termCount - len(idx.lazy.quarantined)
 	}
 	return len(idx.terms)
 }
@@ -307,16 +317,34 @@ func (emptyPosting) SizeBytes() int                         { return 0 }
 func (emptyPosting) Decompress() []uint32                   { return EmptyPostings }
 func (emptyPosting) DecompressAppend(dst []uint32) []uint32 { return dst }
 
+// OnClose registers fn to run when the index is first Closed — the
+// observation hook the snapshot-lifecycle tests and operational
+// logging use. Register before the index is shared across goroutines
+// (i.e. before a server publishes the snapshot); the hook slice is not
+// synchronized on its own.
+func (idx *Index) OnClose(fn func()) {
+	idx.closeHooks = append(idx.closeHooks, fn)
+}
+
 // Close releases the mapped file backing an index opened with OpenFile
 // (a no-op for built or eagerly read indexes). Postings materialized
 // before Close remain usable — decoders copy out of the mapping — but
 // terms not yet materialized become unreachable: lookups report them
-// as absent. Do not Close an index that is still being served.
+// as absent. Close is idempotent: only the first call does work and
+// runs the OnClose hooks. Do not Close an index that is still being
+// served; the refcounted Snapshot wrapper is how the server guarantees
+// that.
 func (idx *Index) Close() error {
-	if idx.lazy == nil {
-		return nil
-	}
-	return idx.lazy.close()
+	var err error
+	idx.closeOnce.Do(func() {
+		if idx.lazy != nil {
+			err = idx.lazy.close()
+		}
+		for _, fn := range idx.closeHooks {
+			fn()
+		}
+	})
+	return err
 }
 
 // Conjunctive returns the documents containing every term, via SvS

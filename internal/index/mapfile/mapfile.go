@@ -11,13 +11,28 @@
 // heap memory and survives Close, but callers must not rely on that.
 package mapfile
 
-import "fmt"
+import (
+	"fmt"
+	"os"
+)
 
 // File is a read-only view of one file's entire contents.
 type File struct {
 	data   []byte
 	mapped bool
 	closed bool
+}
+
+// OpenPortable reads path fully into heap memory: the fallback Open
+// uses on platforms without an mmap path, exported so the portable
+// code path stays exercisable (and testable) on every platform. The
+// contract matches Open except Mapped() always reports false.
+func OpenPortable(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{data: data}, nil
 }
 
 // Data returns the file contents. The slice is read-only and shared;

@@ -2,18 +2,10 @@
 
 package mapfile
 
-import "os"
-
 // Open reads path fully into memory — the portable fallback for
 // platforms where the mmap path is not wired up (e.g. windows). The
 // API contract is identical; only Mapped() reports false.
-func Open(path string) (*File, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return &File{data: data}, nil
-}
+func Open(path string) (*File, error) { return OpenPortable(path) }
 
 // unmap is never reached on the fallback: File.Close only calls it for
 // mapped views.

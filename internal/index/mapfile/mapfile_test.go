@@ -56,3 +56,32 @@ func TestOpenMissingFile(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+// TestOpenPortable exercises the heap-copy fallback on every platform,
+// including the ones whose Open uses mmap.
+func TestOpenPortable(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "blob")
+	want := bytes.Repeat([]byte("portable"), 500)
+	if err := os.WriteFile(p, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenPortable(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mapped() {
+		t.Fatal("portable open reported a real mapping")
+	}
+	if !bytes.Equal(f.Data(), want) {
+		t.Fatalf("Data mismatch: %d bytes, want %d", len(f.Data()), len(want))
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := OpenPortable(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

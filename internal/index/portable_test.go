@@ -1,0 +1,52 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/index/mapfile"
+)
+
+// TestOpenFilePortableFallback routes OpenFile through the heap-copy
+// mapfile path — the view windows CI ships with — and checks the lazy
+// index behaves identically: same shape, same postings, clean Close.
+func TestOpenFilePortableFallback(t *testing.T) {
+	prev := openMapFile
+	openMapFile = mapfile.OpenPortable
+	defer func() { openMapFile = prev }()
+
+	idx := buildWideIndex(t, "Roaring", 1)
+	p := writeTemp3(t, serialize3(t, idx))
+	got, err := OpenFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Docs() != idx.Docs() || got.Terms() != idx.Terms() {
+		t.Fatalf("portable open shape = (%d docs, %d terms), want (%d, %d)",
+			got.Docs(), got.Terms(), idx.Docs(), idx.Terms())
+	}
+	names, _, err := idx.sortedEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if !reflect.DeepEqual(got.DecodedPostings(name), idx.DecodedPostings(name)) {
+			t.Fatalf("portable open served wrong postings for %q", name)
+		}
+	}
+	if err := got.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Degraded open goes through the same hook.
+	deg, err := OpenFileDegraded(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Health().Degraded {
+		t.Fatal("clean file opened degraded on the portable path")
+	}
+	if err := deg.Close(); err != nil {
+		t.Fatalf("degraded Close: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Snapshot is a reference-counted handle on one served generation of
+// an Index. It exists to close the gap hot reload used to leak: a
+// BVIX3 index opened from an mmap cannot be Closed while any in-flight
+// query may still read borrowed bytes out of the mapping, so
+// superseded snapshots were deliberately kept open forever. With
+// Snapshot, each query brackets its work in Acquire/Release, the
+// server Retires a snapshot when it swaps in a replacement, and the
+// underlying Index is Closed exactly once — by whichever call drops
+// the reference count to zero after retirement. Retire-after-drain is
+// verified under -race by the reload-storm tests in internal/server.
+//
+// Lifecycle: NewSnapshot starts the count at one (the owner's
+// reference). Acquire increments iff the count is still positive —
+// once it has hit zero the snapshot is dead and can never be revived,
+// which is what makes "Close exactly once" a structural guarantee
+// rather than a convention.
+type Snapshot struct {
+	idx  *Index
+	refs atomic.Int64
+
+	retireOnce sync.Once
+	closeErr   error
+	closedCh   chan struct{}
+}
+
+// NewSnapshot wraps idx with a reference count of one, owned by the
+// caller. The caller's reference is dropped by Retire.
+func NewSnapshot(idx *Index) *Snapshot {
+	s := &Snapshot{idx: idx, closedCh: make(chan struct{})}
+	s.refs.Store(1)
+	return s
+}
+
+// Index returns the wrapped index. Callers must hold a reference
+// (the owner's, or one taken with Acquire) while using it.
+func (s *Snapshot) Index() *Index { return s.idx }
+
+// Acquire takes a reference for the duration of one query. It fails
+// (returns false) only when the snapshot is already dead — retired
+// with all readers drained — in which case the caller must re-fetch
+// the current snapshot and try again.
+func (s *Snapshot) Acquire() bool {
+	for {
+		n := s.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release drops a reference taken by Acquire (or the owner's, via
+// Retire). The release that drops the count to zero closes the
+// underlying index; the count can never go back up, so the close runs
+// exactly once.
+func (s *Snapshot) Release() {
+	switch n := s.refs.Add(-1); {
+	case n == 0:
+		s.closeErr = s.idx.Close()
+		close(s.closedCh)
+	case n < 0:
+		panic("index: Snapshot.Release without matching Acquire")
+	}
+}
+
+// Retire drops the owner's reference, marking the snapshot as
+// superseded: once the last in-flight reader Releases, the index is
+// Closed. Retire is idempotent; only the first call drops the
+// reference.
+func (s *Snapshot) Retire() {
+	s.retireOnce.Do(s.Release)
+}
+
+// Refs reports the current reference count — diagnostics and tests
+// only, the value may be stale by the time it is read.
+func (s *Snapshot) Refs() int64 { return s.refs.Load() }
+
+// Closed reports whether the underlying index has been closed (the
+// count reached zero after retirement).
+func (s *Snapshot) Closed() bool {
+	select {
+	case <-s.closedCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// CloseErr returns the error from the underlying Close, valid once
+// Closed reports true.
+func (s *Snapshot) CloseErr() error {
+	select {
+	case <-s.closedCh:
+		return s.closeErr
+	default:
+		return nil
+	}
+}

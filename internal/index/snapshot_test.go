@@ -1,0 +1,121 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func snapForTest(t *testing.T) (*Snapshot, *atomic.Int64) {
+	t.Helper()
+	idx := buildTestIndex(t, "Roaring")
+	var closes atomic.Int64
+	idx.OnClose(func() { closes.Add(1) })
+	return NewSnapshot(idx), &closes
+}
+
+func TestSnapshotOwnerRetireCloses(t *testing.T) {
+	s, closes := snapForTest(t)
+	if s.Refs() != 1 {
+		t.Fatalf("fresh snapshot refs = %d, want 1", s.Refs())
+	}
+	if s.Closed() {
+		t.Fatal("fresh snapshot reports closed")
+	}
+	s.Retire()
+	if !s.Closed() || s.Refs() != 0 {
+		t.Fatalf("after retire with no readers: closed=%v refs=%d", s.Closed(), s.Refs())
+	}
+	if got := closes.Load(); got != 1 {
+		t.Fatalf("underlying Close ran %d times, want 1", got)
+	}
+	if err := s.CloseErr(); err != nil {
+		t.Fatalf("CloseErr = %v", err)
+	}
+}
+
+func TestSnapshotRetireIsIdempotent(t *testing.T) {
+	s, closes := snapForTest(t)
+	s.Retire()
+	s.Retire()
+	s.Retire()
+	if got := closes.Load(); got != 1 {
+		t.Fatalf("underlying Close ran %d times, want 1", got)
+	}
+}
+
+func TestSnapshotReaderDefersClose(t *testing.T) {
+	s, closes := snapForTest(t)
+	if !s.Acquire() {
+		t.Fatal("Acquire on live snapshot failed")
+	}
+	s.Retire()
+	if s.Closed() {
+		t.Fatal("snapshot closed while a reader holds a reference")
+	}
+	if closes.Load() != 0 {
+		t.Fatal("underlying Close ran while a reader holds a reference")
+	}
+	s.Release()
+	if !s.Closed() || closes.Load() != 1 {
+		t.Fatalf("after last release: closed=%v closes=%d", s.Closed(), closes.Load())
+	}
+}
+
+func TestSnapshotAcquireFailsAfterDeath(t *testing.T) {
+	s, _ := snapForTest(t)
+	s.Retire()
+	if s.Acquire() {
+		t.Fatal("Acquire succeeded on a dead snapshot")
+	}
+}
+
+func TestSnapshotUnmatchedReleasePanics(t *testing.T) {
+	s, _ := snapForTest(t)
+	s.Retire()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release past zero did not panic")
+		}
+	}()
+	s.Release()
+}
+
+// TestSnapshotConcurrentChurn hammers Acquire/Release from many
+// goroutines racing a mid-stream Retire: run with -race. The close must
+// happen exactly once, after every successful Acquire has Released.
+func TestSnapshotConcurrentChurn(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		s, closes := snapForTest(t)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 100; i++ {
+					if !s.Acquire() {
+						return
+					}
+					_ = s.Index().Terms()
+					s.Release()
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			s.Retire()
+		}()
+		close(start)
+		wg.Wait()
+		if !s.Closed() {
+			t.Fatalf("round %d: snapshot not closed after churn drained", round)
+		}
+		if got := closes.Load(); got != 1 {
+			t.Fatalf("round %d: underlying Close ran %d times, want 1", round, got)
+		}
+	}
+}

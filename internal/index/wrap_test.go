@@ -1,0 +1,94 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Regression tests for error-chain integrity: every open path must
+// wrap with %w all the way up, so callers (bvserve's retry loop, the
+// degraded fallback, operators' scripts) can classify failures with
+// errors.Is instead of string matching. One test per on-disk format.
+
+func TestOpenFileWrapsChecksumBVIX3(t *testing.T) {
+	file := serialize3(t, buildTestIndex(t, "Roaring"))
+	secs := sectionOffsets(file)
+	file[secs[2][0]] ^= 0x01 // payload byte, breaks the section CRC
+	p := writeTemp3(t, file)
+
+	_, err := OpenFile(p)
+	if !errors.Is(err, core.ErrChecksum) {
+		t.Fatalf("OpenFile on corrupt BVIX3 = %v, want errors.Is ErrChecksum", err)
+	}
+	if _, rerr := Read(bytes.NewReader(file)); !errors.Is(rerr, core.ErrChecksum) {
+		t.Fatalf("Read on corrupt BVIX3 = %v, want errors.Is ErrChecksum", rerr)
+	}
+	if !core.IsPermanentFormat(err) || core.IsTransient(err) {
+		t.Fatalf("corrupt BVIX3 misclassified: permanent=%v transient=%v",
+			core.IsPermanentFormat(err), core.IsTransient(err))
+	}
+}
+
+func TestOpenFileWrapsChecksumBVIX2(t *testing.T) {
+	file := serialize(t, buildTestIndex(t, "Roaring"))
+	file[len(file)/2] ^= 0x01 // body byte; trailer CRC now lies
+	p := writeTemp3(t, file)
+
+	_, err := OpenFile(p)
+	if !errors.Is(err, core.ErrChecksum) {
+		t.Fatalf("OpenFile on corrupt BVIX2 = %v, want errors.Is ErrChecksum", err)
+	}
+	if _, rerr := Read(bytes.NewReader(file)); !errors.Is(rerr, core.ErrChecksum) {
+		t.Fatalf("Read on corrupt BVIX2 = %v, want errors.Is ErrChecksum", rerr)
+	}
+	if core.IsTransient(err) {
+		t.Fatal("checksum failure classified transient")
+	}
+}
+
+// BVIX1 has no checksum, so its corruption signature is a truncation
+// error; the chain must still carry the sentinel io error through the
+// path-wrapping layer of OpenFile.
+func TestOpenFileWrapsTruncationBVIX1(t *testing.T) {
+	legacy := writeLegacy(t, buildTestIndex(t, "Roaring"))
+	cut := legacy[:len(legacy)-3]
+	p := writeTemp3(t, cut)
+
+	_, err := OpenFile(p)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("OpenFile on truncated BVIX1 = %v, want errors.Is io.ErrUnexpectedEOF", err)
+	}
+	if _, rerr := Read(bytes.NewReader(cut)); !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("Read on truncated BVIX1 = %v, want errors.Is io.ErrUnexpectedEOF", rerr)
+	}
+}
+
+func TestOpenFileWrapsVersion(t *testing.T) {
+	file := serialize3(t, buildTestIndex(t, "Roaring"))
+	file[len(bvix3Magic)] = 0x7F // version byte
+	reseal3Header(file)
+	p := writeTemp3(t, file)
+
+	_, err := OpenFile(p)
+	if !errors.Is(err, core.ErrVersion) {
+		t.Fatalf("OpenFile on future-versioned BVIX3 = %v, want errors.Is ErrVersion", err)
+	}
+	if !core.IsPermanentFormat(err) {
+		t.Fatal("version failure not classified permanent-format")
+	}
+}
+
+func TestOpenFileWrapsNotExist(t *testing.T) {
+	_, err := OpenFile(writeTemp3(t, nil) + ".missing")
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("OpenFile on missing path = %v, want errors.Is fs.ErrNotExist", err)
+	}
+	if core.IsTransient(err) {
+		t.Fatal("missing file classified transient")
+	}
+}

@@ -223,7 +223,11 @@ func (PEF) Decode(data []byte) (core.Posting, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Bounds-check the directory against the arrays.
+	// Bounds-check the directory against the arrays, and the header
+	// count against the directory total — VerifyDecompress sizes its
+	// buffer from the header count, so a lying header must be caught
+	// before it can force an outsized allocation.
+	total := 0
 	for i, pp := range p.parts {
 		if pp.highEnd > p.highBits || pp.highOff > pp.highEnd {
 			return nil, fmt.Errorf("%w: PEF partition %d out of range", core.ErrBadFormat, i)
@@ -231,6 +235,10 @@ func (PEF) Decode(data []byte) (core.Posting, error) {
 		if uint64(pp.count)*uint64(pp.l)+pp.lowOff > p.lowBits {
 			return nil, fmt.Errorf("%w: PEF partition %d low bits out of range", core.ErrBadFormat, i)
 		}
+		total += pp.count
+	}
+	if total != n {
+		return nil, fmt.Errorf("%w: PEF header declares %d values, partitions hold %d", core.ErrBadFormat, n, total)
 	}
 	if err := core.VerifyDecompress(p); err != nil {
 		return nil, err

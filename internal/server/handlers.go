@@ -33,9 +33,24 @@ func (s *Server) Handler() http.Handler {
 }
 
 // handleHealthz is the liveness probe: the process is up and able to
-// answer HTTP, nothing more.
+// answer HTTP. It additionally reports whether the served index is
+// degraded — opened in salvage mode with sections quarantined — so
+// operators monitoring /healthz see corruption the moment a degraded
+// index starts serving. Degraded is still 200: the process is alive
+// and serving what it can; see the corruption-recovery runbook.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	snap := s.acquire()
+	defer snap.Release()
+	h := snap.Index().Health()
+	if !h.Degraded {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":              "degraded",
+		"quarantinedSections": h.QuarantinedSections,
+		"quarantinedTerms":    h.QuarantinedTerms,
+	})
 }
 
 // handleReadyz is the readiness probe: 200 only while serving traffic,
@@ -64,7 +79,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 		return
 	}
-	idx := s.Index()
+	snap := s.acquire()
+	defer snap.Release()
+	idx := snap.Index()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":  "reloaded",
 		"docs":    idx.Docs(),
@@ -75,7 +92,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 
 // handleStats reports the served index shape plus serving-side gauges.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	idx := s.Index()
+	snap := s.acquire()
+	defer snap.Release()
+	idx := snap.Index()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"documents":       idx.Docs(),
 		"terms":           idx.Terms(),
@@ -83,6 +102,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"inFlight":        s.inFlight.Load(),
 		"reloads":         s.Reloads(),
 		"ready":           s.Ready(),
+		"health":          idx.Health(),
 		"postingCache":    s.CacheStats(),
 	})
 }
@@ -97,10 +117,14 @@ type searchResponse struct {
 }
 
 // handleSearch answers conjunctive/disjunctive/top-k queries against
-// the current index snapshot. The snapshot is loaded once per request,
-// so a concurrent hot reload never changes the index mid-query.
+// the current index snapshot. The snapshot is acquired once per request
+// and released when the response is written, so a concurrent hot reload
+// never changes the index mid-query and never unmaps bytes a query is
+// still reading.
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	idx := s.Index()
+	snap := s.acquire()
+	defer snap.Release()
+	idx := snap.Index()
 	terms := index.Tokenize(r.URL.Query().Get("q"))
 	if len(terms) == 0 {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing or empty q parameter"})

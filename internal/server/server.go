@@ -8,9 +8,12 @@
 //     semaphore load shedding (429 + Retry-After), structured request
 //     logging, and request validation limits so adversarial queries
 //     cannot force unbounded intersection work;
-//   - hot reload: the served index lives in an atomic.Pointer and is
-//     swapped without dropping in-flight requests, with rollback to the
-//     old index when the replacement fails to load.
+//   - hot reload: the served index lives in a reference-counted
+//     index.Snapshot behind an atomic.Pointer and is swapped without
+//     dropping in-flight requests, with rollback to the old index when
+//     the replacement fails to load. Each request brackets its work in
+//     Acquire/Release, so a superseded snapshot is Closed — releasing
+//     its mmap — exactly once, after the last in-flight query drains.
 package server
 
 import (
@@ -92,7 +95,7 @@ type Server struct {
 	cfg Config
 	log *log.Logger
 
-	idx      atomic.Pointer[index.Index]
+	snap     atomic.Pointer[index.Snapshot]
 	cache    *index.DecodedCache
 	ready    atomic.Bool
 	draining atomic.Bool
@@ -116,7 +119,7 @@ func New(idx *index.Index, cfg Config) *Server {
 		s.cache = index.NewDecodedCache(cfg.CacheBytes)
 		idx.AttachCache(s.cache)
 	}
-	s.idx.Store(idx)
+	s.snap.Store(index.NewSnapshot(idx))
 	return s
 }
 
@@ -137,8 +140,30 @@ func (s *Server) SetLoader(fn func() (*index.Index, error)) {
 	s.loadFn = fn
 }
 
-// Index returns the index snapshot currently being served.
-func (s *Server) Index() *index.Index { return s.idx.Load() }
+// Index returns the index currently being served. The server's own
+// reference keeps the current generation alive, so the pointer is safe
+// to use for as long as it remains current; request handlers that may
+// race a hot reload go through acquire instead.
+func (s *Server) Index() *index.Index { return s.snap.Load().Index() }
+
+// Snapshot returns the reference-counted handle on the current index
+// generation. Diagnostics and tests only; handlers use acquire.
+func (s *Server) Snapshot() *index.Snapshot { return s.snap.Load() }
+
+// acquire takes a reference on the current snapshot for the duration of
+// one request. Acquire can fail only in the narrow window where a
+// snapshot was retired after we loaded the pointer but before we
+// incremented its count — Reload stores the replacement before retiring
+// the old generation, so a retry is guaranteed to observe a newer,
+// live snapshot. The caller must Release the returned snapshot.
+func (s *Server) acquire() *index.Snapshot {
+	for {
+		snap := s.snap.Load()
+		if snap.Acquire() {
+			return snap
+		}
+	}
+}
 
 // Ready reports whether the server is accepting application traffic
 // (started and not draining).
@@ -152,7 +177,9 @@ func (s *Server) Reloads() int64 { return s.reloads.Load() }
 // they started with; no request observes a half-swapped index. If the
 // load fails (missing file, bad checksum, unknown version, decode
 // error), the current index stays in place and the error is returned —
-// that is the rollback path.
+// that is the rollback path. The superseded snapshot is retired after
+// the swap: once its in-flight queries drain, its index is Closed and
+// any mmap it held is released.
 func (s *Server) Reload() error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
@@ -176,10 +203,15 @@ func (s *Server) Reload() error {
 		next.AttachCache(s.cache)
 		defer s.cache.DropOtherGenerations(next.Generation())
 	}
-	old := s.idx.Swap(next)
+	old := s.snap.Swap(index.NewSnapshot(next))
 	s.reloads.Add(1)
+	oldIdx := old.Index()
 	s.log.Printf("server: hot-reloaded index: %d docs, %d terms, %d compressed bytes (was %d docs, %d terms)",
-		next.Docs(), next.Terms(), next.SizeBytes(), old.Docs(), old.Terms())
+		next.Docs(), next.Terms(), next.SizeBytes(), oldIdx.Docs(), oldIdx.Terms())
+	// Drop the server's reference last: the replacement is already
+	// published, so any acquire that loses the race against this retire
+	// will retry onto the new snapshot.
+	old.Retire()
 	return nil
 }
 
