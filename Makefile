@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures experiments clean
+.PHONY: all build vet test race bench figures experiments loadtest oracle clean
 
 all: build vet test
 
@@ -30,7 +30,30 @@ bench:
 	$(GO) test -run NONE -bench BenchmarkEngine -benchmem -json ./internal/ops > results/BENCH_engine.json
 	$(GO) test -run NONE -bench '.' -benchmem -json ./internal/kernels > results/BENCH_kernels.json
 	$(GO) test -run NONE -bench BenchmarkIndex -benchmem -json ./internal/index > results/BENCH_index.json
+	@for f in BENCH_engine BENCH_kernels BENCH_index; do \
+		if ! test -s results/$$f.json || ! grep -q 'ns/op' results/$$f.json; then \
+			echo "FATAL: results/$$f.json missing or contains no benchmark output (did the -bench pattern match?)" >&2; \
+			exit 1; \
+		fi; \
+	done
 	$(GO) test -bench=. -benchmem ./...
+
+# Full chaos-mode load run: 30s of open-loop zipfian traffic against a
+# real bvserve subprocess while the orchestrator hot-reloads it (SIGHUP
+# and POST /reload), swaps in a corrupted index to force a degraded-mode
+# transition, and SIGKILLs/restarts it mid-flight. Every response must
+# be correct, a clean shed, or a documented degraded partial; writes
+# results/LOAD_chaos.json and exits non-zero on any SLO gate violation.
+loadtest:
+	mkdir -p bin results
+	$(GO) build -o bin/bvserve ./cmd/bvserve
+	$(GO) run ./cmd/bvload -chaos -serve-bin bin/bvserve \
+		-duration 30s -rate 150 -slo-p99 250ms -out results/LOAD_chaos.json
+
+# Differential correctness oracle: every optimized path vs its slow
+# reference across a randomized seed sweep (see internal/oracle).
+oracle:
+	$(GO) test -count=1 ./internal/oracle
 
 # Regenerate every table/figure as text tables (see cmd/bvbench -help
 # for scale knobs).

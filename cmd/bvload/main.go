@@ -1,0 +1,286 @@
+// Command bvload is the production load harness for bvserve: an
+// open-loop (coordinated-omission-safe) generator that replays a
+// zipfian mix of point lookups, AND/OR intersections, and ranked top-k
+// against a live server, checks every response against precomputed
+// ground truth, and gates the run on latency/correctness SLOs. With
+// -chaos it also runs the orchestrator: hot reloads (SIGHUP and POST
+// /reload), a corruption-induced degraded-mode transition, and a
+// kill/restart — requiring every response to be correct, a clean shed,
+// or a documented degraded partial, with latency SLOs holding outside
+// declared blast windows.
+//
+// Usage:
+//
+//	bvload -chaos -duration 30s -rate 150 -out results/LOAD_chaos.json
+//	bvload -serve-bin bin/bvserve -chaos -out results/LOAD_chaos.json
+//	bvload -write-index /tmp/load.bvix            # emit corpus index, then:
+//	bvload -target http://127.0.0.1:8080 -rate 200
+//
+// Without -serve-bin or -target, bvload serves the generated index
+// from an in-process server — the zero-setup mode CI uses. With
+// -serve-bin it manages a real bvserve subprocess (SIGHUP/SIGKILL
+// chaos). With -target it replays against an external server, which
+// must be serving the index emitted by -write-index with the same
+// -seed/-docs/-vocab/-codec (the ground truth is recomputed locally).
+//
+// The exit status is 0 only when every SLO gate passed; the full
+// machine-readable report lands at -out.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/codecs"
+	"repro/internal/index"
+	"repro/internal/load"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], log.Default()); err != nil {
+		log.Fatalf("bvload: %v", err)
+	}
+}
+
+type options struct {
+	target     string
+	serveBin   string
+	writeIndex string
+	chaos      bool
+
+	codec string
+	docs  int
+	vocab int
+	seed  int64
+
+	queries  int
+	mix      string
+	rate     float64
+	duration time.Duration
+	timeout  time.Duration
+
+	sloP50       time.Duration
+	sloP99       time.Duration
+	sloP999      time.Duration
+	maxErrorRate float64
+	minRequests  int64
+
+	out string
+}
+
+func parseFlags(args []string, logger *log.Logger) (*options, error) {
+	fs := flag.NewFlagSet("bvload", flag.ContinueOnError)
+	o := &options{}
+	fs.StringVar(&o.target, "target", "", "external server base URL (default: manage a server locally)")
+	fs.StringVar(&o.serveBin, "serve-bin", "", "bvserve binary to manage as a subprocess")
+	fs.StringVar(&o.writeIndex, "write-index", "", "write the generated corpus index to this path and exit")
+	fs.BoolVar(&o.chaos, "chaos", false, "run the chaos orchestrator during the load run (managed server only)")
+
+	fs.StringVar(&o.codec, "codec", "Roaring", "posting-list codec for the generated index")
+	fs.IntVar(&o.docs, "docs", 2000, "generated corpus size in documents")
+	fs.IntVar(&o.vocab, "vocab", 200, "generated vocabulary size in terms")
+	fs.Int64Var(&o.seed, "seed", 1, "master seed for corpus, workload, and corruption")
+
+	fs.IntVar(&o.queries, "queries", 512, "distinct queries in the replayed workload")
+	fs.StringVar(&o.mix, "mix", "4,3,2,1", "traffic mix weights point,and,or,topk")
+	fs.Float64Var(&o.rate, "rate", 150, "offered load in queries/second (open loop)")
+	fs.DurationVar(&o.duration, "duration", 30*time.Second, "load run length")
+	fs.DurationVar(&o.timeout, "timeout", 2*time.Second, "per-request client budget")
+
+	fs.DurationVar(&o.sloP50, "slo-p50", 0, "steady-state p50 latency gate (0 = ungated)")
+	fs.DurationVar(&o.sloP99, "slo-p99", 250*time.Millisecond, "steady-state p99 latency gate (0 = ungated)")
+	fs.DurationVar(&o.sloP999, "slo-p999", 0, "steady-state p99.9 latency gate (0 = ungated)")
+	fs.Float64Var(&o.maxErrorRate, "max-error-rate", 0, "max unclassified-error fraction")
+	fs.Int64Var(&o.minRequests, "min-requests", 100, "fail runs that issued fewer requests than this")
+
+	fs.StringVar(&o.out, "out", "results/LOAD_run.json", "report output path")
+	fs.SetOutput(logger.Writer())
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := validate(o); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// validate rejects nonsensical configurations with a one-line cause.
+func validate(o *options) error {
+	switch {
+	case o.docs < 1:
+		return fmt.Errorf("-docs=%d: corpus must have at least 1 document", o.docs)
+	case o.vocab < 2:
+		return fmt.Errorf("-vocab=%d: vocabulary must have at least 2 terms", o.vocab)
+	case o.queries < 1:
+		return fmt.Errorf("-queries=%d: workload must have at least 1 query", o.queries)
+	case o.rate <= 0:
+		return fmt.Errorf("-rate=%g: offered load must be positive", o.rate)
+	case o.duration <= 0:
+		return fmt.Errorf("-duration=%s: run length must be positive", o.duration)
+	case o.timeout <= 0:
+		return fmt.Errorf("-timeout=%s: request budget must be positive", o.timeout)
+	case o.maxErrorRate < 0 || o.maxErrorRate > 1:
+		return fmt.Errorf("-max-error-rate=%g: must be a fraction in [0,1]", o.maxErrorRate)
+	case o.target != "" && o.serveBin != "":
+		return fmt.Errorf("-target and -serve-bin are mutually exclusive")
+	case o.target != "" && o.chaos:
+		return fmt.Errorf("-chaos needs a managed server; it cannot brutalize an external -target")
+	}
+	if _, err := parseMix(o.mix); err != nil {
+		return err
+	}
+	return nil
+}
+
+// parseMix parses "point,and,or,topk" weights.
+func parseMix(s string) (load.Mix, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return load.Mix{}, fmt.Errorf("-mix=%q: want four comma-separated weights point,and,or,topk", s)
+	}
+	var w [4]int
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &w[i]); err != nil || w[i] < 0 {
+			return load.Mix{}, fmt.Errorf("-mix=%q: weight %d is not a non-negative integer", s, i+1)
+		}
+	}
+	m := load.Mix{Point: w[0], And: w[1], Or: w[2], TopK: w[3]}
+	if m.Point+m.And+m.Or+m.TopK == 0 {
+		return load.Mix{}, fmt.Errorf("-mix=%q: at least one weight must be positive", s)
+	}
+	return m, nil
+}
+
+func run(ctx context.Context, args []string, logger *log.Logger) error {
+	o, err := parseFlags(args, logger)
+	if err != nil {
+		return err
+	}
+	mix, _ := parseMix(o.mix)
+
+	// Deterministic corpus + index: the same bytes the target serves
+	// (managed modes write it; -target mode trusts the operator ran
+	// -write-index with identical parameters).
+	logger.Printf("generating corpus: %d docs, %d terms, seed %d", o.docs, o.vocab, o.seed)
+	docs, vocab := load.GenCorpus(o.seed, o.docs, o.vocab)
+	codec, err := codecs.ByName(o.codec)
+	if err != nil {
+		return err
+	}
+	b := index.NewBuilder(codec)
+	for _, d := range docs {
+		b.AddDocument(d)
+	}
+	idx, err := b.Build()
+	if err != nil {
+		return err
+	}
+
+	if o.writeIndex != "" {
+		if err := idx.WriteFile(o.writeIndex, index.FormatBVIX3); err != nil {
+			return err
+		}
+		logger.Printf("wrote %s (%d docs, %d terms); serve it with: bvserve -index %s",
+			o.writeIndex, idx.Docs(), idx.Terms(), o.writeIndex)
+		return nil
+	}
+
+	w, err := load.BuildWorkload(idx, vocab, o.queries, o.seed+1, mix)
+	if err != nil {
+		return err
+	}
+
+	// Resolve the target: external URL, bvserve subprocess, or the
+	// in-process server.
+	baseURL := o.target
+	var ctrl load.Controller
+	if baseURL == "" {
+		dir, err := os.MkdirTemp("", "bvload-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		idxPath := filepath.Join(dir, "load.bvix")
+		if err := idx.WriteFile(idxPath, index.FormatBVIX3); err != nil {
+			return err
+		}
+		if o.serveBin != "" {
+			ctrl, err = load.NewProcServer(o.serveBin, idxPath, logger.Writer())
+		} else {
+			ctrl, err = load.NewLocalServer(idxPath, logger)
+		}
+		if err != nil {
+			return err
+		}
+		if err := ctrl.Start(ctx); err != nil {
+			return err
+		}
+		defer ctrl.Stop()
+		baseURL = ctrl.BaseURL()
+		logger.Printf("managed server ready at %s", baseURL)
+	}
+
+	win := load.NewWindows()
+	var chaosDone chan []load.Event
+	if o.chaos {
+		chaosDone = make(chan []load.Event, 1)
+		go func() {
+			events, cerr := load.RunChaos(ctx, load.ChaosConfig{
+				Duration:    o.duration,
+				CorruptSeed: o.seed + 2,
+			}, ctrl, win)
+			if cerr != nil {
+				logger.Printf("chaos orchestrator aborted: %v", cerr)
+			}
+			chaosDone <- events
+		}()
+		logger.Printf("chaos storm scheduled across %s", o.duration)
+	}
+
+	logger.Printf("offering %.0f qps for %s at %s", o.rate, o.duration, baseURL)
+	rep, err := load.Run(ctx, w, load.Options{
+		BaseURL:  baseURL,
+		Rate:     o.rate,
+		Duration: o.duration,
+		Timeout:  o.timeout,
+		Seed:     o.seed + 3,
+	}, win)
+	if err != nil {
+		return err
+	}
+	if chaosDone != nil {
+		rep.Events = <-chaosDone
+	}
+
+	rep.Evaluate(load.Gates{
+		MaxP50:       o.sloP50,
+		MaxP99:       o.sloP99,
+		MaxP999:      o.sloP999,
+		MaxErrorRate: o.maxErrorRate,
+		MinRequests:  o.minRequests,
+	})
+	if err := rep.WriteFile(o.out); err != nil {
+		return err
+	}
+
+	logger.Printf("%d requests: %v", rep.Requests, rep.Classes)
+	logger.Printf("steady latency: p50=%s p99=%s p999=%s max=%s",
+		time.Duration(rep.Steady.P50Ns), time.Duration(rep.Steady.P99Ns),
+		time.Duration(rep.Steady.P999Ns), time.Duration(rep.Steady.MaxNs))
+	logger.Printf("report: %s", o.out)
+	if !rep.Pass {
+		return fmt.Errorf("SLO gates failed:\n  %s", strings.Join(rep.Gates.Violations, "\n  "))
+	}
+	logger.Printf("PASS: all SLO gates held")
+	return nil
+}

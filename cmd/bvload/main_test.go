@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/load"
+)
+
+func discard() *log.Logger { return log.New(nopWriter{}, "", 0) }
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-docs", "0"}, "-docs"},
+		{[]string{"-vocab", "1"}, "-vocab"},
+		{[]string{"-queries", "-5"}, "-queries"},
+		{[]string{"-rate", "0"}, "-rate"},
+		{[]string{"-duration", "-1s"}, "-duration"},
+		{[]string{"-timeout", "0"}, "-timeout"},
+		{[]string{"-max-error-rate", "1.5"}, "-max-error-rate"},
+		{[]string{"-mix", "1,2,3"}, "-mix"},
+		{[]string{"-mix", "0,0,0,0"}, "-mix"},
+		{[]string{"-mix", "a,b,c,d"}, "-mix"},
+		{[]string{"-target", "http://x", "-serve-bin", "y"}, "mutually exclusive"},
+		{[]string{"-target", "http://x", "-chaos"}, "-chaos"},
+	}
+	for _, c := range cases {
+		if _, err := parseFlags(c.args, discard()); err == nil {
+			t.Errorf("args %v accepted", c.args)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("args %v: error %q does not name %q", c.args, err, c.want)
+		}
+	}
+	if _, err := parseFlags([]string{"-rate", "50", "-mix", "1, 2, 3, 4"}, discard()); err != nil {
+		t.Errorf("valid args rejected: %v", err)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("4,3,2,1")
+	if err != nil || m != (load.Mix{Point: 4, And: 3, Or: 2, TopK: 1}) {
+		t.Fatalf("parseMix = %+v, %v", m, err)
+	}
+	if m, err = parseMix("0,0,0,5"); err != nil || m.TopK != 5 {
+		t.Fatalf("topk-only mix = %+v, %v", m, err)
+	}
+}
+
+func TestWriteIndexMode(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "corpus.bvix")
+	err := run(context.Background(), []string{
+		"-write-index", out, "-docs", "50", "-vocab", "20",
+	}, discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(out)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("index file: %v", err)
+	}
+}
+
+func TestRunInProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a server and a 2s load run")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "LOAD_test.json")
+	err := run(context.Background(), []string{
+		"-docs", "200", "-vocab", "40", "-queries", "64",
+		"-rate", "80", "-duration", "2s",
+		"-slo-p99", "2s", "-min-requests", "50",
+		"-out", out,
+	}, discard())
+	if err != nil {
+		t.Fatalf("smoke run failed: %v", err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep load.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !rep.Pass || rep.Requests < 50 {
+		t.Fatalf("pass=%v requests=%d classes=%v violations=%v",
+			rep.Pass, rep.Requests, rep.Classes, rep.Gates.Violations)
+	}
+	if rep.Classes["incorrect"] != 0 || rep.Classes["error"] != 0 {
+		t.Fatalf("bad classes: %v", rep.Classes)
+	}
+}
+
+func TestRunChaosInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run takes several seconds")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "LOAD_chaos_test.json")
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	err := run(ctx, []string{
+		"-chaos",
+		"-docs", "300", "-vocab", "50", "-queries", "128",
+		"-rate", "100", "-duration", "5s",
+		"-slo-p99", "2s", "-min-requests", "200",
+		"-out", out,
+	}, discard())
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep load.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("violations: %v", rep.Gates.Violations)
+	}
+	if len(rep.Events) != 6 {
+		t.Fatalf("expected 6 chaos events, got %d: %+v", len(rep.Events), rep.Events)
+	}
+	if len(rep.Windows) != 2 {
+		t.Fatalf("expected degraded+blast windows, got %+v", rep.Windows)
+	}
+}

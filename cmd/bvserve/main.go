@@ -80,6 +80,9 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := validateFlags(fs); err != nil {
+		return err
+	}
 
 	load := func() (*index.Index, error) {
 		idx, err := loadIndex(*inFile, *indexFile, *codecName, *shards, *maxDocs, *maxLine, *allowDegraded)
@@ -134,6 +137,33 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 	}()
 
 	return srv.Run(ctx, *addr)
+}
+
+// validateFlags rejects nonsensical configurations right after parse,
+// before any index is loaded or socket bound, with a one-line cause.
+// (-cache-mb is exempt: zero and negative mean "cache disabled".)
+func validateFlags(fs *flag.FlagSet) error {
+	get := func(name string) any { return fs.Lookup(name).Value.(flag.Getter).Get() }
+	for _, name := range []string{"read-timeout", "write-timeout", "idle-timeout", "request-timeout", "drain"} {
+		if d := get(name).(time.Duration); d <= 0 {
+			return fmt.Errorf("-%s=%s: timeout must be positive", name, d)
+		}
+	}
+	for _, name := range []string{"max-inflight", "max-terms", "max-k", "max-url", "max-docs", "max-line"} {
+		if v := get(name).(int); v <= 0 {
+			return fmt.Errorf("-%s=%d: limit must be positive", name, v)
+		}
+	}
+	if v := get("load-retries").(int); v < 1 {
+		return fmt.Errorf("-load-retries=%d: need at least one load attempt", v)
+	}
+	if v := get("shards").(int); v < 0 || v > 4096 {
+		return fmt.Errorf("-shards=%d: want 0 (one per CPU) through 4096", v)
+	}
+	if get("addr").(string) == "" {
+		return fmt.Errorf("-addr: listen address must not be empty")
+	}
+	return nil
 }
 
 // cacheBytes maps the -cache-mb flag onto Config.CacheBytes, where 0

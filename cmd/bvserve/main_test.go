@@ -183,6 +183,48 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestValidateFlags: nonsensical configurations exit non-zero at parse
+// time with a one-line cause naming the flag, before any index loads
+// or socket binds.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // flag the error must name
+	}{
+		{[]string{"-load-retries", "-3"}, "-load-retries"},
+		{[]string{"-load-retries", "0"}, "-load-retries"},
+		{[]string{"-read-timeout", "0"}, "-read-timeout"},
+		{[]string{"-write-timeout", "-1s"}, "-write-timeout"},
+		{[]string{"-idle-timeout", "0"}, "-idle-timeout"},
+		{[]string{"-request-timeout", "-5ms"}, "-request-timeout"},
+		{[]string{"-drain", "0"}, "-drain"},
+		{[]string{"-shards", "-1"}, "-shards"},
+		{[]string{"-shards", "5000"}, "-shards"},
+		{[]string{"-max-inflight", "0"}, "-max-inflight"},
+		{[]string{"-max-terms", "-2"}, "-max-terms"},
+		{[]string{"-max-k", "0"}, "-max-k"},
+		{[]string{"-max-url", "0"}, "-max-url"},
+		{[]string{"-max-docs", "0"}, "-max-docs"},
+		{[]string{"-max-line", "-10"}, "-max-line"},
+		{[]string{"-addr", ""}, "-addr"},
+	}
+	for _, c := range cases {
+		// -in is syntactically valid here; validation must fail first.
+		args := append([]string{"-in", "unused.txt"}, c.args...)
+		err := run(context.Background(), args, log.New(&syncBuffer{}, "", 0))
+		if err == nil {
+			t.Errorf("args %v accepted", c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("args %v: error %q does not name %s", c.args, err, c.want)
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Errorf("args %v: cause is not one line: %q", c.args, err)
+		}
+	}
+}
+
 // TestLoadWithRetryTransient: transient failures back off and retry;
 // the call succeeds once the underlying condition clears.
 func TestLoadWithRetryTransient(t *testing.T) {

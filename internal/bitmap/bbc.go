@@ -40,14 +40,18 @@ func bbcPutVB(dst []byte, v uint64) []byte {
 
 // bbcReadVB decodes a paper-layout VB value starting at data[i].
 func bbcReadVB(data []byte, i int) (v uint64, next int) {
-	for {
+	for i < len(data) {
 		b := data[i]
 		i++
 		v = v<<7 | uint64(b&0x7f)
 		if b&0x80 == 0 {
-			return v, i
+			break
 		}
 	}
+	// A continuation byte at end-of-data (possible only on corrupt or
+	// truncated input) terminates with the bits read so far; the
+	// verify pass rejects the stream on its cardinality mismatch.
+	return v, i
 }
 
 func (BBC) Compress(values []uint32) (core.Posting, error) {
@@ -167,6 +171,13 @@ func (r *bbcReader) next() (span, bool) {
 		return span{n: 8, word: r.odd, kind: literalSpan}, true
 	}
 	if r.lit > 0 {
+		if r.i >= len(r.data) {
+			// Corrupt input: the header promised more literal bytes
+			// than the blob holds. End the stream; the verify pass
+			// fails it on cardinality.
+			r.lit = 0
+			return span{}, false
+		}
 		r.lit--
 		b := r.data[r.i]
 		r.i++

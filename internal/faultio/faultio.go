@@ -392,6 +392,58 @@ func Record(base FS, workload func(FS) error) ([]OpRecord, error) {
 	return in.Trace(), err
 }
 
+// CorruptFile deterministically corrupts the file at path in place —
+// the live-corruption step of a chaos run. It flips between one and
+// three seed-derived bits, all within the final quarter of the file
+// (for a BVIX3 index that is inside the checksummed payload section,
+// so a strict open fails with core.ErrChecksum and a degraded open
+// salvages everything the damage misses). The corrupted image is
+// published like WriteFile publishes an index: written to a sibling
+// temp file and renamed over path. A process still serving the old
+// bytes through an mmap keeps its intact mapping — the superseded
+// inode lives until unmapped — while every subsequent open observes
+// the corruption; in-place rewriting would instead scribble over the
+// serving process's memory mid-query.
+func CorruptFile(fsys FS, path string, seed int64) error {
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("faultio: corrupt %s: %w", path, err)
+	}
+	if len(data) < 16 {
+		return fmt.Errorf("faultio: corrupt %s: file too small (%d bytes)", path, len(data))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lo := len(data) * 3 / 4
+	for n := 1 + rng.Intn(3); n > 0; n-- {
+		i := lo + rng.Intn(len(data)-lo)
+		data[i] ^= 1 << rng.Intn(8)
+	}
+	tmp := path + ".corrupt"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("faultio: corrupt %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("faultio: corrupt %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("faultio: corrupt %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("faultio: corrupt %s: %w", path, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("faultio: corrupt %s: %w", path, err)
+	}
+	return nil
+}
+
 // Mutate applies a deterministic corruption plan derived from seed to
 // data, in place, returning the (possibly shorter) result: between one
 // and four mutations drawn from bit flips, zeroed runs, and tail

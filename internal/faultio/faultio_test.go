@@ -1,7 +1,9 @@
 package faultio
 
 import (
+	"bytes"
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -162,5 +164,91 @@ func TestMutateDeterministicAndBounded(t *testing.T) {
 		if seed == 0 && string(a) != string(base) {
 			t.Fatal("seed 0 must be the identity mutation")
 		}
+	}
+}
+
+func TestCorruptFileDeterministicTailOnly(t *testing.T) {
+	dir := t.TempDir()
+	base := make([]byte, 4096)
+	for i := range base {
+		base[i] = byte(i * 7)
+	}
+	write := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, append([]byte(nil), base...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	pa, pb := write("a"), write("b")
+	if err := CorruptFile(OS, pa, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptFile(OS, pb, 42); err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := os.ReadFile(pa)
+	cb, _ := os.ReadFile(pb)
+	if string(ca) != string(cb) {
+		t.Fatal("same seed corrupted two identical files differently")
+	}
+	if string(ca) == string(base) {
+		t.Fatal("corruption changed nothing")
+	}
+	if len(ca) != len(base) {
+		t.Fatalf("corruption changed length: %d -> %d", len(base), len(ca))
+	}
+	lo := len(base) * 3 / 4
+	if string(ca[:lo]) != string(base[:lo]) {
+		t.Fatal("corruption touched bytes outside the tail quarter")
+	}
+	// The temp file must not linger.
+	if _, err := os.Stat(pa + ".corrupt"); !os.IsNotExist(err) {
+		t.Fatalf("temp corruption file left behind: %v", err)
+	}
+}
+
+func TestCorruptFilePreservesOpenMapping(t *testing.T) {
+	// The publish-by-rename contract: a reader holding the old file
+	// (here just an open fd standing in for an mmap) keeps reading the
+	// pristine bytes after corruption lands at the path.
+	dir := t.TempDir()
+	p := filepath.Join(dir, "idx")
+	base := bytes.Repeat([]byte("pristine"), 512)
+	if err := os.WriteFile(p, base, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := CorruptFile(OS, p, 7); err != nil {
+		t.Fatal(err)
+	}
+	old, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(old) != string(base) {
+		t.Fatal("pre-corruption handle observed corrupted bytes")
+	}
+	now, _ := os.ReadFile(p)
+	if string(now) == string(base) {
+		t.Fatal("path does not serve the corrupted image")
+	}
+}
+
+func TestCorruptFileRejectsTinyAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "tiny")
+	if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptFile(OS, p, 1); err == nil {
+		t.Fatal("expected error for tiny file")
+	}
+	if err := CorruptFile(OS, filepath.Join(dir, "absent"), 1); err == nil {
+		t.Fatal("expected error for missing file")
 	}
 }

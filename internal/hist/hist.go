@@ -1,0 +1,158 @@
+// Package hist provides an HDR-style latency histogram: log-linear
+// buckets with bounded relative error, lock-free atomic recording, and
+// percentile readout. It is the shared measurement substrate of the
+// serving layer (/stats latency gauges) and the load harness
+// (cmd/bvload's p50/p99/p999 SLO gates).
+//
+// Bucketing follows the HdrHistogram idea without the configuration
+// surface: values (nanoseconds) below 2^subBits land in exact unit
+// buckets; above that, each power-of-two range is split into 2^subBits
+// linear sub-buckets, so the relative quantization error is bounded by
+// 1/2^subBits (~3% with subBits = 5) at every magnitude. 1024 buckets
+// cover [0, ~68 seconds] in nanoseconds — far beyond any request budget
+// this system allows; anything larger collapses into the top bucket and
+// is still reported exactly through Max.
+package hist
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	subBits    = 5
+	numBuckets = 1024
+)
+
+// Histogram records non-negative durations with bounded relative
+// error. The zero value is ready to use; all methods are safe for
+// concurrent use, and Record never allocates or takes a lock.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// bucketFor maps a nanosecond value onto its log-linear bucket index.
+func bucketFor(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < 1<<subBits {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 - subBits
+	idx := exp<<subBits + int(v>>uint(exp))
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper is the inclusive upper bound of a bucket, the value
+// percentile readout reports for samples in it.
+func bucketUpper(idx int) int64 {
+	if idx < 1<<(subBits+1) {
+		return int64(idx)
+	}
+	exp := idx>>subBits - 1
+	m := int64(idx - exp<<subBits)
+	return (m+1)<<uint(exp) - 1
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketFor(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Max reports the largest recorded observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Percentile reports the value at quantile q in [0, 1] (0.99 = p99),
+// with the histogram's quantization error. Zero observations yield 0.
+// Concurrent Records may or may not be included; readout is for
+// monitoring, not synchronization.
+func (h *Histogram) Percentile(q float64) time.Duration {
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the sample the quantile selects.
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			v := bucketUpper(i)
+			if m := h.max.Load(); v > m {
+				v = m // never report beyond the observed maximum
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Mean reports the arithmetic mean of recorded observations (exact,
+// not quantized).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Summary is a point-in-time percentile readout, shaped for JSON
+// reports (all values nanoseconds).
+type Summary struct {
+	Count  int64 `json:"count"`
+	MeanNs int64 `json:"meanNs"`
+	P50Ns  int64 `json:"p50Ns"`
+	P90Ns  int64 `json:"p90Ns"`
+	P99Ns  int64 `json:"p99Ns"`
+	P999Ns int64 `json:"p999Ns"`
+	MaxNs  int64 `json:"maxNs"`
+}
+
+// Summarize captures the histogram's current percentiles.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:  h.Count(),
+		MeanNs: int64(h.Mean()),
+		P50Ns:  int64(h.Percentile(0.50)),
+		P90Ns:  int64(h.Percentile(0.90)),
+		P99Ns:  int64(h.Percentile(0.99)),
+		P999Ns: int64(h.Percentile(0.999)),
+		MaxNs:  int64(h.Max()),
+	}
+}

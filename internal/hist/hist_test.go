@@ -1,0 +1,114 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketsAreContiguousAndMonotonic(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<20; v++ {
+		idx := bucketFor(v)
+		if idx != prev && idx != prev+1 {
+			t.Fatalf("bucketFor(%d) = %d, previous %d: not contiguous", v, idx, prev)
+		}
+		prev = idx
+		if up := bucketUpper(idx); v > up {
+			t.Fatalf("value %d above its bucket %d upper bound %d", v, idx, up)
+		}
+		// Skip ahead within wide buckets to keep the scan fast.
+		if up := bucketUpper(idx); up-v > 3 {
+			v = up - 1
+		}
+	}
+}
+
+func TestRelativeErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5000; trial++ {
+		v := rng.Int63n(bucketUpper(numBuckets - 1))
+		up := bucketUpper(bucketFor(v))
+		if up < v {
+			t.Fatalf("upper(%d) = %d below value", v, up)
+		}
+		if v >= 1<<subBits && float64(up-v) > float64(v)/float64(int64(1)<<subBits)+1 {
+			t.Fatalf("value %d quantized to %d: error beyond 1/2^%d bound", v, up, subBits)
+		}
+	}
+}
+
+func TestPercentilesAgainstExactSort(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	vals := make([]int64, n)
+	for i := range vals {
+		// Mix of magnitudes: µs-scale fast path, ms-scale tail.
+		v := rng.Int63n(int64(2 * time.Millisecond))
+		if rng.Intn(100) == 0 {
+			v = rng.Int63n(int64(200 * time.Millisecond))
+		}
+		vals[i] = v
+		h.Record(time.Duration(v))
+	}
+	if h.Count() != int64(n) {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	exact := append([]int64(nil), vals...)
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := exact[int(q*float64(n-1))]
+		got := int64(h.Percentile(q))
+		// Histogram error is ~3% relative plus one bucket.
+		slack := want/16 + 2
+		if got < want-slack || got > want+slack {
+			t.Errorf("p%g = %d, exact %d (slack %d)", q*100, got, want, slack)
+		}
+	}
+	if h.Max() != time.Duration(exact[n-1]) {
+		t.Errorf("max = %d, want %d", h.Max(), exact[n-1])
+	}
+}
+
+func TestZeroAndEdgeValues(t *testing.T) {
+	var h Histogram
+	if h.Percentile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+	h.Record(0)
+	h.Record(-5) // clamped
+	h.Record(time.Hour)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if p := h.Percentile(1); p > time.Hour {
+		t.Fatalf("p100 = %v beyond observed max", p)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Int63n(int64(time.Second))))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	s := h.Summarize()
+	if s.Count != workers*per || s.P99Ns < s.P50Ns || s.MaxNs < s.P999Ns {
+		t.Fatalf("inconsistent summary: %+v", s)
+	}
+}

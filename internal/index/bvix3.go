@@ -38,7 +38,13 @@ import (
 //
 //	dict:    per term, sorted by name: nameLen u16, name bytes,
 //	         posting count u32, payload offset u64 (relative to the
-//	         payload section), posting blob length u32.
+//	         payload section), posting blob length u32, payload record
+//	         CRC32-C u32 (over the blob plus frequency bytes). The
+//	         per-record CRC is what makes degraded-mode salvage sound:
+//	         when the payload section's CRC fails, a term is served
+//	         only if its own record still checksums — corrupt bytes
+//	         that would decode "cleanly" into plausible garbage are
+//	         quarantined instead of served.
 //	frames:  one u64 per skip frame — the dict-relative offset of the
 //	         frame's first record. Lookup binary-searches the frames on
 //	         their first term (read zero-copy out of the dict) and
@@ -55,14 +61,16 @@ import (
 // padding by an explicit zeros check. A single flipped bit anywhere
 // surfaces as an error (core.ErrChecksum for CRC-covered ranges).
 const (
-	bvix3Version    = 1
+	bvix3Version    = 2 // v2 added the per-record payload CRC to dict entries
 	bvix3HeaderSize = 88
 	bvix3DataStart  = 128 // first section offset: align64(headerSize)
 	bvix3Align      = 64
 	bvix3RecAlign   = 8
 	bvix3FrameLen   = 64
-	// bvix3RecordFixed is a dict record's size net of the name bytes.
-	bvix3RecordFixed = 2 + 4 + 8 + 4
+	// bvix3RecordFixed is a dict record's size net of the name bytes:
+	// name length u16, count u32, payload offset u64, blob length u32,
+	// payload record CRC u32.
+	bvix3RecordFixed = 2 + 4 + 8 + 4 + 4
 )
 
 var bvix3Magic = []byte("BVIX3")
@@ -102,6 +110,7 @@ func (idx *Index) WriteBVIX3(w io.Writer) (int64, error) {
 		dict = binary.LittleEndian.AppendUint32(dict, uint32(len(e.freqs)))
 		dict = binary.LittleEndian.AppendUint64(dict, payOff)
 		dict = binary.LittleEndian.AppendUint32(dict, uint32(len(blob)))
+		dict = binary.LittleEndian.AppendUint32(dict, crc32.Checksum(payload[payOff:], castagnoli))
 	}
 
 	dictOff := uint64(bvix3DataStart)
@@ -191,7 +200,8 @@ type dictRecord struct {
 	count   int
 	payOff  uint64
 	postLen uint32
-	next    int // dict offset of the following record
+	payCRC  uint32 // CRC32-C of the payload record (blob + freq bytes)
+	next    int    // dict offset of the following record
 }
 
 // parseDictRecord reads the record starting at dict[off]. Bounds are
@@ -212,6 +222,7 @@ func parseDictRecord(dict []byte, off int) (dictRecord, error) {
 		count:   int(binary.LittleEndian.Uint32(dict[p:])),
 		payOff:  binary.LittleEndian.Uint64(dict[p+4:]),
 		postLen: binary.LittleEndian.Uint32(dict[p+12:]),
+		payCRC:  binary.LittleEndian.Uint32(dict[p+16:]),
 		next:    off + bvix3RecordFixed + nameLen,
 	}, nil
 }

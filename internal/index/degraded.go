@@ -146,14 +146,15 @@ func openBVIX3Degraded(data []byte, closer io.Closer) (*Index, error) {
 	}
 
 	// With a corrupt payload section nothing in it can be taken on
-	// faith: verify-decode every surviving record now. A record passes
-	// only if its blob decodes, its count matches its dict record, and
-	// the decoded docids are strictly increasing and in range — corrupt
-	// bytes can decode "cleanly" into garbage values, and serving a
-	// docid beyond Docs() would poison everything downstream. Clean
-	// decodes are memoized and served; failures are quarantined by
-	// name. (This forfeits lazy open's deferred decode — acceptable in
-	// a mode whose purpose is limping through damage.)
+	// faith: re-verify every surviving record now against its own
+	// per-record CRC from the (intact) dict. Only records whose bytes
+	// still checksum are decoded and served; the rest are quarantined
+	// by name. The CRC gate is what makes salvage loss-only — corrupt
+	// bytes can decode "cleanly" into plausible garbage (right count,
+	// sorted, in range) that no structural check would catch. The
+	// structural checks remain as belt-and-suspenders behind it.
+	// (This forfeits lazy open's deferred decode — acceptable in a
+	// mode whose purpose is limping through damage.)
 	if badPayload {
 		cur := 0
 		for i := 0; i < valid; i++ {
@@ -162,7 +163,12 @@ func openBVIX3Degraded(data []byte, closer io.Closer) (*Index, error) {
 				return nil, err // unreachable: the walk validated this prefix
 			}
 			cur = rec.next
-			e, merr := lz.geo.materialize(rec)
+			payEnd := rec.payOff + uint64(rec.postLen) + 2*uint64(rec.count)
+			if crc32.Checksum(g.payload[rec.payOff:payEnd], castagnoli) != rec.payCRC {
+				lz.quarantined[string(rec.name)] = struct{}{}
+				continue
+			}
+			e, merr := materializeSalvage(&lz.geo, rec)
 			if merr == nil && !postingInRange(e.posting, g.docs) {
 				merr = fmt.Errorf("index: term %q: decoded postings out of range", rec.name)
 			}
@@ -183,4 +189,18 @@ func openBVIX3Degraded(data []byte, closer io.Closer) (*Index, error) {
 			QuarantinedTerms:    (g.terms - valid) + len(lz.quarantined),
 		},
 	}, nil
+}
+
+// materializeSalvage wraps geometry materialization in a panic barrier.
+// The codec decoders are written for trusted post-checksum bytes; the
+// salvage pass deliberately feeds them bytes whose checksum FAILED, so
+// any malformed-input panic in a decoder must mean "quarantine this
+// term", never "crash the open".
+func materializeSalvage(geo *bvix3Geometry, rec dictRecord) (e termEntry, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("index: term %q: decoder panic on corrupt payload: %v", rec.name, r)
+		}
+	}()
+	return geo.materialize(rec)
 }

@@ -1,0 +1,312 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Controller is the handle the chaos orchestrator uses to brutalize a
+// serving process. Two implementations exist: ProcServer drives a real
+// bvserve subprocess (SIGHUP, SIGKILL, exec restart) and LocalServer
+// drives an in-process internal/server instance for tests.
+type Controller interface {
+	// Start launches the server and blocks until it answers /readyz.
+	Start(ctx context.Context) error
+	// BaseURL is the server's root URL; stable across Kill/Restart.
+	BaseURL() string
+	// SignalReload triggers the signal-driven hot-reload path (SIGHUP
+	// for a subprocess). The swap itself is asynchronous; observe it
+	// through /stats reloads.
+	SignalReload() error
+	// Kill terminates the server abruptly, mid-flight requests and
+	// all.
+	Kill() error
+	// Restart launches the server again on the same address and
+	// blocks until ready.
+	Restart(ctx context.Context) error
+	// Corrupt deterministically corrupts the served index file on
+	// disk (the next reload picks it up).
+	Corrupt(seed int64) error
+	// Restore republishes the pristine index file.
+	Restore() error
+	// Stop shuts the server down cleanly at the end of the run.
+	Stop() error
+}
+
+// Event is one chaos-timeline entry for the report. Err is non-empty
+// when the step's assertion failed, which fails the run's gates.
+type Event struct {
+	At     time.Time `json:"at"`
+	Name   string    `json:"name"`
+	Detail string    `json:"detail,omitempty"`
+	Err    string    `json:"err,omitempty"`
+}
+
+// ChaosConfig tunes the storm RunChaos fires while load runs.
+type ChaosConfig struct {
+	// Duration is the load run length the schedule is planned within;
+	// every step lands inside [0.1, 0.85] of it.
+	Duration time.Duration
+	// CorruptSeed drives the deterministic index corruption.
+	CorruptSeed int64
+	// ReadyTimeout bounds each post-step verification poll (default
+	// 5s).
+	ReadyTimeout time.Duration
+}
+
+// RunChaos executes the storm against ctrl while a load run is in
+// flight, declaring windows on win as it goes:
+//
+//	~12% — hot reload via signal        (no amnesty: reloads must be invisible)
+//	~24% — hot reload via POST /reload  (no amnesty)
+//	~36% — hot reload via signal        (no amnesty)
+//	~46% — corrupt index + reload       (degraded window opens; /healthz must report degraded)
+//	~60% — restore index + reload       (degraded window closes; /healthz must recover)
+//	~74% — SIGKILL + restart            (blast window: errors amnestied until ready again)
+//
+// Every step verifies its observable effect and records an Event; a
+// failed verification is an Event with Err set, which Evaluate turns
+// into a gate violation. RunChaos returns the event log and the first
+// hard error (nil when the storm completed, even with failed
+// assertions — those live in the events).
+func RunChaos(ctx context.Context, cfg ChaosConfig, ctrl Controller, win *Windows) ([]Event, error) {
+	if cfg.ReadyTimeout <= 0 {
+		cfg.ReadyTimeout = 5 * time.Second
+	}
+	start := time.Now()
+	var events []Event
+	record := func(name, detail string, err error) {
+		e := Event{At: time.Now(), Name: name, Detail: detail}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		events = append(events, e)
+	}
+	at := func(frac float64) bool { // sleep until start + frac*Duration
+		d := time.Until(start.Add(time.Duration(frac * float64(cfg.Duration))))
+		if d <= 0 {
+			return ctx.Err() == nil
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(d):
+			return true
+		}
+	}
+	base := ctrl.BaseURL()
+
+	// Three hot reloads with no amnesty window: the PR-1 guarantee is
+	// that a reload never drops or slows traffic, so the SLO histogram
+	// keeps running right through them.
+	if !at(0.12) {
+		return events, ctx.Err()
+	}
+	record("reload-signal-1", "", verifyReloadBumps(ctx, base, cfg.ReadyTimeout, ctrl.SignalReload))
+	if !at(0.24) {
+		return events, ctx.Err()
+	}
+	record("reload-http", "", httpReload(ctx, base, cfg.ReadyTimeout))
+	if !at(0.36) {
+		return events, ctx.Err()
+	}
+	record("reload-signal-2", "", verifyReloadBumps(ctx, base, cfg.ReadyTimeout, ctrl.SignalReload))
+
+	// Corruption-induced degraded transition: corrupt the published
+	// index file, reload, and require /healthz to report degraded.
+	// Partial answers get amnesty inside the window; latency does not.
+	if !at(0.46) {
+		return events, ctx.Err()
+	}
+	closeDegraded := win.OpenDegraded("corrupt-reload")
+	err := ctrl.Corrupt(cfg.CorruptSeed)
+	if err == nil {
+		err = httpReload(ctx, base, cfg.ReadyTimeout)
+	}
+	if err == nil {
+		err = pollHealth(ctx, base, cfg.ReadyTimeout, "degraded")
+	}
+	record("corrupt-degrade", fmt.Sprintf("seed %d", cfg.CorruptSeed), err)
+
+	// Restore + reload: back to a fully verified index.
+	if !at(0.60) {
+		closeDegraded()
+		return events, ctx.Err()
+	}
+	err = ctrl.Restore()
+	if err == nil {
+		err = httpReload(ctx, base, cfg.ReadyTimeout)
+	}
+	if err == nil {
+		err = pollHealth(ctx, base, cfg.ReadyTimeout, "ok")
+	}
+	closeDegraded()
+	record("restore-recover", "", err)
+
+	// Kill/restart: the one step that legitimately produces transport
+	// errors, so it runs inside a declared blast window.
+	if !at(0.74) {
+		return events, ctx.Err()
+	}
+	closeBlast := win.OpenBlast("kill-restart")
+	err = ctrl.Kill()
+	if err == nil {
+		// Let the outage be observable: a few scheduled requests must
+		// land while the process is down.
+		select {
+		case <-ctx.Done():
+		case <-time.After(300 * time.Millisecond):
+		}
+		err = ctrl.Restart(ctx)
+	}
+	if err == nil {
+		err = pollReady(ctx, base, cfg.ReadyTimeout)
+	}
+	closeBlast()
+	record("kill-restart", "", err)
+
+	return events, nil
+}
+
+// chaosClient is the orchestrator's own control-plane client, separate
+// from the load traffic.
+var chaosClient = &http.Client{Timeout: 3 * time.Second}
+
+func getJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := chaosClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// httpReload POSTs /reload and requires success.
+func httpReload(ctx context.Context, base string, timeout time.Duration) error {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, base+"/reload", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := chaosClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("POST /reload: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /reload: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// reloadCount reads the hot-swap counter from /stats.
+func reloadCount(ctx context.Context, base string) (int64, error) {
+	var stats struct {
+		Reloads int64 `json:"reloads"`
+	}
+	if err := getJSON(ctx, base+"/stats", &stats); err != nil {
+		return 0, err
+	}
+	return stats.Reloads, nil
+}
+
+// verifyReloadBumps fires the asynchronous signal reload and polls
+// /stats until the reload counter increments.
+func verifyReloadBumps(ctx context.Context, base string, timeout time.Duration, fire func() error) error {
+	before, err := reloadCount(ctx, base)
+	if err != nil {
+		return fmt.Errorf("reading /stats before signal reload: %w", err)
+	}
+	if err := fire(); err != nil {
+		return fmt.Errorf("firing signal reload: %w", err)
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		after, err := reloadCount(ctx, base)
+		if err == nil && after > before {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("reload counter stuck at %d", after)
+			}
+			return fmt.Errorf("signal reload not observed within %s: %w", timeout, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// pollHealth polls /healthz until it reports the wanted status.
+func pollHealth(ctx context.Context, base string, timeout time.Duration, want string) error {
+	deadline := time.Now().Add(timeout)
+	var last string
+	for {
+		var h struct {
+			Status string `json:"status"`
+		}
+		err := getJSON(ctx, base+"/healthz", &h)
+		if err == nil {
+			if h.Status == want {
+				return nil
+			}
+			last = h.Status
+		} else {
+			last = err.Error()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("/healthz did not report %q within %s (last: %s)", want, timeout, last)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// pollReady polls /readyz until the server accepts traffic.
+func pollReady(ctx context.Context, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last string
+	for {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+		resp, err := chaosClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Sprintf("status %d", resp.StatusCode)
+		} else {
+			last = err.Error()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("/readyz not ready within %s (last: %s)", timeout, last)
+		}
+		select {
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.Canceled) && strings.Contains(last, "refused") {
+				return fmt.Errorf("/readyz never came back: %s", last)
+			}
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package load
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/codecs"
+	"repro/internal/index"
+)
+
+// TestChaosEndToEnd is the full pipeline in miniature: generate a
+// corpus, build and persist a BVIX3 index, serve it in-process, and
+// run the load generator while the chaos orchestrator hot-reloads,
+// corrupts, restores, and kill-restarts the server underneath it.
+// Zero incorrect responses and zero unclassified errors are required;
+// the corruption step must produce an observable degraded transition.
+func TestChaosEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run takes several seconds")
+	}
+	dir := t.TempDir()
+	idxPath := filepath.Join(dir, "chaos.bvix")
+
+	docs, vocab := GenCorpus(42, 400, 60)
+	codec, err := codecs.ByName("Roaring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := index.NewBuilder(codec)
+	for _, d := range docs {
+		b.AddDocument(d)
+	}
+	idx, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.WriteFile(idxPath, index.FormatBVIX3); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := BuildWorkload(idx, vocab, 256, 7, DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl, err := NewLocalServer(idxPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := ctrl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Stop()
+
+	const duration = 5 * time.Second
+	win := NewWindows()
+	chaosDone := make(chan []Event, 1)
+	go func() {
+		events, cerr := RunChaos(ctx, ChaosConfig{
+			Duration:    duration,
+			CorruptSeed: 1234,
+		}, ctrl, win)
+		if cerr != nil {
+			t.Errorf("chaos orchestrator: %v", cerr)
+		}
+		chaosDone <- events
+	}()
+
+	rep, err := Run(ctx, w, Options{
+		BaseURL:  ctrl.BaseURL(),
+		Rate:     120,
+		Duration: duration,
+		Seed:     99,
+	}, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Events = <-chaosDone
+
+	// Every chaos step must have verified its observable effect.
+	names := map[string]bool{}
+	for _, e := range rep.Events {
+		names[e.Name] = true
+		if e.Err != "" {
+			t.Errorf("chaos step %s failed: %s", e.Name, e.Err)
+		}
+	}
+	for _, want := range []string{
+		"reload-signal-1", "reload-http", "reload-signal-2",
+		"corrupt-degrade", "restore-recover", "kill-restart",
+	} {
+		if !names[want] {
+			t.Errorf("chaos step %s never ran (events: %v)", want, names)
+		}
+	}
+
+	// Correctness: nothing wrong, nothing unexplained.
+	if n := rep.Classes[ClassIncorrect.String()]; n != 0 {
+		t.Errorf("%d incorrect responses; failures: %+v", n, rep.Failures)
+	}
+	if n := rep.Classes[ClassError.String()]; n != 0 {
+		t.Errorf("%d unclassified errors; failures: %+v", n, rep.Failures)
+	}
+	if rep.FiveXXOnHealthy != 0 {
+		t.Errorf("%d 5xx outside blast windows", rep.FiveXXOnHealthy)
+	}
+	if n := rep.Classes[ClassCorrect.String()]; n < rep.Requests/2 {
+		t.Errorf("only %d/%d correct responses", n, rep.Requests)
+	}
+
+	// The declared windows made it into the report.
+	kinds := map[string]int{}
+	for _, wr := range rep.Windows {
+		kinds[wr.Kind]++
+		if wr.End.IsZero() {
+			t.Errorf("window %s/%s left open", wr.Kind, wr.Label)
+		}
+	}
+	if kinds["degraded"] != 1 || kinds["blast"] != 1 {
+		t.Errorf("windows = %+v", rep.Windows)
+	}
+
+	rep.Evaluate(Gates{MaxErrorRate: 0, MinRequests: 200})
+	if !rep.Pass {
+		t.Errorf("gates failed: %v", rep.Gates.Violations)
+	}
+
+	// The report serializes.
+	out := filepath.Join(dir, "LOAD_test.json")
+	if err := rep.WriteFile(out); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("report file: %v", err)
+	}
+}

@@ -1,0 +1,50 @@
+// Package load is the production load harness: a coordinated-omission-
+// safe open-loop generator that replays zipfian mixed traffic (point
+// lookups, AND/OR boolean plans, top-k) against a live bvserve,
+// measures latency with HDR-style histograms, classifies every
+// response against precomputed expected results, and enforces SLO
+// gates. A chaos orchestrator (chaos.go) runs concurrently with the
+// load: hot reloads, live index corruption forcing degraded-mode
+// transitions, and kill/restart of the server — asserting that every
+// response during the storm is either correct, a clean shed, or a
+// documented degraded-mode partial, and that latency SLOs hold outside
+// the declared blast windows.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenCorpus synthesizes a deterministic document collection: ndocs
+// documents of 4–15 words drawn zipfian from a vocab-term dictionary,
+// so term document frequencies are realistically skewed (a few hot
+// terms, a long sparse tail). It returns the documents and the
+// vocabulary; the same (seed, ndocs, vocab) always yields the same
+// corpus, which is how bvload's in-process oracle and the served index
+// are guaranteed to agree.
+func GenCorpus(seed int64, ndocs, vocab int) (docs, terms []string) {
+	if ndocs < 1 || vocab < 2 {
+		panic(fmt.Sprintf("load: GenCorpus(%d docs, %d vocab): need >=1 docs, >=2 vocab", ndocs, vocab))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	terms = make([]string, vocab)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("t%04d", i)
+	}
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(vocab-1))
+	docs = make([]string, ndocs)
+	var b []byte
+	for d := range docs {
+		b = b[:0]
+		words := 4 + rng.Intn(12)
+		for w := 0; w < words; w++ {
+			if w > 0 {
+				b = append(b, ' ')
+			}
+			b = append(b, terms[zipf.Uint64()]...)
+		}
+		docs[d] = string(b)
+	}
+	return docs, terms
+}

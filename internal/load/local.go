@@ -1,0 +1,163 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultio"
+	"repro/internal/index"
+	"repro/internal/server"
+)
+
+// OpenIndexFile opens a persisted index strictly, falling back to
+// degraded mode on checksum failure — the same serving policy bvserve
+// applies under -allow-degraded. It is the loader both LocalServer and
+// the load harness's oracles use, so the harness and the server agree
+// on what a corrupted file serves as.
+func OpenIndexFile(path string) (*index.Index, error) {
+	idx, err := index.OpenFile(path)
+	if err != nil && errors.Is(err, core.ErrChecksum) {
+		if deg, derr := index.OpenFileDegraded(path); derr == nil {
+			return deg, nil
+		}
+	}
+	return idx, err
+}
+
+// LocalServer is the in-process Controller: an internal/server
+// instance serving an index file from a goroutine. It exists so the
+// chaos orchestrator and the full load pipeline are testable inside
+// `go test` with no binary to build or PATH to arrange; SignalReload
+// calls the same srv.Reload the SIGHUP handler would, and Kill is an
+// abrupt teardown with a near-zero drain.
+type LocalServer struct {
+	IndexPath string
+	Logger    *log.Logger
+	Config    server.Config // optional overrides (timeouts, limits)
+
+	addr     string
+	pristine string
+
+	mu     sync.Mutex
+	srv    *server.Server
+	cancel context.CancelFunc
+	done   chan error
+}
+
+// NewLocalServer prepares an in-process controller serving indexPath,
+// snapshotting the pristine bytes for Restore.
+func NewLocalServer(indexPath string, logger *log.Logger) (*LocalServer, error) {
+	pristine := indexPath + ".pristine"
+	if err := copyFile(pristine, indexPath); err != nil {
+		return nil, fmt.Errorf("load: snapshotting pristine index: %w", err)
+	}
+	if logger == nil {
+		logger = log.New(logDiscard{}, "", 0)
+	}
+	return &LocalServer{IndexPath: indexPath, Logger: logger, pristine: pristine}, nil
+}
+
+type logDiscard struct{}
+
+func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BaseURL implements Controller.
+func (l *LocalServer) BaseURL() string { return "http://" + l.addr }
+
+// Start implements Controller.
+func (l *LocalServer) Start(ctx context.Context) error {
+	l.mu.Lock()
+	if l.srv != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("load: server already running")
+	}
+	idx, err := OpenIndexFile(l.IndexPath)
+	if err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	cfg := l.Config
+	cfg.Logger = l.Logger
+	if cfg.DrainDeadline <= 0 {
+		// Kill() cancels the serve context; a short drain keeps "kill"
+		// abrupt instead of graceful.
+		cfg.DrainDeadline = 50 * time.Millisecond
+	}
+	srv := server.New(idx, cfg)
+	srv.SetLoader(func() (*index.Index, error) { return OpenIndexFile(l.IndexPath) })
+
+	listenAddr := l.addr
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("load: listen %s: %w", listenAddr, err)
+	}
+	l.addr = ln.Addr().String()
+	sctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(sctx, ln) }()
+	l.srv, l.cancel, l.done = srv, cancel, done
+	l.mu.Unlock()
+	return pollReady(ctx, l.BaseURL(), 10*time.Second)
+}
+
+// SignalReload implements Controller; in-process, the SIGHUP handler's
+// code path is srv.Reload directly.
+func (l *LocalServer) SignalReload() error {
+	l.mu.Lock()
+	srv := l.srv
+	l.mu.Unlock()
+	if srv == nil {
+		return fmt.Errorf("load: server not running")
+	}
+	return srv.Reload()
+}
+
+// Kill implements Controller: cancel the serve context with the
+// near-zero drain configured at Start and wait the goroutine out.
+func (l *LocalServer) Kill() error {
+	l.mu.Lock()
+	cancel, done := l.cancel, l.done
+	l.srv, l.cancel, l.done = nil, nil, nil
+	l.mu.Unlock()
+	if cancel == nil {
+		return fmt.Errorf("load: server not running")
+	}
+	cancel()
+	<-done // drain-deadline errors are expected on an abrupt kill
+	return nil
+}
+
+// Restart implements Controller.
+func (l *LocalServer) Restart(ctx context.Context) error { return l.Start(ctx) }
+
+// Corrupt implements Controller.
+func (l *LocalServer) Corrupt(seed int64) error {
+	return faultio.CorruptFile(faultio.OS, l.IndexPath, seed)
+}
+
+// Restore implements Controller.
+func (l *LocalServer) Restore() error { return publishFile(l.IndexPath, l.pristine) }
+
+// Stop implements Controller.
+func (l *LocalServer) Stop() error {
+	l.mu.Lock()
+	cancel, done := l.cancel, l.done
+	l.srv, l.cancel, l.done = nil, nil, nil
+	l.mu.Unlock()
+	if cancel == nil {
+		return nil
+	}
+	cancel()
+	<-done
+	return nil
+}

@@ -1,0 +1,191 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/faultio"
+)
+
+// ProcServer drives a real bvserve subprocess: the production-shaped
+// Controller. SIGHUP exercises the signal reload path, Kill is a real
+// SIGKILL (no drain, no goodbye), and Restart re-execs on the same
+// address so the load runner's base URL stays valid.
+type ProcServer struct {
+	Bin       string   // bvserve binary path
+	IndexPath string   // BVIX3 file the server serves
+	ExtraArgs []string // appended to the standard argument set
+	LogTo     io.Writer
+
+	addr     string
+	pristine string // snapshot of IndexPath for Restore
+
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	done chan error
+}
+
+// NewProcServer prepares a controller for bin serving indexPath. It
+// reserves a listen address and snapshots the pristine index next to
+// it for Restore.
+func NewProcServer(bin, indexPath string, logTo io.Writer) (*ProcServer, error) {
+	if _, err := exec.LookPath(bin); err != nil {
+		return nil, fmt.Errorf("load: bvserve binary: %w", err)
+	}
+	addr, err := freeAddr()
+	if err != nil {
+		return nil, err
+	}
+	pristine := indexPath + ".pristine"
+	if err := copyFile(pristine, indexPath); err != nil {
+		return nil, fmt.Errorf("load: snapshotting pristine index: %w", err)
+	}
+	if logTo == nil {
+		logTo = io.Discard
+	}
+	return &ProcServer{Bin: bin, IndexPath: indexPath, LogTo: logTo, addr: addr, pristine: pristine}, nil
+}
+
+// freeAddr reserves a loopback port by binding and releasing it. The
+// tiny window between release and the server's bind is an accepted
+// race for a test harness.
+func freeAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// BaseURL implements Controller.
+func (p *ProcServer) BaseURL() string { return "http://" + p.addr }
+
+// Start implements Controller: exec bvserve and wait for /readyz.
+func (p *ProcServer) Start(ctx context.Context) error {
+	p.mu.Lock()
+	if p.cmd != nil {
+		p.mu.Unlock()
+		return fmt.Errorf("load: server already running")
+	}
+	args := append([]string{
+		"-index", p.IndexPath,
+		"-addr", p.addr,
+		"-allow-degraded",
+		"-drain", "2s",
+	}, p.ExtraArgs...)
+	cmd := exec.Command(p.Bin, args...)
+	cmd.Stdout = p.LogTo
+	cmd.Stderr = p.LogTo
+	if err := cmd.Start(); err != nil {
+		p.mu.Unlock()
+		return fmt.Errorf("load: starting %s: %w", p.Bin, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	p.cmd, p.done = cmd, done
+	p.mu.Unlock()
+	return pollReady(ctx, p.BaseURL(), 10*time.Second)
+}
+
+// SignalReload implements Controller via SIGHUP.
+func (p *ProcServer) SignalReload() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cmd == nil || p.cmd.Process == nil {
+		return fmt.Errorf("load: server not running")
+	}
+	return p.cmd.Process.Signal(syscall.SIGHUP)
+}
+
+// Kill implements Controller: SIGKILL and reap.
+func (p *ProcServer) Kill() error {
+	p.mu.Lock()
+	cmd, done := p.cmd, p.done
+	p.cmd, p.done = nil, nil
+	p.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("load: server not running")
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("load: kill: %w", err)
+	}
+	<-done // reap; the error is the expected "signal: killed"
+	return nil
+}
+
+// Restart implements Controller.
+func (p *ProcServer) Restart(ctx context.Context) error { return p.Start(ctx) }
+
+// Corrupt implements Controller using the faultio live-corruption
+// helper: the damage is published by rename, so the running server's
+// mmap stays intact until it reloads.
+func (p *ProcServer) Corrupt(seed int64) error {
+	return faultio.CorruptFile(faultio.OS, p.IndexPath, seed)
+}
+
+// Restore implements Controller: republish the pristine snapshot.
+func (p *ProcServer) Restore() error {
+	return publishFile(p.IndexPath, p.pristine)
+}
+
+// Stop implements Controller: SIGTERM, graceful drain, with a SIGKILL
+// backstop.
+func (p *ProcServer) Stop() error {
+	p.mu.Lock()
+	cmd, done := p.cmd, p.done
+	p.cmd, p.done = nil, nil
+	p.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return nil
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("load: server ignored SIGTERM; killed")
+	}
+}
+
+// copyFile copies src to dst (plain write; used for snapshots that no
+// one is serving yet).
+func copyFile(dst, src string) error {
+	b, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, b, 0o644)
+}
+
+// publishFile replaces dst with src's content via temp + rename — the
+// same publish discipline as index.WriteFile, safe against a server
+// currently mmapping dst.
+func publishFile(dst, src string) error {
+	b, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(filepath.Dir(dst), filepath.Base(dst)+".publish")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

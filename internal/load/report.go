@@ -1,0 +1,124 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/hist"
+)
+
+// Report is the machine-readable outcome of a load run, written as
+// results/LOAD_*.json. Latency summaries are nanoseconds; Steady
+// excludes requests overlapping blast windows and is what the SLO
+// gates judge.
+type Report struct {
+	Target     string    `json:"target"`
+	Seed       int64     `json:"seed"`
+	RateQPS    float64   `json:"rateQPS"`
+	DurationNs int64     `json:"durationNs"`
+	Started    time.Time `json:"started"`
+	Finished   time.Time `json:"finished"`
+
+	Requests        int64            `json:"requests"`
+	Classes         map[string]int64 `json:"classes"`
+	Statuses        map[string]int64 `json:"statuses"`
+	FiveXXOnHealthy int64            `json:"fiveXXOnHealthy"`
+
+	Overall hist.Summary `json:"overall"`
+	Steady  hist.Summary `json:"steady"`
+
+	Windows  []WindowRecord `json:"windows,omitempty"`
+	Events   []Event        `json:"events,omitempty"`
+	Failures []Failure      `json:"failures,omitempty"`
+
+	Gates GateReport `json:"gates"`
+	Pass  bool       `json:"pass"`
+}
+
+// Gates are the SLO thresholds a run must meet. Zero-valued latency
+// gates are skipped; the correctness gates (MaxIncorrect,
+// Max5xxOnHealthy, MaxErrorRate) always apply — an incorrect answer
+// is never acceptable, so their useful values are the zero values.
+type Gates struct {
+	MaxP50  time.Duration `json:"maxP50Ns,omitempty"`
+	MaxP99  time.Duration `json:"maxP99Ns,omitempty"`
+	MaxP999 time.Duration `json:"maxP999Ns,omitempty"`
+
+	// MaxErrorRate bounds unclassified errors as a fraction of all
+	// requests (e.g. 0.001).
+	MaxErrorRate float64 `json:"maxErrorRate"`
+	// MaxIncorrect bounds provably wrong answers. Keep it 0.
+	MaxIncorrect int64 `json:"maxIncorrect"`
+	// Max5xxOnHealthy bounds 5xx responses outside blast windows.
+	// Keep it 0.
+	Max5xxOnHealthy int64 `json:"max5xxOnHealthy"`
+	// MinRequests guards against a vacuous pass: a run that issued
+	// fewer requests than this fails outright.
+	MinRequests int64 `json:"minRequests"`
+}
+
+// GateReport records each gate's verdict.
+type GateReport struct {
+	Gates      Gates    `json:"gates"`
+	Violations []string `json:"violations,omitempty"`
+	Pass       bool     `json:"pass"`
+}
+
+// Evaluate applies the gates to the report, filling rep.Gates and
+// rep.Pass. Chaos assertion failures recorded as error events also
+// fail the run.
+func (rep *Report) Evaluate(g Gates) {
+	var v []string
+	check := func(name string, limit time.Duration, gotNs int64) {
+		if limit > 0 && gotNs > int64(limit) {
+			v = append(v, fmt.Sprintf("%s %s exceeds SLO %s", name, time.Duration(gotNs), limit))
+		}
+	}
+	check("steady p50", g.MaxP50, rep.Steady.P50Ns)
+	check("steady p99", g.MaxP99, rep.Steady.P99Ns)
+	check("steady p999", g.MaxP999, rep.Steady.P999Ns)
+
+	if n := rep.Classes[ClassIncorrect.String()]; n > g.MaxIncorrect {
+		v = append(v, fmt.Sprintf("%d incorrect responses (max %d)", n, g.MaxIncorrect))
+	}
+	if rep.FiveXXOnHealthy > g.Max5xxOnHealthy {
+		v = append(v, fmt.Sprintf("%d 5xx responses outside blast windows (max %d)", rep.FiveXXOnHealthy, g.Max5xxOnHealthy))
+	}
+	if errs := rep.Classes[ClassError.String()]; rep.Requests > 0 {
+		rate := float64(errs) / float64(rep.Requests)
+		if rate > g.MaxErrorRate {
+			v = append(v, fmt.Sprintf("error rate %.4f (%d/%d) exceeds %.4f", rate, errs, rep.Requests, g.MaxErrorRate))
+		}
+	}
+	if g.MinRequests > 0 && rep.Requests < g.MinRequests {
+		v = append(v, fmt.Sprintf("only %d requests issued (min %d)", rep.Requests, g.MinRequests))
+	}
+	for _, e := range rep.Events {
+		if e.Err != "" {
+			v = append(v, fmt.Sprintf("chaos step %q failed: %s", e.Name, e.Err))
+		}
+	}
+	rep.Gates = GateReport{Gates: g, Violations: v, Pass: len(v) == 0}
+	rep.Pass = rep.Gates.Pass
+}
+
+// WriteFile writes the report as indented JSON, creating parent
+// directories as needed.
+func (rep *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("load: marshal report: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("load: %w", err)
+		}
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("load: write report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/hist"
+	"repro/internal/index"
+)
+
+func TestWindowsOverlap(t *testing.T) {
+	w := &Windows{Pad: 10 * time.Millisecond}
+	t0 := time.Now()
+
+	closeBlast := w.OpenBlast("kill")
+	// While the window is open-ended, everything after its start is in.
+	if !w.InBlast(t0.Add(time.Hour), t0.Add(time.Hour)) {
+		t.Error("open-ended blast window should cover the future")
+	}
+	closeBlast()
+	closeBlast() // idempotent
+
+	recs := w.Records()
+	if len(recs) != 1 || recs[0].Kind != "blast" || recs[0].Label != "kill" {
+		t.Fatalf("records = %+v", recs)
+	}
+	end := recs[0].End
+	if end.IsZero() {
+		t.Fatal("closed window has zero End")
+	}
+	// Within the pad after close: still in.
+	if !w.InBlast(end.Add(5*time.Millisecond), end.Add(6*time.Millisecond)) {
+		t.Error("pad after close not honored")
+	}
+	// Beyond the pad: out.
+	if w.InBlast(end.Add(20*time.Millisecond), end.Add(30*time.Millisecond)) {
+		t.Error("request after pad should be outside")
+	}
+	// Entirely before the window (minus pad): out.
+	if w.InBlast(t0.Add(-time.Hour), t0.Add(-time.Hour)) {
+		t.Error("request long before window should be outside")
+	}
+	// A span straddling the window start: in.
+	if !w.InBlast(t0.Add(-time.Hour), end) {
+		t.Error("straddling span should be inside")
+	}
+	// Kinds don't bleed into each other.
+	if w.InDegraded(recs[0].Start, end) {
+		t.Error("blast window matched a degraded query")
+	}
+}
+
+func TestEvaluateGates(t *testing.T) {
+	rep := &Report{
+		Requests: 1000,
+		Classes: map[string]int64{
+			ClassCorrect.String():   990,
+			ClassError.String():     5,
+			ClassIncorrect.String(): 2,
+		},
+		FiveXXOnHealthy: 1,
+		Steady: hist.Summary{
+			P50Ns:  int64(2 * time.Millisecond),
+			P99Ns:  int64(40 * time.Millisecond),
+			P999Ns: int64(90 * time.Millisecond),
+		},
+		Events: []Event{
+			{Name: "reload-signal-1"},
+			{Name: "kill-restart", Err: "never came back"},
+		},
+	}
+	rep.Evaluate(Gates{
+		MaxP99:       20 * time.Millisecond, // violated: 40ms
+		MaxErrorRate: 0.001,                 // violated: 5/1000
+		MinRequests:  2000,                  // violated
+	})
+	if rep.Pass {
+		t.Fatal("report with violations passed")
+	}
+	want := []string{"p99", "incorrect", "5xx", "error rate", "requests issued", "kill-restart"}
+	joined := strings.Join(rep.Gates.Violations, "\n")
+	for _, w := range want {
+		if !strings.Contains(joined, w) {
+			t.Errorf("violations missing %q:\n%s", w, joined)
+		}
+	}
+	if len(rep.Gates.Violations) != 6 {
+		t.Errorf("expected 6 violations, got %d:\n%s", len(rep.Gates.Violations), joined)
+	}
+
+	// A clean report with only skippable gates passes.
+	clean := &Report{
+		Requests: 1000,
+		Classes:  map[string]int64{ClassCorrect.String(): 995, ClassShed.String(): 5},
+		Steady:   hist.Summary{P99Ns: int64(5 * time.Millisecond)},
+	}
+	clean.Evaluate(Gates{MaxP99: 20 * time.Millisecond, MinRequests: 100})
+	if !clean.Pass {
+		t.Fatalf("clean report failed: %v", clean.Gates.Violations)
+	}
+}
+
+// serveWorkload answers /search the way bvserve does, computing results
+// from idx, with an optional mangle hook to corrupt responses.
+func serveWorkload(idx *index.Index, mangle func(mode string, docs []uint32) []uint32) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mode := r.URL.Query().Get("mode")
+		terms := strings.Fields(r.URL.Query().Get("q"))
+		var body struct {
+			Docs   []uint32       `json:"docs,omitempty"`
+			Ranked []index.Result `json:"ranked,omitempty"`
+		}
+		switch mode {
+		case "and":
+			body.Docs, _ = idx.Conjunctive(terms...)
+		case "or":
+			body.Docs, _ = idx.Disjunctive(terms...)
+		case "topk":
+			k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+			body.Ranked, _ = idx.TopK(k, terms...)
+		default:
+			http.Error(w, "bad mode", http.StatusBadRequest)
+			return
+		}
+		if mangle != nil {
+			if mode == "topk" {
+				docs := make([]uint32, len(body.Ranked))
+				for i, r := range body.Ranked {
+					docs[i] = r.Doc
+				}
+				docs = mangle(mode, docs)
+				body.Ranked = body.Ranked[:0]
+				for _, d := range docs {
+					body.Ranked = append(body.Ranked, index.Result{Doc: d})
+				}
+			} else {
+				body.Docs = mangle(mode, body.Docs)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(body)
+	})
+}
+
+func TestRunAllCorrect(t *testing.T) {
+	idx, vocab := buildTestIndex(t, 5, 100, 25)
+	w, err := BuildWorkload(idx, vocab, 64, 9, DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serveWorkload(idx, nil))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), w, Options{
+		BaseURL:  ts.URL,
+		Rate:     400,
+		Duration: 500 * time.Millisecond,
+		Seed:     1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests < 100 {
+		t.Fatalf("only %d requests issued", rep.Requests)
+	}
+	if got := rep.Classes[ClassCorrect.String()]; got != rep.Requests {
+		t.Fatalf("correct=%d of %d; classes=%v failures=%+v",
+			got, rep.Requests, rep.Classes, rep.Failures)
+	}
+	if rep.Overall.Count != rep.Requests || rep.Steady.Count != rep.Requests {
+		t.Fatalf("histogram counts %d/%d != %d requests",
+			rep.Overall.Count, rep.Steady.Count, rep.Requests)
+	}
+	rep.Evaluate(Gates{MaxP99: 5 * time.Second, MinRequests: 100})
+	if !rep.Pass {
+		t.Fatalf("gates failed: %v", rep.Gates.Violations)
+	}
+}
+
+func TestRunDetectsWrongAnswers(t *testing.T) {
+	idx, vocab := buildTestIndex(t, 5, 100, 25)
+	w, err := BuildWorkload(idx, vocab, 32, 9, Mix{Or: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the last doc from every non-empty result: a subset, so a
+	// degraded window would forgive it — but with no window declared it
+	// must classify as incorrect.
+	ts := httptest.NewServer(serveWorkload(idx, func(mode string, docs []uint32) []uint32 {
+		if len(docs) > 0 {
+			return docs[:len(docs)-1]
+		}
+		return docs
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), w, Options{
+		BaseURL:  ts.URL,
+		Rate:     300,
+		Duration: 300 * time.Millisecond,
+		Seed:     2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Classes[ClassIncorrect.String()] == 0 {
+		t.Fatalf("mangled responses not flagged: %v", rep.Classes)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatal("no failure samples recorded")
+	}
+	rep.Evaluate(Gates{})
+	if rep.Pass {
+		t.Fatal("gates passed despite incorrect responses")
+	}
+
+	// The same subset answers inside a declared degraded window are
+	// amnestied as degraded partials.
+	win := NewWindows()
+	win.OpenDegraded("test")
+	rep2, err := Run(context.Background(), w, Options{
+		BaseURL:  ts.URL,
+		Rate:     300,
+		Duration: 300 * time.Millisecond,
+		Seed:     2,
+	}, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Classes[ClassIncorrect.String()] != 0 {
+		t.Fatalf("subset answers inside degraded window flagged incorrect: %v failures=%+v",
+			rep2.Classes, rep2.Failures)
+	}
+	if rep2.Classes[ClassDegradedPartial.String()] == 0 {
+		t.Fatalf("no degraded partials observed: %v", rep2.Classes)
+	}
+}
+
+func TestRunClassifiesShedAndErrors(t *testing.T) {
+	idx, vocab := buildTestIndex(t, 5, 60, 20)
+	w, err := BuildWorkload(idx, vocab, 16, 9, Mix{And: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int64
+	mux := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		switch n.Add(1) % 3 {
+		case 0: // clean shed
+			rw.Header().Set("Retry-After", "1")
+			rw.WriteHeader(http.StatusTooManyRequests)
+		case 1: // dirty shed: no Retry-After → unclassified error
+			rw.WriteHeader(http.StatusServiceUnavailable)
+		default: // healthy 5xx → unclassified error + fiveXXOnHealthy
+			rw.WriteHeader(http.StatusInternalServerError)
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), w, Options{
+		BaseURL:  ts.URL,
+		Rate:     200,
+		Duration: 300 * time.Millisecond,
+		Seed:     3,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Classes[ClassShed.String()] == 0 {
+		t.Fatalf("no sheds classified: %v", rep.Classes)
+	}
+	if rep.Classes[ClassError.String()] == 0 {
+		t.Fatalf("dirty sheds/5xx not flagged as errors: %v", rep.Classes)
+	}
+	if rep.FiveXXOnHealthy == 0 {
+		t.Fatal("5xx on healthy server not counted")
+	}
+	rep.Evaluate(Gates{})
+	if rep.Pass {
+		t.Fatal("gates passed despite 5xx and unclassified errors")
+	}
+}

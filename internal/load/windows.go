@@ -1,0 +1,97 @@
+package load
+
+import (
+	"sync"
+	"time"
+)
+
+// Windows tracks the chaos timeline's declared amnesty intervals,
+// concurrently updated by the orchestrator and consulted by the load
+// runner when classifying responses:
+//
+//   - blast windows (kill/restart): transport errors and 5xx are
+//     expected, and latencies are excluded from the steady-state SLO
+//     histogram;
+//   - degraded windows (corrupt index being served in salvage mode):
+//     subset results are acceptable, but latency still counts — a
+//     degraded server must stay fast.
+//
+// A request is "in" a window when its [scheduled, completed] span
+// overlaps the window extended by Pad on both sides, so requests in
+// flight across a window edge get the benefit of the doubt.
+type Windows struct {
+	// Pad widens every window on both sides at query time (default
+	// 250ms via NewWindows).
+	Pad time.Duration
+
+	mu        sync.Mutex
+	intervals []WindowRecord
+}
+
+// WindowRecord is one declared chaos interval, exported into the load
+// report.
+type WindowRecord struct {
+	Kind  string    `json:"kind"` // "blast" | "degraded"
+	Label string    `json:"label"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"` // zero while still open
+}
+
+// NewWindows returns a tracker with the default edge padding.
+func NewWindows() *Windows { return &Windows{Pad: 250 * time.Millisecond} }
+
+// open starts a window and returns its closer. The closer is
+// idempotent in effect (closing twice keeps the first end time).
+func (w *Windows) open(kind, label string) func() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	i := len(w.intervals)
+	w.intervals = append(w.intervals, WindowRecord{Kind: kind, Label: label, Start: time.Now()})
+	return func() {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if w.intervals[i].End.IsZero() {
+			w.intervals[i].End = time.Now()
+		}
+	}
+}
+
+// OpenBlast declares a blast window (errors expected, latency
+// excluded) and returns its closer.
+func (w *Windows) OpenBlast(label string) func() { return w.open("blast", label) }
+
+// OpenDegraded declares a degraded window (partial results expected)
+// and returns its closer.
+func (w *Windows) OpenDegraded(label string) func() { return w.open("degraded", label) }
+
+func (w *Windows) overlaps(kind string, from, to time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, iv := range w.intervals {
+		if iv.Kind != kind {
+			continue
+		}
+		if to.Before(iv.Start.Add(-w.Pad)) {
+			continue
+		}
+		if !iv.End.IsZero() && from.After(iv.End.Add(w.Pad)) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// InBlast reports whether the request span overlaps a blast window.
+func (w *Windows) InBlast(from, to time.Time) bool { return w.overlaps("blast", from, to) }
+
+// InDegraded reports whether the request span overlaps a degraded
+// window.
+func (w *Windows) InDegraded(from, to time.Time) bool { return w.overlaps("degraded", from, to) }
+
+// Records returns the declared windows for the report.
+func (w *Windows) Records() []WindowRecord {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]WindowRecord(nil), w.intervals...)
+}

@@ -1,0 +1,395 @@
+// Package oracle is the always-on differential correctness rig: every
+// optimized path in the stack is re-run against its slow, obviously
+// correct reference on randomized inputs, and any divergence is a
+// failure that names a reproducer seed.
+//
+// The pairings (DESIGN.md §7):
+//
+//   - generated decode kernels (Unpack, VUnpack, VUnpackDelta,
+//     VUnpackBase) vs the generic accumulator references (UnpackRef,
+//     VUnpackRef) across every bit width 0..32;
+//   - the pooled/parallel ops.Engine vs the serial ops.Eval on random
+//     plans over postings compressed with every codec in the registry;
+//   - the BVIX3 mmap read path vs the in-memory index it was written
+//     from, and the BVIX2 stream roundtrip, on and/or/top-k queries;
+//   - degraded-mode open (OpenFileDegraded) of a tail-corrupted file
+//     vs the pristine index: every term must serve either its exact
+//     pristine postings or nothing (quarantined) — never wrong data.
+//
+// Each check is deterministic in its seed: oracle.Run(seed, dir) either
+// passes or returns an error describing the first divergence, and the
+// same seed reproduces it exactly.
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+
+	"repro/internal/codecs"
+	"repro/internal/core"
+	"repro/internal/faultio"
+	"repro/internal/index"
+	"repro/internal/kernels"
+	"repro/internal/load"
+	"repro/internal/ops"
+)
+
+// Run executes one full differential pass for seed, using dir for
+// scratch index files. It returns nil when every optimized path agreed
+// with its reference, or an error describing the first divergence.
+func Run(seed int64, dir string) error {
+	if err := CheckKernels(seed); err != nil {
+		return fmt.Errorf("kernels: %w", err)
+	}
+	if err := CheckEngine(seed); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := CheckIndexFile(seed, dir); err != nil {
+		return fmt.Errorf("index file: %w", err)
+	}
+	if err := CheckDegraded(seed, dir); err != nil {
+		return fmt.Errorf("degraded open: %w", err)
+	}
+	return nil
+}
+
+// widthMask is the b-bit value mask (all ones at b=32).
+func widthMask(b uint) uint32 {
+	if b >= 32 {
+		return ^uint32(0)
+	}
+	return uint32(1)<<b - 1
+}
+
+// CheckKernels compares every specialized decode kernel against its
+// generic reference at every width 0..32 on random and all-ones
+// payloads.
+func CheckKernels(seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	for b := uint(0); b <= 32; b++ {
+		mask := widthMask(b)
+		fill := func(dst []uint32, ones bool) {
+			for i := range dst {
+				if ones {
+					dst[i] = mask
+				} else {
+					dst[i] = rng.Uint32() & mask
+				}
+			}
+		}
+		for _, ones := range []bool{false, true} {
+			// Horizontal layout: random length exercises both the
+			// 32-value kernel groups and the UnpackRef tail fallback.
+			n := 1 + rng.Intn(160)
+			vals := make([]uint32, n)
+			fill(vals, ones)
+			packed := kernels.Pack(nil, vals, b)
+			ref := make([]uint32, n)
+			fast := make([]uint32, n)
+			refUsed := kernels.UnpackRef(packed, ref, b)
+			fastUsed := kernels.Unpack(packed, fast, b)
+			if b == 0 {
+				refUsed = 0 // the b=0 reference loop reads no bytes
+			}
+			if refUsed != fastUsed {
+				return fmt.Errorf("Unpack used %d bytes, UnpackRef %d (b=%d n=%d)", fastUsed, refUsed, b, n)
+			}
+			if i := diffU32(fast, ref); i >= 0 {
+				return fmt.Errorf("Unpack[%d]=%d != UnpackRef[%d]=%d (b=%d n=%d ones=%v)", i, fast[i], i, ref[i], b, n, ones)
+			}
+
+			// Vertical 4-lane layout, full 128-value blocks.
+			var block [128]uint32
+			fill(block[:], ones)
+			vpacked := kernels.VPack128(nil, &block, b)
+			var vref, vfast [128]uint32
+			kernels.VUnpackRef(vpacked, &vref, b)
+			kernels.VUnpack(vpacked, &vfast, b)
+			if i := diffU32(vfast[:], vref[:]); i >= 0 {
+				return fmt.Errorf("VUnpack[%d]=%d != VUnpackRef[%d]=%d (b=%d ones=%v)", i, vfast[i], i, vref[i], b, ones)
+			}
+
+			// Fused delta decode: out[i] = prev + gaps[0..i], wrapping
+			// uint32 arithmetic, against a scalar prefix sum over the
+			// reference-decoded gaps.
+			prev := rng.Uint32()
+			var dfast [127]uint32
+			kernels.VUnpackDelta(vpacked, &dfast, prev, b)
+			acc := prev
+			for i := 0; i < 127; i++ {
+				acc += vref[i]
+				if dfast[i] != acc {
+					return fmt.Errorf("VUnpackDelta[%d]=%d, want %d (b=%d prev=%d)", i, dfast[i], acc, b, prev)
+				}
+			}
+
+			// Fused base decode: out[i] = base + offsets[i].
+			base := rng.Uint32()
+			var bfast [127]uint32
+			kernels.VUnpackBase(vpacked, &bfast, base, b)
+			for i := 0; i < 127; i++ {
+				if want := base + vref[i]; bfast[i] != want {
+					return fmt.Errorf("VUnpackBase[%d]=%d, want %d (b=%d base=%d)", i, bfast[i], want, b, base)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// diffU32 returns the first index where a and b differ, or -1.
+func diffU32(a, b []uint32) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// randomSet draws a strictly increasing non-empty uint32 set within a
+// random universe — dense, sparse, and clustered shapes all occur.
+func randomSet(rng *rand.Rand) []uint32 {
+	universe := 64 << rng.Intn(8) // 64 .. 8192
+	density := 1 + rng.Intn(99)   // percent * 100 of universe, roughly
+	var out []uint32
+	for v := 0; v < universe; v++ {
+		if rng.Intn(100) < density {
+			out = append(out, uint32(v))
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, uint32(rng.Intn(universe)))
+	}
+	return out
+}
+
+// randomPlan builds a random Expr over n leaves: each leaf used once,
+// grouped under random AND/OR nodes up to depth 2.
+func randomPlan(rng *rand.Rand, n int) ops.Expr {
+	leaves := make([]ops.Expr, n)
+	for i := range leaves {
+		leaves[i] = ops.Leaf(i)
+	}
+	rng.Shuffle(n, func(i, j int) { leaves[i], leaves[j] = leaves[j], leaves[i] })
+	var groups []ops.Expr
+	for len(leaves) > 0 {
+		take := 1 + rng.Intn(3)
+		if take > len(leaves) {
+			take = len(leaves)
+		}
+		g := leaves[:take]
+		leaves = leaves[take:]
+		switch {
+		case len(g) == 1:
+			groups = append(groups, g[0])
+		case rng.Intn(2) == 0:
+			groups = append(groups, ops.And(g...))
+		default:
+			groups = append(groups, ops.Or(g...))
+		}
+	}
+	if len(groups) == 1 {
+		return groups[0]
+	}
+	if rng.Intn(2) == 0 {
+		return ops.And(groups...)
+	}
+	return ops.Or(groups...)
+}
+
+// CheckEngine compares the pooled/parallel Engine against the serial
+// reference Eval on random plans, rotating every registered codec
+// (including extensions) through the leaf postings.
+func CheckEngine(seed int64) error {
+	rng := rand.New(rand.NewSource(seed + 1))
+	all := append(codecs.All(), codecs.Extensions()...)
+	// Parallelism forced on and the fan-out threshold floored so even
+	// tiny plans exercise the concurrent path.
+	eng := ops.NewEngine(ops.EngineConfig{Parallelism: 4, ParallelMinWork: 1})
+	for round := 0; round < 4; round++ {
+		n := 2 + rng.Intn(5)
+		postings := make([]core.Posting, n)
+		names := make([]string, n)
+		for i := range postings {
+			c := all[rng.Intn(len(all))]
+			p, err := c.Compress(randomSet(rng))
+			if err != nil {
+				return fmt.Errorf("%s.Compress: %w", c.Name(), err)
+			}
+			postings[i], names[i] = p, c.Name()
+		}
+		plan := randomPlan(rng, n)
+		want, werr := ops.Eval(plan, postings)
+		got, gerr := eng.Eval(plan, postings)
+		if (werr == nil) != (gerr == nil) {
+			return fmt.Errorf("round %d: serial err=%v, engine err=%v (codecs %v)", round, werr, gerr, names)
+		}
+		if werr != nil {
+			continue
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("round %d: engine returned %d docs, serial %d (codecs %v)", round, len(got), len(want), names)
+		}
+		if i := diffU32(got, want); i >= 0 {
+			return fmt.Errorf("round %d: engine[%d]=%d != serial[%d]=%d (codecs %v)", round, i, got[i], i, want[i], names)
+		}
+	}
+	return nil
+}
+
+// oracleCorpus builds a small randomized index plus query terms; the
+// codec rotates with the seed so every registered codec serves as the
+// persisted format across a seed sweep.
+func oracleCorpus(seed int64) (*index.Index, []string, string, error) {
+	docs, vocab := load.GenCorpus(seed, 120+int(seed%7)*20, 30)
+	all := append(codecs.All(), codecs.Extensions()...)
+	codec := all[int(seed)%len(all)]
+	b := index.NewBuilder(codec)
+	for _, d := range docs {
+		b.AddDocument(d)
+	}
+	idx, err := b.Build()
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("building with %s: %w", codec.Name(), err)
+	}
+	return idx, vocab, codec.Name(), nil
+}
+
+// queryDiff compares and/or/top-k answers between two indexes over
+// random term samples, returning a description of the first mismatch.
+func queryDiff(rng *rand.Rand, a, b *index.Index, vocab []string) error {
+	for q := 0; q < 16; q++ {
+		k := 1 + rng.Intn(3)
+		terms := make([]string, k)
+		for i := range terms {
+			terms[i] = vocab[rng.Intn(len(vocab))]
+		}
+		wa, _ := a.Conjunctive(terms...)
+		wb, err := b.Conjunctive(terms...)
+		if err != nil {
+			return fmt.Errorf("conjunctive %v: %w", terms, err)
+		}
+		if len(wa) != len(wb) || diffU32(wa, wb) >= 0 {
+			return fmt.Errorf("conjunctive %v: %d vs %d docs", terms, len(wa), len(wb))
+		}
+		oa, _ := a.Disjunctive(terms...)
+		ob, err := b.Disjunctive(terms...)
+		if err != nil {
+			return fmt.Errorf("disjunctive %v: %w", terms, err)
+		}
+		if len(oa) != len(ob) || diffU32(oa, ob) >= 0 {
+			return fmt.Errorf("disjunctive %v: %d vs %d docs", terms, len(oa), len(ob))
+		}
+		ta, _ := a.TopK(5, terms...)
+		tb, err := b.TopK(5, terms...)
+		if err != nil {
+			return fmt.Errorf("topk %v: %w", terms, err)
+		}
+		if len(ta) != len(tb) {
+			return fmt.Errorf("topk %v: %d vs %d results", terms, len(ta), len(tb))
+		}
+		for i := range ta {
+			if ta[i] != tb[i] {
+				return fmt.Errorf("topk %v rank %d: %+v vs %+v", terms, i, ta[i], tb[i])
+			}
+		}
+	}
+	return nil
+}
+
+// CheckIndexFile compares the in-memory index against its BVIX3 mmap
+// read path and its BVIX2 stream roundtrip.
+func CheckIndexFile(seed int64, dir string) error {
+	mem, vocab, codecName, err := oracleCorpus(seed)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("oracle_%d.bvix", seed))
+	if err := mem.WriteFile(path, index.FormatBVIX3); err != nil {
+		return fmt.Errorf("%s: WriteFile bvix3: %w", codecName, err)
+	}
+	mapped, err := index.OpenFile(path)
+	if err != nil {
+		return fmt.Errorf("%s: OpenFile bvix3: %w", codecName, err)
+	}
+	defer mapped.Close()
+	rng := rand.New(rand.NewSource(seed + 2))
+	if err := queryDiff(rng, mem, mapped, vocab); err != nil {
+		return fmt.Errorf("%s: bvix3 vs in-memory: %w", codecName, err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := mem.WriteTo(&buf); err != nil {
+		return fmt.Errorf("%s: WriteTo bvix2: %w", codecName, err)
+	}
+	streamed, err := index.Read(&buf)
+	if err != nil {
+		return fmt.Errorf("%s: Read bvix2: %w", codecName, err)
+	}
+	if err := queryDiff(rng, mem, streamed, vocab); err != nil {
+		return fmt.Errorf("%s: bvix2 vs in-memory: %w", codecName, err)
+	}
+	return nil
+}
+
+// CheckDegraded tail-corrupts a persisted index and requires the
+// degraded open to be loss-only: every term serves either its exact
+// pristine postings or nothing. If the bit flips happen to land in
+// slack bytes and the strict open still passes, the file must instead
+// be fully identical to pristine — either way, never wrong data.
+func CheckDegraded(seed int64, dir string) error {
+	mem, vocab, codecName, err := oracleCorpus(seed)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("oracle_deg_%d.bvix", seed))
+	if err := mem.WriteFile(path, index.FormatBVIX3); err != nil {
+		return fmt.Errorf("%s: WriteFile: %w", codecName, err)
+	}
+	if err := faultio.CorruptFile(faultio.OS, path, seed); err != nil {
+		return fmt.Errorf("corrupting: %w", err)
+	}
+
+	opened, strictErr := index.OpenFile(path)
+	if strictErr == nil {
+		// Flips landed outside any checksummed region; results must be
+		// untouched.
+		defer opened.Close()
+		rng := rand.New(rand.NewSource(seed + 3))
+		if err := queryDiff(rng, mem, opened, vocab); err != nil {
+			return fmt.Errorf("%s: strict open of corrupted file diverged: %w", codecName, err)
+		}
+		return nil
+	}
+
+	deg, err := index.OpenFileDegraded(path)
+	if err != nil {
+		return fmt.Errorf("%s: degraded open failed after strict open failed (%v): %w", codecName, strictErr, err)
+	}
+	defer deg.Close()
+	if !deg.Health().Degraded {
+		return fmt.Errorf("%s: degraded open of corrupted file reports healthy", codecName)
+	}
+	quarantined := 0
+	for _, t := range vocab {
+		want, _ := mem.Conjunctive(t)
+		got, err := deg.Conjunctive(t)
+		if err != nil {
+			return fmt.Errorf("%s: degraded conjunctive %q: %w", codecName, t, err)
+		}
+		if len(got) == 0 {
+			if len(want) != 0 {
+				quarantined++
+			}
+			continue
+		}
+		if len(got) != len(want) || diffU32(got, want) >= 0 {
+			return fmt.Errorf("%s: degraded term %q served %d docs != pristine %d — wrong data, not loss", codecName, t, len(got), len(want))
+		}
+	}
+	_ = quarantined // zero is legal: quarantine granularity can exceed the damaged terms
+	return nil
+}

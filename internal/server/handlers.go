@@ -101,9 +101,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"compressedBytes": idx.SizeBytes(),
 		"inFlight":        s.inFlight.Load(),
 		"reloads":         s.Reloads(),
+		"sheds":           s.Sheds(),
 		"ready":           s.Ready(),
 		"health":          idx.Health(),
 		"postingCache":    s.CacheStats(),
+		"latency":         s.LatencySummary(),
+		"statuses":        s.StatusCounts(),
 	})
 }
 

@@ -33,14 +33,18 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 }
 
 // logRequests emits one structured line per request: method, path,
-// status, latency, and the in-flight count at completion.
+// status, latency, and the in-flight count at completion. It is also
+// the metrics tap: every completed request lands in the latency
+// histogram and status-class counters behind /stats.
 func (s *Server) logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		s.observe(sw.status, elapsed)
 		s.log.Printf("server: %s %s status=%d latency=%s inflight=%d",
-			r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond), s.inFlight.Load())
+			r.Method, r.URL.Path, sw.status, elapsed.Round(time.Microsecond), s.inFlight.Load())
 	})
 }
 
@@ -94,6 +98,7 @@ func (s *Server) limitConcurrency(next http.Handler) http.Handler {
 			}()
 			next.ServeHTTP(w, r)
 		default:
+			s.sheds.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests, map[string]string{
 				"error": fmt.Sprintf("server at capacity (%d in-flight requests)", s.cfg.MaxInFlight),

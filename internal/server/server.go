@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/hist"
 	"repro/internal/index"
 )
 
@@ -103,6 +104,14 @@ type Server struct {
 	reloads  atomic.Int64
 	sem      chan struct{}
 
+	// Serving-side observability, exposed on /stats: a latency
+	// histogram over every completed request, per-status-class counters,
+	// and the load-shed (429) counter the chaos harness asserts against.
+	// All are lock-free so the hot path never serializes on metrics.
+	latency  hist.Histogram
+	sheds    atomic.Int64
+	statuses [6]atomic.Int64 // index = status/100 (1xx..5xx; 0 unused)
+
 	reloadMu sync.Mutex
 	loadFn   func() (*index.Index, error)
 }
@@ -168,6 +177,37 @@ func (s *Server) acquire() *index.Snapshot {
 // Ready reports whether the server is accepting application traffic
 // (started and not draining).
 func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// Sheds reports how many requests were turned away with 429 by the
+// load-shedding gate.
+func (s *Server) Sheds() int64 { return s.sheds.Load() }
+
+// LatencySummary reports request-latency percentiles over every
+// completed request since startup.
+func (s *Server) LatencySummary() hist.Summary { return s.latency.Summarize() }
+
+// StatusCounts reports completed requests by status class ("2xx",
+// "4xx", ...), omitting classes with no requests.
+func (s *Server) StatusCounts() map[string]int64 {
+	out := make(map[string]int64, 4)
+	names := [6]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
+	for i := 1; i < len(s.statuses); i++ {
+		if n := s.statuses[i].Load(); n > 0 {
+			out[names[i]] = n
+		}
+	}
+	return out
+}
+
+// observe records one completed request in the latency histogram and
+// status counters; logRequests calls it for every request, probes
+// included.
+func (s *Server) observe(status int, d time.Duration) {
+	s.latency.Record(d)
+	if class := status / 100; class >= 1 && class <= 5 {
+		s.statuses[class].Add(1)
+	}
+}
 
 // Reloads reports how many successful hot swaps have happened.
 func (s *Server) Reloads() int64 { return s.reloads.Load() }

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLoadShedUnderConcurrency saturates the in-flight semaphore with
+// handlers parked on a channel, then fires a burst of concurrent
+// searches. Every shed response must be a 429 carrying Retry-After,
+// and afterwards /stats must report exactly the observed shed count —
+// the counters are atomics, so the whole test is meaningful under
+// -race (CI runs this package with -race).
+func TestLoadShedUnderConcurrency(t *testing.T) {
+	const maxInFlight = 4
+	release := make(chan struct{})
+	var parked sync.WaitGroup
+	parked.Add(maxInFlight)
+
+	srv := New(buildIndex(t, "alpha beta", "beta gamma"), Config{
+		MaxInFlight:    maxInFlight,
+		RequestTimeout: 10 * time.Second,
+		Routes: func(mux *http.ServeMux) {
+			mux.HandleFunc("/park", func(w http.ResponseWriter, r *http.Request) {
+				parked.Done()
+				<-release
+			})
+		},
+	})
+	srv.ready.Store(true)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Fill every semaphore slot with a parked request.
+	var fillers sync.WaitGroup
+	for i := 0; i < maxInFlight; i++ {
+		fillers.Add(1)
+		go func() {
+			defer fillers.Done()
+			resp, err := http.Get(ts.URL + "/park")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	parked.Wait() // all slots held
+
+	// Burst of concurrent searches: every one must shed with 429 +
+	// Retry-After; none may block or get any other status.
+	const burst = 64
+	var shed atomic.Int64
+	var burstWG sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		burstWG.Add(1)
+		go func() {
+			defer burstWG.Done()
+			resp, err := http.Get(ts.URL + "/search?q=alpha")
+			if err != nil {
+				t.Errorf("burst request failed: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode != http.StatusTooManyRequests {
+				t.Errorf("status = %d, want 429", resp.StatusCode)
+				return
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After header")
+				return
+			}
+			shed.Add(1)
+		}()
+	}
+	burstWG.Wait()
+	close(release)
+	fillers.Wait()
+
+	if shed.Load() != burst {
+		t.Fatalf("shed %d of %d burst requests", shed.Load(), burst)
+	}
+	if got := srv.Sheds(); got != burst {
+		t.Fatalf("Sheds() = %d, want %d", got, burst)
+	}
+
+	// /stats must agree with what the clients observed.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Sheds    int64            `json:"sheds"`
+		Statuses map[string]int64 `json:"statuses"`
+		Latency  struct {
+			Count int64 `json:"count"`
+		} `json:"latency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sheds != burst {
+		t.Fatalf("/stats sheds = %d, want %d", stats.Sheds, burst)
+	}
+	// 429s are 4xx; the parked /park requests and this /stats call are
+	// 2xx. Every completed request must be in the histogram.
+	if stats.Statuses["4xx"] < burst {
+		t.Fatalf("/stats statuses[4xx] = %d, want >= %d", stats.Statuses["4xx"], burst)
+	}
+	if stats.Latency.Count < burst {
+		t.Fatalf("/stats latency count = %d, want >= %d", stats.Latency.Count, burst)
+	}
+}
