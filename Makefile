@@ -24,19 +24,28 @@ race:
 # the decode-kernel microbenchmarks as results/BENCH_kernels.json, and
 # the index build/open benchmarks (sharded build, eager BVIX2 vs
 # mmap-backed BVIX3 time-to-first-query) as results/BENCH_index.json
-# for regression tracking.
+# for regression tracking. The hybrid matrix (advisor pick vs every
+# candidate codec across the density×distribution grid, plus the
+# mixed/galloping speedup cells) is self-gating: the run fails if any
+# cell's pick is Pareto-dominated or no kernel cell clears 1.5x.
 bench:
 	mkdir -p results
 	$(GO) test -run NONE -bench BenchmarkEngine -benchmem -json ./internal/ops > results/BENCH_engine.json
 	$(GO) test -run NONE -bench '.' -benchmem -json ./internal/kernels > results/BENCH_kernels.json
 	$(GO) test -run NONE -bench BenchmarkIndex -benchmem -json ./internal/index > results/BENCH_index.json
+	$(GO) test -run TestHybridBenchGate -count=1 ./internal/bench \
+		-args -hybrid.full -hybrid.out $(CURDIR)/results/BENCH_hybrid.json
 	@for f in BENCH_engine BENCH_kernels BENCH_index; do \
 		if ! test -s results/$$f.json || ! grep -q 'ns/op' results/$$f.json; then \
 			echo "FATAL: results/$$f.json missing or contains no benchmark output (did the -bench pattern match?)" >&2; \
 			exit 1; \
 		fi; \
 	done
-	$(GO) test -bench=. -benchmem ./...
+	@if ! test -s results/BENCH_hybrid.json || ! grep -q '"pass": true' results/BENCH_hybrid.json; then \
+		echo "FATAL: results/BENCH_hybrid.json missing or gates failed" >&2; \
+		exit 1; \
+	fi
+	$(GO) test -bench=. -benchmem -timeout 60m ./...
 
 # Full chaos-mode load run: 30s of open-loop zipfian traffic against a
 # real bvserve subprocess while the orchestrator hot-reloads it (SIGHUP

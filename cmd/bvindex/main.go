@@ -6,6 +6,7 @@
 // Usage:
 //
 //	bvindex -build -in docs.txt -out docs.idx -codec Roaring
+//	bvindex -build -in docs.txt -out docs.idx -codec auto        # adaptive per-list selection
 //	bvindex -build -in docs.txt -out docs.idx -shards 8 -format bvix2
 //	bvindex -index docs.idx -query "compressed lists"            # AND
 //	bvindex -index docs.idx -query "bitmap inverted" -mode or
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/codecs"
@@ -30,7 +32,7 @@ func main() {
 		inFile    = flag.String("in", "", "input documents, one per line (default stdin)")
 		outFile   = flag.String("out", "", "output index file (build mode)")
 		indexFile = flag.String("index", "", "index file to query")
-		codecName = flag.String("codec", "Roaring", "codec for posting lists (build mode)")
+		codecName = flag.String("codec", "Roaring", "codec for posting lists, or \"auto\" for adaptive per-list selection (build mode)")
 		format    = flag.String("format", "bvix3", "output format: bvix3 | bvix2 (build mode)")
 		shards    = flag.Int("shards", 0, "tokenizer shards for parallel build (0 = GOMAXPROCS)")
 		query     = flag.String("query", "", "space-separated query terms")
@@ -38,6 +40,9 @@ func main() {
 		k         = flag.Int("k", 5, "result count for -mode topk")
 	)
 	flag.Parse()
+	if err := validateFlags(flag.CommandLine); err != nil {
+		fatal("%v", err)
+	}
 
 	switch {
 	case *build:
@@ -53,16 +58,44 @@ func main() {
 	}
 }
 
+// validateFlags rejects nonsensical configurations right after parse,
+// before any input is read or index touched, with a one-line cause
+// (the bvserve convention).
+func validateFlags(fs *flag.FlagSet) error {
+	get := func(name string) any { return fs.Lookup(name).Value.(flag.Getter).Get() }
+	if name := get("codec").(string); name != "auto" {
+		if _, err := codecs.ByName(name); err != nil {
+			return fmt.Errorf("-codec=%q: not a codec name (try one of %v, or \"auto\")", name, codecs.Names())
+		}
+	}
+	if f := get("format").(string); f != "bvix3" && f != "bvix2" {
+		return fmt.Errorf("-format=%q: want bvix3 or bvix2", f)
+	}
+	if m := get("mode").(string); m != "and" && m != "or" && m != "topk" {
+		return fmt.Errorf("-mode=%q: want and, or, or topk", m)
+	}
+	if v := get("k").(int); v < 1 {
+		return fmt.Errorf("-k=%d: result count must be at least 1", v)
+	}
+	if v := get("shards").(int); v < 0 || v > 4096 {
+		return fmt.Errorf("-shards=%d: want 0 (one per CPU) through 4096", v)
+	}
+	return nil
+}
+
 func runBuild(inFile, outFile, codecName, format string, shards int) error {
 	if outFile == "" {
 		return fmt.Errorf("build mode needs -out")
 	}
-	if format != "bvix3" && format != "bvix2" {
-		return fmt.Errorf("unknown format %q (bvix3 | bvix2)", format)
-	}
-	codec, err := codecs.ByName(codecName)
-	if err != nil {
-		return err
+	var builder *index.Builder
+	if codecName == "auto" {
+		builder = index.NewAutoBuilder()
+	} else {
+		codec, err := codecs.ByName(codecName)
+		if err != nil {
+			return err
+		}
+		builder = index.NewBuilder(codec)
 	}
 	var r io.Reader = os.Stdin
 	if inFile != "" {
@@ -73,7 +106,6 @@ func runBuild(inFile, outFile, codecName, format string, shards int) error {
 		defer f.Close()
 		r = f
 	}
-	builder := index.NewBuilder(codec)
 	builder.SetShards(shards)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -106,7 +138,36 @@ func runBuild(inFile, outFile, codecName, format string, shards int) error {
 	}
 	fmt.Printf("indexed %d documents, %d terms, %d compressed posting bytes -> %s (%d bytes)\n",
 		docs, idx.Terms(), idx.SizeBytes(), outFile, st.Size())
+	if codecName == "auto" {
+		fmt.Printf("codec mix: %s\n", formatMix(idx.CodecMix()))
+	}
 	return nil
+}
+
+// formatMix renders a codec mix deterministically, most-used first.
+func formatMix(mix map[string]int) string {
+	type kv struct {
+		name string
+		n    int
+	}
+	var rows []kv
+	for name, n := range mix {
+		if name == "" {
+			name = "unknown"
+		}
+		rows = append(rows, kv{name, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].name < rows[j].name
+	})
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = fmt.Sprintf("%s=%d", r.name, r.n)
+	}
+	return strings.Join(parts, " ")
 }
 
 func runQuery(indexFile, query, mode string, k int, w io.Writer) error {

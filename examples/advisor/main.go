@@ -1,104 +1,114 @@
-// Advisor: the paper's §7 decision guidelines as a tool. Feed it a list
-// (synthetic here; swap in your own IDs) and a workload, and it
-// recommends a codec — then validates the recommendation by actually
-// measuring the alternatives on your data.
+// Advisor: the paper's §7 decision guidelines driving a real build.
+//
+// The example synthesizes a corpus whose terms span the paper's
+// density/distribution grid — an every-doc stopword, a scattered dense
+// term, a sparse uniformly-spread term, and a sparse zipf-like term —
+// and feeds it through index.NewAutoBuilder, the adaptive build path
+// that consults core.AdviseList for every posting list and records the
+// chosen codec in the BVIX3 dict's per-term codec byte.
+//
+// Per-term rules (core.AdviseList; DESIGN §8):
+//
+//   - dense (|L|/d >= 1/5) with long runs (N/Runs >= 4) → Roaring+Run,
+//   - dense otherwise                                   → Roaring,
+//   - sparse, zipf-like                                 → SIMDPforDelta*,
+//   - sparse, spread-out                                → SIMDBP128*.
+//
+// "Zipf-like" is the WorkloadSpace concentration rule shared with
+// core.Advise: Stats.Concentration = (median-min)/(max-min) sits near
+// 0.5 for uniform or markov spread and near 0 when the list's mass
+// piles up at the start of the domain; below the 0.25 cut, gap coding
+// with patched exceptions (SIMDPforDelta*) takes the least space at
+// every density (§7.1 point 1.(2)).
 package main
 
 import (
 	"fmt"
 	"log"
-	"time"
+	"os"
+	"path/filepath"
+	"strings"
 
-	"repro/internal/codecs"
 	"repro/internal/core"
 	"repro/internal/gen"
-	"repro/internal/ops"
+	"repro/internal/index"
 )
 
-type scenario struct {
-	name     string
-	list     []uint32
-	domain   uint64
-	workload core.Workload
-	wname    string
+const nDocs = 8192
+
+// term defines one vocabulary entry by the set of documents containing
+// it; member reports whether doc i does.
+type term struct {
+	name   string
+	shape  string
+	member func(i int) bool
 }
 
 func main() {
-	scenarios := []scenario{
-		{
-			name:     "sparse uniform (search-engine posting list)",
-			list:     gen.Uniform(20_000, 1<<24, 1),
-			domain:   1 << 24,
-			workload: core.WorkloadSpace,
-			wname:    "space",
-		},
-		{
-			name:     "ultra dense (low-cardinality DB column)",
-			list:     gen.MarkovN(5_000_000, 1<<24, 8, 2),
-			domain:   1 << 24,
-			workload: core.WorkloadSpace,
-			wname:    "space",
-		},
-		{
-			name:     "conjunctive query column",
-			list:     gen.Uniform(100_000, 1<<24, 3),
-			domain:   1 << 24,
-			workload: core.WorkloadIntersection,
-			wname:    "intersection",
-		},
-		{
-			name:     "range-query column (union-heavy)",
-			list:     gen.Uniform(100_000, 1<<24, 4),
-			domain:   1 << 24,
-			workload: core.WorkloadUnion,
-			wname:    "union",
-		},
+	quorum := toSet(gen.Uniform(160, nDocs, 7))   // sparse, uniformly spread
+	beta := toSet(gen.Zipf(160, nDocs, 1.15, 11)) // sparse, mass at the start
+	terms := []term{
+		{"the", "every document (one long run)", func(i int) bool { return true }},
+		{"data", "2 of every 5 documents, scattered", func(i int) bool { return i%5 == 0 || i%5 == 2 }},
+		{"quorum", "~2% of documents, uniform spread", func(i int) bool { return quorum[uint32(i)] }},
+		{"beta", "~2% of documents, zipf-like", func(i int) bool { return beta[uint32(i)] }},
 	}
 
-	for _, sc := range scenarios {
-		stats := core.ComputeStats(sc.list, sc.domain)
-		rec := core.Advise(stats, sc.workload)
-		fmt.Printf("%s\n  n=%d density=%.4f gapCV=%.2f workload=%s\n  -> %s\n     %s\n",
-			sc.name, stats.N, stats.Density, stats.GapCV, sc.wname, rec.Codec, rec.Reason)
-		validate(sc, rec.Codec)
-		fmt.Println()
+	// Assemble the corpus and feed it through the adaptive builder — the
+	// same per-list selection path `bvindex -codec auto` uses.
+	builder := index.NewAutoBuilder()
+	docids := map[string][]uint32{}
+	var words []string
+	for i := 0; i < nDocs; i++ {
+		words = words[:0]
+		for _, t := range terms {
+			if t.member(i) {
+				words = append(words, t.name)
+				docids[t.name] = append(docids[t.name], uint32(i))
+			}
+		}
+		builder.AddDocument(strings.Join(words, " "))
 	}
+	idx, err := builder.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("built %d documents, %d terms; codec mix: %v\n\n", nDocs, idx.Terms(), idx.CodecMix())
+	for _, t := range terms {
+		s := core.ComputeStats(docids[t.name], nDocs)
+		rec := core.AdviseList(s)
+		chosen := idx.TermCodec(t.name)
+		fmt.Printf("%-8s %s\n", t.name, t.shape)
+		fmt.Printf("  n=%d density=%.4f meanRun=%.1f concentration=%.2f\n",
+			s.N, s.Density, float64(s.N)/float64(s.Runs), s.Concentration)
+		fmt.Printf("  advisor: %s (%s)\n", rec.Codec, rec.Reason)
+		fmt.Printf("  builder chose: %s\n\n", chosen)
+		if chosen != rec.Codec {
+			log.Fatalf("builder decision %q disagrees with advisor %q", chosen, rec.Codec)
+		}
+	}
+
+	// The decision is persisted, not recomputed: write the index to disk
+	// and reopen it — the codec mix comes straight from the BVIX3 dict's
+	// per-term codec bytes, before any posting is materialized.
+	path := filepath.Join(os.TempDir(), "advisor-example.idx")
+	defer os.Remove(path)
+	if err := idx.WriteFile(path, index.FormatBVIX3); err != nil {
+		log.Fatal(err)
+	}
+	reopened, err := index.OpenFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reopened.Close()
+	fmt.Printf("reopened %s: codec mix from dict bytes: %v\n", filepath.Base(path), reopened.CodecMix())
 }
 
-// validate measures the recommended codec against two alternatives on
-// the scenario's own data so the advice is checkable, not oracular.
-func validate(sc scenario, recommended string) {
-	alternatives := map[string]bool{recommended: true, "Roaring": true, "SIMDBP128*": true, "WAH": true}
-	other := gen.Uniform(len(sc.list)/10+1, uint32(sc.domain), 99)
-	fmt.Printf("     %-14s %12s %12s\n", "codec", "size", sc.wname+" ms")
-	for name := range alternatives {
-		c, err := codecs.ByName(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		p, err := c.Compress(sc.list)
-		if err != nil {
-			log.Fatal(err)
-		}
-		q, err := c.Compress(other)
-		if err != nil {
-			log.Fatal(err)
-		}
-		start := time.Now()
-		switch sc.workload {
-		case core.WorkloadUnion:
-			_, err = ops.Union([]core.Posting{p, q})
-		default:
-			_, err = ops.Intersect([]core.Posting{p, q})
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		marker := "  "
-		if name == recommended {
-			marker = "->"
-		}
-		fmt.Printf("   %s %-14s %12d %12.3f\n",
-			marker, name, p.SizeBytes(), float64(time.Since(start).Microseconds())/1000)
+func toSet(values []uint32) map[uint32]bool {
+	m := make(map[uint32]bool, len(values))
+	for _, v := range values {
+		m[v] = true
 	}
+	return m
 }

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+)
+
+var (
+	hybridOut  = flag.String("hybrid.out", "", "write the hybrid matrix report JSON to this path")
+	hybridFull = flag.Bool("hybrid.full", false, "run the committed-results matrix instead of the quick one")
+)
+
+// TestHybridBenchGate runs the adaptive-vs-mono matrix and applies both
+// gates: no cell's advisor pick may be Pareto-dominated by a candidate
+// codec, and at least one mixed/galloping cell must beat the serial
+// decompress-and-merge reference by MinSpeedup. `make bench` runs this
+// with -hybrid.full -hybrid.out to (re)generate results/BENCH_hybrid.json.
+func TestHybridBenchGate(t *testing.T) {
+	cfg := QuickHybrid()
+	if *hybridFull {
+		cfg = DefaultHybrid()
+	}
+	rep, err := RunHybrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *hybridOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(*hybridOut, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cells, max speedup %.1fx)", *hybridOut, len(rep.Cells), rep.MaxSpeedup)
+	}
+	for _, s := range rep.Speedups {
+		t.Logf("%-18s %8.3fms -> %8.3fms (%6.1fx)  %s", s.Name, s.BaselineMS, s.EngineMS, s.Speedup, s.Detail)
+	}
+	if !rep.Pass {
+		// Race instrumentation skews codec families by wildly different
+		// factors (bitmap word loops vs block decoders), so the timing
+		// gates only bind in uninstrumented builds.
+		if raceEnabled {
+			t.Logf("race detector enabled, timing gates informational: %v", rep.Failures)
+		} else {
+			for _, f := range rep.Failures {
+				t.Error(f)
+			}
+		}
+	}
+	// Every cell's pick must come from the advisor's candidate set —
+	// anything else means the decision table and the matrix diverged.
+	for _, c := range rep.Cells {
+		if _, ok := c.Candidates[c.Pick]; !ok {
+			t.Errorf("%s/density=%g: pick %q is not a candidate codec", c.Dist, c.Density, c.Pick)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. Race
+// instrumentation slows codec families by very different factors, so
+// timing-based gates are informational only under -race.
+const raceEnabled = true

@@ -1,0 +1,100 @@
+package codecs
+
+import (
+	"repro/internal/core"
+)
+
+// Stable one-byte codec IDs, used as the per-term codec byte in the
+// BVIX3 dictionary (DESIGN §8). An ID is the codec's 1-based position
+// in the registry — All() followed by Extensions() — so the mapping is
+// stable as long as the registry stays append-only, which is the same
+// contract the paper's table order already imposes. ID 0 means
+// "unspecified" and is legal in a dict record (pre-adaptive writers).
+
+// idTable maps name→ID and ID→name; built once at init from the
+// registry so it can never drift from the codec list.
+var (
+	idByName = map[string]byte{}
+	nameByID []string // nameByID[id-1]
+)
+
+func init() {
+	for _, c := range append(All(), Extensions()...) {
+		nameByID = append(nameByID, c.Name())
+		idByName[c.Name()] = byte(len(nameByID))
+	}
+}
+
+// IDByName returns the codec byte for a registry codec name; ok is
+// false for unknown names.
+func IDByName(name string) (id byte, ok bool) {
+	id, ok = idByName[name]
+	return id, ok
+}
+
+// NameByID is the inverse of IDByName; ok is false for 0 (unspecified)
+// and out-of-range IDs.
+func NameByID(id byte) (name string, ok bool) {
+	if id == 0 || int(id) > len(nameByID) {
+		return "", false
+	}
+	return nameByID[id-1], true
+}
+
+// MaxID reports the largest valid codec ID; bytes above it (or equal to
+// 0 where a codec is required) are malformed.
+func MaxID() byte {
+	return byte(len(nameByID))
+}
+
+// IdentifyBlob reports the registry name of the codec that produced a
+// marshaled posting blob, from the format tag alone — and, for the
+// Blocked frame, the inner codec name embedded in its header — without
+// decoding the payload. ok is false for malformed or unknown blobs.
+// It is exact: every MarshalBinary output identifies its codec.
+func IdentifyBlob(blob []byte) (name string, ok bool) {
+	if len(blob) == 0 {
+		return "", false
+	}
+	switch blob[0] {
+	case core.TagBitset:
+		return "Bitset", true
+	case core.TagBBC:
+		return "BBC", true
+	case core.TagWAH:
+		return "WAH", true
+	case core.TagEWAH:
+		return "EWAH", true
+	case core.TagPLWAH:
+		return "PLWAH", true
+	case core.TagCONCISE:
+		return "CONCISE", true
+	case core.TagVALWAH:
+		return "VALWAH", true
+	case core.TagSBH:
+		return "SBH", true
+	case core.TagRoaring:
+		return "Roaring", true
+	case core.TagRawList:
+		return "List", true
+	case core.TagPEF:
+		return "PEF", true
+	case core.TagRoaringRun:
+		return "Roaring+Run", true
+	case core.TagBlocked:
+		// Header: tag, u32 cardinality, u8 name length, name bytes.
+		if len(blob) < 6 {
+			return "", false
+		}
+		nameLen := int(blob[5])
+		if len(blob) < 6+nameLen {
+			return "", false
+		}
+		inner := string(blob[6 : 6+nameLen])
+		if _, known := idByName[inner]; !known {
+			return "", false
+		}
+		return inner, true
+	}
+	return "", false
+}

@@ -1,0 +1,75 @@
+package codecs
+
+import (
+	"encoding"
+	"testing"
+)
+
+func TestIDRoundtrip(t *testing.T) {
+	registry := append(All(), Extensions()...)
+	names := make([]string, len(registry))
+	for i, c := range registry {
+		names[i] = c.Name()
+	}
+	if int(MaxID()) != len(names) {
+		t.Fatalf("MaxID() = %d, want registry size %d", MaxID(), len(names))
+	}
+	seen := map[byte]string{}
+	for _, name := range names {
+		id, ok := IDByName(name)
+		if !ok {
+			t.Fatalf("IDByName(%q): not found", name)
+		}
+		if id == 0 || id > MaxID() {
+			t.Fatalf("IDByName(%q) = %d, out of [1, %d]", name, id, MaxID())
+		}
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("ID %d assigned to both %q and %q", id, prev, name)
+		}
+		seen[id] = name
+		back, ok := NameByID(id)
+		if !ok || back != name {
+			t.Fatalf("NameByID(%d) = %q, %v; want %q", id, back, ok, name)
+		}
+	}
+	if _, ok := IDByName("no-such-codec"); ok {
+		t.Error("IDByName accepted an unknown name")
+	}
+	if _, ok := NameByID(0); ok {
+		t.Error("NameByID(0) should be unspecified, not a codec")
+	}
+	if _, ok := NameByID(MaxID() + 1); ok {
+		t.Error("NameByID past MaxID should fail")
+	}
+}
+
+// TestIdentifyBlob checks exactness: every registry codec's marshaled
+// blob identifies back to that codec's own name.
+func TestIdentifyBlob(t *testing.T) {
+	// Small gaps keep GapLimited codecs (Simple9/16) in range; a dense
+	// prefix exercises bitmap formats too.
+	list := make([]uint32, 600)
+	for i := range list {
+		list[i] = uint32(i * 3)
+	}
+	for _, c := range append(All(), Extensions()...) {
+		p, err := c.Compress(list)
+		if err != nil {
+			t.Fatalf("%s: Compress: %v", c.Name(), err)
+		}
+		blob, err := p.(encoding.BinaryMarshaler).MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: MarshalBinary: %v", c.Name(), err)
+		}
+		got, ok := IdentifyBlob(blob)
+		if !ok || got != c.Name() {
+			t.Errorf("IdentifyBlob(%s blob) = %q, %v; want %q", c.Name(), got, ok, c.Name())
+		}
+	}
+	if _, ok := IdentifyBlob(nil); ok {
+		t.Error("IdentifyBlob(nil) should fail")
+	}
+	if _, ok := IdentifyBlob([]byte{0xFE, 1, 2, 3}); ok {
+		t.Error("IdentifyBlob(unknown tag) should fail")
+	}
+}

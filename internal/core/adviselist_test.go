@@ -1,0 +1,90 @@
+package core
+
+import "testing"
+
+func seqList(lo, n uint32) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = lo + uint32(i)
+	}
+	return out
+}
+
+func TestStatsRuns(t *testing.T) {
+	cases := []struct {
+		name string
+		list []uint32
+		want int
+	}{
+		{"empty", nil, 0},
+		{"single", []uint32{7}, 1},
+		{"one-run", []uint32{4, 5, 6, 7}, 1},
+		{"all-gaps", []uint32{0, 2, 4, 6}, 4},
+		{"mixed", []uint32{1, 2, 4, 5, 9}, 3},
+		{"run-at-zero", []uint32{0, 1, 2}, 1},
+	}
+	for _, tc := range cases {
+		if got := ComputeStats(tc.list, 0).Runs; got != tc.want {
+			t.Errorf("%s: Runs = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestAdviseListQuadrants(t *testing.T) {
+	domain := uint64(1 << 16)
+
+	// Dense with one long run: every value in [0, d/2).
+	dense := seqList(0, 1<<15)
+	if got := AdviseList(ComputeStats(dense, domain)).Codec; got != "Roaring+Run" {
+		t.Errorf("dense run-structured list: got %s, want Roaring+Run", got)
+	}
+
+	// Dense but scattered: every other value — density 0.5, mean run 1.
+	scattered := make([]uint32, 1<<15)
+	for i := range scattered {
+		scattered[i] = uint32(2 * i)
+	}
+	if got := AdviseList(ComputeStats(scattered, domain)).Codec; got != "Roaring" {
+		t.Errorf("dense scattered list: got %s, want Roaring", got)
+	}
+
+	// Sparse, mass piled at the domain start (zipf-like): concentration
+	// (median-min)/(max-min) is tiny.
+	zipf := append(seqList(0, 0), 1, 3, 5, 7, 9, 11, 13, 15, 17, 60000)
+	s := ComputeStats(zipf, domain)
+	if s.Concentration >= ZipfConcentration {
+		t.Fatalf("test list not zipf-like: concentration %.3f", s.Concentration)
+	}
+	if got := AdviseList(s).Codec; got != "SIMDPforDelta*" {
+		t.Errorf("sparse zipf-like list: got %s, want SIMDPforDelta*", got)
+	}
+
+	// Sparse, uniformly spread: concentration ~0.5.
+	spread := make([]uint32, 64)
+	for i := range spread {
+		spread[i] = uint32(i * 1000)
+	}
+	if got := AdviseList(ComputeStats(spread, domain)).Codec; got != "SIMDBP128*" {
+		t.Errorf("sparse spread list: got %s, want SIMDBP128*", got)
+	}
+}
+
+// TestAdviseListBoundaries pins the documented thresholds so a silent
+// constant change shows up as a test failure, not a bench regression.
+func TestAdviseListBoundaries(t *testing.T) {
+	// Exactly at the density threshold counts as dense.
+	at := Stats{N: 200, Domain: 1000, Density: 0.2, Runs: 200, Concentration: 0.5}
+	if got := AdviseList(at).Codec; got != "Roaring" {
+		t.Errorf("density==threshold: got %s, want Roaring", got)
+	}
+	// Mean run length exactly at RunThreshold flips to run containers.
+	at.Runs = 50 // 200/50 == 4.0
+	if got := AdviseList(at).Codec; got != "Roaring+Run" {
+		t.Errorf("meanRun==threshold: got %s, want Roaring+Run", got)
+	}
+	// Concentration exactly at the cut is NOT zipf-like.
+	sp := Stats{N: 10, Domain: 1000, Density: 0.01, Runs: 10, Concentration: ZipfConcentration}
+	if got := AdviseList(sp).Codec; got != "SIMDBP128*" {
+		t.Errorf("concentration==cut: got %s, want SIMDBP128*", got)
+	}
+}

@@ -72,3 +72,64 @@ func Advise(s Stats, w Workload) Recommendation {
 	}
 	return Recommendation{Codec: "Roaring", Reason: "default: best general-purpose intersection"}
 }
+
+// Build-time per-list selection thresholds (documented in DESIGN §8).
+const (
+	// DenseThreshold is the paper's |L|/d >= 1/5 density cut above which
+	// bitmap methods use fewer bits per value than gap coding (§7.1).
+	DenseThreshold = 0.2
+	// RunThreshold is the minimum mean run length (N/Runs) at which run
+	// containers pay for themselves: a run costs 4 bytes vs 2 bytes per
+	// array value, so runs shorter than 2 lose outright and the extra
+	// container-type dispatch wants additional margin.
+	RunThreshold = 4.0
+	// ZipfConcentration separates zipf-like lists (mass piled at the
+	// domain start, Concentration near 0) from uniform/markov spread
+	// (~0.5). Zipf-like gaps are tiny where it matters, so gap coding
+	// with patched exceptions takes the least space (§7.1 point 1.(2)).
+	ZipfConcentration = 0.25
+)
+
+// AdviseList picks the build-time codec for a single posting list from
+// its statistics alone — the per-list specialization of Advise that the
+// adaptive builder applies to every term (§7 lesson: no single method
+// wins; choose per list by density and distribution):
+//
+//	dense (Density >= 1/5):
+//	  run-structured (N/Runs >= 4) → Roaring+Run (run containers win on
+//	                                 dense runs, cf. the Roaring paper)
+//	  otherwise                    → Roaring (fastest intersection)
+//	sparse:
+//	  zipf-like (Concentration < 0.25) → SIMDPforDelta* (least space)
+//	  otherwise                        → SIMDBP128* (fastest decode/OR)
+//
+// Selection is a pure function of the final merged list, so sharded
+// builds choose identically for any shard count.
+func AdviseList(s Stats) Recommendation {
+	if s.Density >= DenseThreshold {
+		if s.Runs > 0 && float64(s.N)/float64(s.Runs) >= RunThreshold {
+			return Recommendation{
+				Codec: "Roaring+Run",
+				Reason: "ultra-dense with long consecutive runs: run containers " +
+					"store an interval in 4 bytes regardless of length",
+			}
+		}
+		return Recommendation{
+			Codec: "Roaring",
+			Reason: "ultra-dense (|L|/d >= 1/5): bitmap containers use fewer " +
+				"bits per value and intersect fastest",
+		}
+	}
+	if s.Concentration < ZipfConcentration {
+		return Recommendation{
+			Codec: "SIMDPforDelta*",
+			Reason: "sparse zipf-like list (mass at domain start): patched gap " +
+				"coding takes the least space",
+		}
+	}
+	return Recommendation{
+		Codec: "SIMDBP128*",
+		Reason: "sparse spread-out list: SIMDBP128* decodes and unions fastest " +
+			"at a small space premium",
+	}
+}

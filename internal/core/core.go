@@ -118,6 +118,29 @@ type ListProber interface {
 	IntersectList(sorted []uint32) []uint32
 }
 
+// BucketProber is implemented by bucketed bitmap postings (Roaring and
+// Roaring+Run) that expose their 2^16-wide value buckets so the engine
+// can intersect a compressed bitmap against a compressed list without
+// decompressing either side: the mixed kernel walks bucket keys against
+// the list's skip iterator, enumerating whichever side of a matching
+// bucket is cheaper and probing the other.
+type BucketProber interface {
+	Posting
+	// NumBuckets reports the number of non-empty buckets.
+	NumBuckets() int
+	// BucketKey returns the high-16-bit key of bucket i; keys are
+	// strictly increasing in i.
+	BucketKey(i int) uint16
+	// BucketLen reports the cardinality of bucket i (always > 0).
+	BucketLen(i int) int
+	// BucketContains reports whether low 16-bit value lo is present in
+	// bucket i.
+	BucketContains(i int, lo uint16) bool
+	// AppendBucket appends bucket i's values — with the key's high bits
+	// restored — to dst and returns the extended slice.
+	AppendBucket(i int, dst []uint32) []uint32
+}
+
 // Seeker is implemented by list postings with skip pointers: SeekGEQ
 // support is what makes SvS intersection skip whole blocks (§B, App. B),
 // and what lets PEF intersect without decompressing entire blocks.

@@ -18,6 +18,11 @@ type Stats struct {
 	// markov spread, near 0 for zipf-like lists whose mass piles up at
 	// the start of the domain.
 	Concentration float64
+	// Runs counts the maximal runs of consecutive values (gap == 1
+	// inside a run). N/Runs is the mean run length: large for clustered
+	// markov-like data, ~1 for uniform sparse lists. Run-container
+	// selection (Roaring+Run vs plain Roaring) keys off it.
+	Runs int
 }
 
 // ComputeStats derives Stats from a sorted list. If domain is zero the
@@ -34,10 +39,14 @@ func ComputeStats(values []uint32, domain uint64) Stats {
 
 	var sum, sumSq float64
 	prev := uint32(0)
+	s.Runs = 1
 	for i, v := range values {
 		g := v - prev
 		if i == 0 {
 			g = v
+		}
+		if i > 0 && g != 1 {
+			s.Runs++
 		}
 		if g > s.MaxGap {
 			s.MaxGap = g

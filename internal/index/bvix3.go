@@ -39,12 +39,19 @@ import (
 //	dict:    per term, sorted by name: nameLen u16, name bytes,
 //	         posting count u32, payload offset u64 (relative to the
 //	         payload section), posting blob length u32, payload record
-//	         CRC32-C u32 (over the blob plus frequency bytes). The
-//	         per-record CRC is what makes degraded-mode salvage sound:
-//	         when the payload section's CRC fails, a term is served
-//	         only if its own record still checksums — corrupt bytes
-//	         that would decode "cleanly" into plausible garbage are
-//	         quarantined instead of served.
+//	         CRC32-C u32 (over the blob plus frequency bytes), codec
+//	         byte u8 (v3; the registry ID of the posting's codec per
+//	         codecs.IDByName, 0 = unspecified — the adaptive builder's
+//	         per-term selection persisted without decoding a blob).
+//	         The per-record CRC is what makes degraded-mode salvage
+//	         sound: when the payload section's CRC fails, a term is
+//	         served only if its own record still checksums — corrupt
+//	         bytes that would decode "cleanly" into plausible garbage
+//	         are quarantined instead of served. Codec bytes above
+//	         codecs.MaxID are rejected (core.ErrBadFormat in strict
+//	         opens, quarantine in degraded ones); a non-zero byte must
+//	         also match the blob it describes, checked at materialize
+//	         time.
 //	frames:  one u64 per skip frame — the dict-relative offset of the
 //	         frame's first record. Lookup binary-searches the frames on
 //	         their first term (read zero-copy out of the dict) and
@@ -61,7 +68,7 @@ import (
 // padding by an explicit zeros check. A single flipped bit anywhere
 // surfaces as an error (core.ErrChecksum for CRC-covered ranges).
 const (
-	bvix3Version    = 2 // v2 added the per-record payload CRC to dict entries
+	bvix3Version    = 3 // v2 added per-record payload CRCs; v3 the codec byte
 	bvix3HeaderSize = 88
 	bvix3DataStart  = 128 // first section offset: align64(headerSize)
 	bvix3Align      = 64
@@ -69,8 +76,8 @@ const (
 	bvix3FrameLen   = 64
 	// bvix3RecordFixed is a dict record's size net of the name bytes:
 	// name length u16, count u32, payload offset u64, blob length u32,
-	// payload record CRC u32.
-	bvix3RecordFixed = 2 + 4 + 8 + 4 + 4
+	// payload record CRC u32, codec byte u8.
+	bvix3RecordFixed = 2 + 4 + 8 + 4 + 4 + 1
 )
 
 var bvix3Magic = []byte("BVIX3")
@@ -111,6 +118,7 @@ func (idx *Index) WriteBVIX3(w io.Writer) (int64, error) {
 		dict = binary.LittleEndian.AppendUint64(dict, payOff)
 		dict = binary.LittleEndian.AppendUint32(dict, uint32(len(blob)))
 		dict = binary.LittleEndian.AppendUint32(dict, crc32.Checksum(payload[payOff:], castagnoli))
+		dict = append(dict, codecByteFor(e, blob))
 	}
 
 	dictOff := uint64(bvix3DataStart)
@@ -193,6 +201,25 @@ type bvix3Geometry struct {
 	sizeBytes int // sum of posting blob lengths
 }
 
+// codecByteFor resolves the codec byte for one dict record: the
+// entry's recorded codec name when the builder set one, otherwise
+// identified exactly from the blob's self-describing header. 0 means
+// the codec is outside the registry (never the case for blobs this
+// module wrote).
+func codecByteFor(e termEntry, blob []byte) byte {
+	if e.codec != "" {
+		if id, ok := codecs.IDByName(e.codec); ok {
+			return id
+		}
+	}
+	if name, ok := codecs.IdentifyBlob(blob); ok {
+		if id, ok := codecs.IDByName(name); ok {
+			return id
+		}
+	}
+	return 0
+}
+
 // dictRecord is one parsed dict entry. name borrows from the dict
 // section; callers copy it before retaining.
 type dictRecord struct {
@@ -201,6 +228,7 @@ type dictRecord struct {
 	payOff  uint64
 	postLen uint32
 	payCRC  uint32 // CRC32-C of the payload record (blob + freq bytes)
+	codec   byte   // registry codec ID (codecs.NameByID); 0 = unspecified
 	next    int    // dict offset of the following record
 }
 
@@ -223,6 +251,7 @@ func parseDictRecord(dict []byte, off int) (dictRecord, error) {
 		payOff:  binary.LittleEndian.Uint64(dict[p+4:]),
 		postLen: binary.LittleEndian.Uint32(dict[p+12:]),
 		payCRC:  binary.LittleEndian.Uint32(dict[p+16:]),
+		codec:   dict[p+20],
 		next:    off + bvix3RecordFixed + nameLen,
 	}, nil
 }
@@ -388,6 +417,13 @@ func (g *bvix3Geometry) walkDict(strict, checkFrames bool) (int, error) {
 			}
 			return i, fmt.Errorf("index: term %q declares %d postings in a %d-document index", rec.name, rec.count, g.docs)
 		}
+		if rec.codec > codecs.MaxID() {
+			if !strict {
+				return i, nil
+			}
+			return i, fmt.Errorf("index: %w: term %q codec byte %d out of range (registry max %d)",
+				core.ErrBadFormat, rec.name, rec.codec, codecs.MaxID())
+		}
 		if rec.payOff != align(payCur, bvix3RecAlign) {
 			if !strict {
 				return i, nil
@@ -424,6 +460,23 @@ func (g *bvix3Geometry) walkDict(strict, checkFrames bool) (int, error) {
 // borrowed-bytes contract), so the result never aliases the mapping.
 func (g *bvix3Geometry) materialize(rec dictRecord) (termEntry, error) {
 	blob := g.payload[rec.payOff : rec.payOff+uint64(rec.postLen)]
+	blobCodec, _ := codecs.IdentifyBlob(blob)
+	codecName := blobCodec
+	if rec.codec != 0 {
+		// A non-zero codec byte must agree with the blob it describes —
+		// a mismatch means the dict and payload no longer tell the same
+		// story about these bytes.
+		want, ok := codecs.NameByID(rec.codec)
+		if !ok {
+			return termEntry{}, fmt.Errorf("index: %w: term %q codec byte %d out of range",
+				core.ErrBadFormat, rec.name, rec.codec)
+		}
+		if blobCodec != want {
+			return termEntry{}, fmt.Errorf("index: %w: term %q dict declares codec %s, blob is %q",
+				core.ErrBadFormat, rec.name, want, blobCodec)
+		}
+		codecName = want
+	}
 	p, err := codecs.Decode(blob)
 	if err != nil {
 		return termEntry{}, fmt.Errorf("index: term %q posting: %w", rec.name, err)
@@ -436,7 +489,7 @@ func (g *bvix3Geometry) materialize(rec dictRecord) (termEntry, error) {
 	for i := range freqs {
 		freqs[i] = binary.LittleEndian.Uint16(freqB[2*i:])
 	}
-	return termEntry{posting: p, freqs: freqs}, nil
+	return termEntry{posting: p, freqs: freqs, codec: codecName}, nil
 }
 
 // readBVIX3 is the eager path used by Read: validate everything, then

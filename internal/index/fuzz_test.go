@@ -2,6 +2,8 @@ package index
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
 	"repro/internal/codecs"
@@ -79,6 +81,34 @@ func FuzzBVIX3Read(f *testing.F) {
 		reseal3Header(bent)
 		f.Add(bent)
 	}
+	// Adaptive-build seeds: a file whose dict carries a mix of per-term
+	// codec bytes, plus doctored variants starting the fuzzer at the
+	// codec-byte validation itself — out-of-range (walk rejection),
+	// mismatched-but-valid (materialize rejection), and zeroed (legal).
+	// CRCs are resealed so the codec byte, not a checksum, is what the
+	// open paths see first.
+	autoIdx, err := buildAutoFuzzIndex()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var autoBuf bytes.Buffer
+	if _, err := autoIdx.WriteBVIX3(&autoBuf); err != nil {
+		f.Fatal(err)
+	}
+	autoFile := autoBuf.Bytes()
+	f.Add(autoFile)
+	if offs := fuzzCodecByteOffsets(autoFile); len(offs) > 0 {
+		for _, mutate := range []byte{codecs.MaxID() + 1, 0xFF, 0} {
+			bent := append([]byte{}, autoFile...)
+			bent[offs[len(offs)/2]] = mutate
+			fuzzResealDict(bent)
+			f.Add(bent)
+		}
+		bent := append([]byte{}, autoFile...)
+		bent[offs[0]] = bent[offs[0]]%codecs.MaxID() + 1 // valid, likely mismatched
+		fuzzResealDict(bent)
+		f.Add(bent)
+	}
 	f.Add([]byte{})
 	f.Add([]byte("BVIX3"))
 	f.Add(append([]byte("BVIX3\x01\x00\x00"), make([]byte, bvix3DataStart)...))
@@ -118,4 +148,43 @@ func buildFuzzIndex(codecName string) (*Index, error) {
 		b.AddDocument(d)
 	}
 	return b.Build()
+}
+
+// buildAutoFuzzIndex builds a small adaptive index: the fuzz corpus
+// plus a stopword in every doc so the dict mixes dense-bitmap and
+// sparse-list codec bytes.
+func buildAutoFuzzIndex() (*Index, error) {
+	b := NewAutoBuilder()
+	for _, d := range docs {
+		b.AddDocument("the " + d)
+	}
+	return b.Build()
+}
+
+// fuzzCodecByteOffsets and fuzzResealDict are *testing.F-friendly
+// twins of the hybrid test helpers (those take *testing.T).
+func fuzzCodecByteOffsets(file []byte) []uint64 {
+	g, err := parseBVIX3(file)
+	if err != nil {
+		return nil
+	}
+	secs := sectionOffsets(file)
+	var out []uint64
+	cur := 0
+	for i := 0; i < g.terms; i++ {
+		rec, err := parseDictRecord(g.dict, cur)
+		if err != nil {
+			return nil
+		}
+		out = append(out, secs[0][0]+uint64(cur)+2+uint64(len(rec.name))+20)
+		cur = rec.next
+	}
+	return out
+}
+
+func fuzzResealDict(file []byte) {
+	secs := sectionOffsets(file)
+	binary.LittleEndian.PutUint32(file[24+16:],
+		crc32.Checksum(file[secs[0][0]:secs[0][0]+secs[0][1]], castagnoli))
+	reseal3Header(file)
 }

@@ -24,15 +24,35 @@ import (
 // workers. The built index is identical for every shard count, so the
 // parallel build is a pure throughput lever.
 type Builder struct {
-	codec  core.Codec
-	texts  []string
-	shards int
+	codec    core.Codec
+	selector CodecSelector
+	texts    []string
+	shards   int
 }
 
 // NewBuilder returns a builder that will compress postings with codec.
 func NewBuilder(codec core.Codec) *Builder {
 	return &Builder{codec: codec}
 }
+
+// NewAutoBuilder returns a builder that picks a codec per posting list
+// with AutoSelector — the adaptive hybrid index of the paper's §7
+// lesson (no single method wins; choose per list).
+func NewAutoBuilder() *Builder {
+	return &Builder{selector: AutoSelector()}
+}
+
+// CodecSelector picks the compression codec for one finished posting
+// list; docs is the total document count (the density denominator).
+// Selectors must be pure functions of their arguments and safe for
+// concurrent use: Build calls them from its compression worker pool,
+// and shard-count byte-identity relies on the choice depending only on
+// the final merged list.
+type CodecSelector func(list []uint32, docs int) core.Codec
+
+// SetSelector installs a per-list codec selector, overriding the fixed
+// builder codec.
+func (b *Builder) SetSelector(sel CodecSelector) { b.selector = sel }
 
 // SetShards fixes the ingestion shard count for Build. n <= 0 (the
 // default) picks GOMAXPROCS. Explicit values are honored as given so
@@ -144,13 +164,20 @@ func (b *Builder) Build() (*Index, error) {
 						}
 					}
 				}
-				p, err := b.codec.Compress(list)
+				codec := b.codec
+				if b.selector != nil {
+					// Selection sees only the final merged list and the
+					// document count, so any shard count picks the same
+					// codec for every term.
+					codec = b.selector(list, len(b.texts))
+				}
+				p, err := codec.Compress(list)
 				if err != nil {
 					errOnce.Do(func() { buildErr = fmt.Errorf("index: term %q: %w", t, err) })
 					failed.Store(true)
 					return
 				}
-				entries[i] = termEntry{posting: p, freqs: freqs}
+				entries[i] = termEntry{posting: p, freqs: freqs, codec: codec.Name()}
 			}
 		}()
 	}
@@ -182,6 +209,7 @@ func Tokenize(text string) []string {
 type termEntry struct {
 	posting core.Posting
 	freqs   []uint16 // payload aligned with the posting values
+	codec   string   // registry name of the posting's codec ("" when unknown)
 }
 
 // Index answers boolean and top-k queries over compressed postings.

@@ -250,11 +250,33 @@ func (it *listIterator) SeekGEQ(target uint32) (uint32, bool) {
 		if start < 0 {
 			start = 0
 		}
+		// Gallop over the skip array from the current block instead of
+		// binary-searching all remaining blocks: SvS probes arrive in
+		// increasing order and usually land a few blocks ahead, so
+		// doubling probes cost O(log jump) per seek — O(1) for
+		// sequential locality — while a distant jump still degrades
+		// gracefully to the full binary search.
+		f := start // first block in [start, nb) whose first value > target
+		if p.blockFirst(start) <= target {
+			bound := 1
+			for start+bound < nb && p.blockFirst(start+bound) <= target {
+				bound <<= 1
+			}
+			// blockFirst(start+bound/2) <= target; the answer lies in
+			// (start+bound/2, start+bound].
+			i, j := start+bound/2+1, min(start+bound+1, nb)
+			for i < j {
+				m := int(uint(i+j) >> 1)
+				if p.blockFirst(m) <= target {
+					i = m + 1
+				} else {
+					j = m
+				}
+			}
+			f = i
+		}
 		// Last block whose first value <= target (never before start).
-		lo := sort.Search(nb-start, func(i int) bool {
-			return p.blockFirst(start+i) > target
-		})
-		b := start + lo - 1
+		b := f - 1
 		if b < start {
 			b = start
 		}

@@ -203,7 +203,7 @@ func (ev *Engine) evalAnd(a *arena, e Expr, ps []core.Posting) ([]uint32, error)
 			if k == 0 {
 				cur = r
 			} else {
-				cur = intersectSortedInPlace(cur, r)
+				cur = intersectAdaptiveInPlace(cur, r)
 				a.put(r)
 			}
 		}
@@ -340,7 +340,7 @@ func (ev *Engine) fanOut(a *arena, e Expr, ps []core.Posting, subBase, nsub int,
 		cur := results[0]
 		for _, r := range results[1:] {
 			if len(cur) > 0 {
-				cur = intersectSortedInPlace(cur, r)
+				cur = intersectAdaptiveInPlace(cur, r)
 			}
 			a.put(r)
 		}
@@ -394,9 +394,19 @@ func intersectInto(a *arena, postings []core.Posting) ([]uint32, error) {
 			haveCur = true
 			rest = sorted[2:]
 		case errors.Is(err, core.ErrIncompatible):
-			// Mixed operands: fall through to the generic path.
+			// Mixed operands: the bucket×seeker kernel below, or the
+			// generic path.
 		default:
 			return nil, err
+		}
+	}
+	if !haveCur {
+		// Mixed-representation fast path: a bucketed bitmap against a
+		// skip-pointered list intersects with neither side decompressed.
+		if r, ok := mixedIntersect(a, sorted[0], sorted[1]); ok {
+			cur = r
+			haveCur = true
+			rest = sorted[2:]
 		}
 	}
 	if !haveCur {
@@ -429,7 +439,7 @@ func probeAnd(a *arena, cur []uint32, p core.Posting) []uint32 {
 		return out
 	}
 	tmp := core.DecompressAppend(p, a.get(p.Len()))
-	cur = intersectSortedInPlace(cur, tmp)
+	cur = intersectAdaptiveInPlace(cur, tmp)
 	a.put(tmp)
 	return cur
 }

@@ -14,7 +14,13 @@
 //     from, and the BVIX2 stream roundtrip, on and/or/top-k queries;
 //   - degraded-mode open (OpenFileDegraded) of a tail-corrupted file
 //     vs the pristine index: every term must serve either its exact
-//     pristine postings or nothing (quarantined) — never wrong data.
+//     pristine postings or nothing (quarantined) — never wrong data;
+//   - the adaptive hybrid index (per-term codec selection) vs a
+//     mono-codec index over the same corpus, in memory and through a
+//     BVIX3 reopen, on and/or/top-k queries;
+//   - the engine's mixed bitmap×list and galloping SvS intersection
+//     kernels vs the reference ops.Intersect and the plain sorted-slice
+//     merge, across skews up to 10^4:1.
 //
 // Each check is deterministic in its seed: oracle.Run(seed, dir) either
 // passes or returns an error describing the first divergence, and the
@@ -26,6 +32,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/codecs"
 	"repro/internal/core"
@@ -51,6 +58,12 @@ func Run(seed int64, dir string) error {
 	}
 	if err := CheckDegraded(seed, dir); err != nil {
 		return fmt.Errorf("degraded open: %w", err)
+	}
+	if err := CheckHybrid(seed, dir); err != nil {
+		return fmt.Errorf("hybrid index: %w", err)
+	}
+	if err := CheckMixedIntersect(seed); err != nil {
+		return fmt.Errorf("mixed intersect: %w", err)
 	}
 	return nil
 }
@@ -392,4 +405,158 @@ func CheckDegraded(seed int64, dir string) error {
 	}
 	_ = quarantined // zero is legal: quarantine granularity can exceed the damaged terms
 	return nil
+}
+
+// CheckHybrid compares the adaptive hybrid index — per-term codec
+// selection at build time, persisted in the BVIX3 codec byte — against
+// a mono-codec index over the same corpus. A stopword prepended to
+// every document forces at least one dense bitmap pick next to the
+// corpus's sparse lists, so queries cross codec families.
+func CheckHybrid(seed int64, dir string) error {
+	docs, vocab, codecName, err := hybridCorpusParts(seed)
+	if err != nil {
+		return err
+	}
+	auto := index.NewAutoBuilder()
+	mono := index.NewBuilder(mustCodec(codecName))
+	for _, d := range docs {
+		auto.AddDocument("the " + d)
+		mono.AddDocument("the " + d)
+	}
+	hybrid, err := auto.Build()
+	if err != nil {
+		return fmt.Errorf("auto build: %w", err)
+	}
+	truth, err := mono.Build()
+	if err != nil {
+		return fmt.Errorf("%s build: %w", codecName, err)
+	}
+	if len(hybrid.CodecMix()) < 2 {
+		return fmt.Errorf("adaptive build chose a single codec %v for a mixed corpus", hybrid.CodecMix())
+	}
+
+	probes := append([]string{"the"}, vocab...)
+	rng := rand.New(rand.NewSource(seed + 4))
+	if err := queryDiff(rng, truth, hybrid, probes); err != nil {
+		return fmt.Errorf("in-memory hybrid vs %s: %w", codecName, err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("oracle_hyb_%d.bvix", seed))
+	if err := hybrid.WriteFile(path, index.FormatBVIX3); err != nil {
+		return fmt.Errorf("WriteFile bvix3: %w", err)
+	}
+	mapped, err := index.OpenFile(path)
+	if err != nil {
+		return fmt.Errorf("OpenFile bvix3: %w", err)
+	}
+	defer mapped.Close()
+	if err := queryDiff(rng, truth, mapped, probes); err != nil {
+		return fmt.Errorf("reopened hybrid vs %s: %w", codecName, err)
+	}
+	// The persisted codec bytes must reproduce the builder's decisions.
+	for _, term := range probes {
+		if got, want := mapped.TermCodec(term), hybrid.TermCodec(term); got != want {
+			return fmt.Errorf("term %q codec byte roundtrip: reopened %q, built %q", term, got, want)
+		}
+	}
+	return nil
+}
+
+// hybridCorpusParts returns the raw corpus, vocabulary, and the
+// mono-codec truth codec for a seed. The truth codec rotates through
+// the registry like oracleCorpus, skipping none: any codec must agree
+// with the adaptive pick.
+func hybridCorpusParts(seed int64) ([]string, []string, string, error) {
+	docs, vocab := load.GenCorpus(seed, 120+int(seed%7)*20, 30)
+	all := append(codecs.All(), codecs.Extensions()...)
+	return docs, vocab, all[int(seed+13)%len(all)].Name(), nil
+}
+
+func mustCodec(name string) core.Codec {
+	c, err := codecs.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// CheckMixedIntersect drives the engine's mixed bitmap×list kernel and
+// galloping SvS against two references — ops.Intersect over the same
+// postings and the plain sorted-slice merge — on skewed pairs up to
+// 10^4:1, with the bitmap side rotating Roaring/Roaring+Run and the
+// list side rotating the blocked SIMD codecs.
+func CheckMixedIntersect(seed int64) error {
+	rng := rand.New(rand.NewSource(seed + 5))
+	eng := ops.NewEngine(ops.EngineConfig{})
+	bitmaps := []string{"Roaring", "Roaring+Run"}
+	lists := []string{"SIMDBP128*", "SIMDPforDelta*", "VB"}
+	ratios := []int{1, 40, 1000, 10000}
+	for round, ratio := range ratios {
+		// Dense side: clustered regions (runs and bitmap containers) —
+		// large enough that ratio drives real skew.
+		var dense []uint32
+		base := uint32(0)
+		for r := 0; r < 1+rng.Intn(4); r++ {
+			base += uint32(1 + rng.Intn(1<<17))
+			step := uint32(1 + rng.Intn(2))
+			n := 1 + rng.Intn(ratio*40)
+			for i := 0; i < n; i++ {
+				dense = append(dense, base)
+				base += step
+			}
+		}
+		// Sparse side: mostly samples of the dense side (guaranteed
+		// hits) with some misses mixed in.
+		m := 1 + len(dense)/max(ratio, 1)
+		sparse := make([]uint32, 0, m)
+		seen := map[uint32]struct{}{}
+		for len(seen) < m {
+			var v uint32
+			if rng.Intn(3) > 0 {
+				v = dense[rng.Intn(len(dense))]
+			} else {
+				v = uint32(rng.Intn(int(base) + 64))
+			}
+			if _, dup := seen[v]; !dup {
+				seen[v] = struct{}{}
+				sparse = append(sparse, v)
+			}
+		}
+		sortU32(sparse)
+
+		want := ops.IntersectSorted(append([]uint32(nil), dense...), sparse)
+		bmCodec := mustCodec(bitmaps[(round+int(seed))%len(bitmaps)])
+		listCodec := mustCodec(lists[(round+int(seed))%len(lists)])
+		bp, err := bmCodec.Compress(dense)
+		if err != nil {
+			return fmt.Errorf("%s: %w", bmCodec.Name(), err)
+		}
+		lp, err := listCodec.Compress(sparse)
+		if err != nil {
+			return fmt.Errorf("%s: %w", listCodec.Name(), err)
+		}
+		for _, pair := range [][2]core.Posting{{bp, lp}, {lp, bp}} {
+			ref, err := ops.Intersect(pair[:])
+			if err != nil {
+				return fmt.Errorf("ratio %d: ops.Intersect: %w", ratio, err)
+			}
+			if len(ref) != len(want) || diffU32(ref, want) >= 0 {
+				return fmt.Errorf("ratio %d %s×%s: ops.Intersect %d docs, slice merge %d",
+					ratio, bmCodec.Name(), listCodec.Name(), len(ref), len(want))
+			}
+			got, err := eng.Eval(ops.And(ops.Leaf(0), ops.Leaf(1)), pair[:])
+			if err != nil {
+				return fmt.Errorf("ratio %d: engine: %w", ratio, err)
+			}
+			if len(got) != len(want) || diffU32(got, want) >= 0 {
+				return fmt.Errorf("ratio %d %s×%s: engine %d docs != reference %d",
+					ratio, bmCodec.Name(), listCodec.Name(), len(got), len(want))
+			}
+		}
+	}
+	return nil
+}
+
+// sortU32 is an insertion-free ascending sort for oracle scratch.
+func sortU32(a []uint32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
 }
