@@ -27,7 +27,10 @@ race:
 # for regression tracking. The hybrid matrix (advisor pick vs every
 # candidate codec across the density×distribution grid, plus the
 # mixed/galloping speedup cells) is self-gating: the run fails if any
-# cell's pick is Pareto-dominated or no kernel cell clears 1.5x.
+# cell's pick is Pareto-dominated or no kernel cell clears 1.5x. The
+# top-k matrix (exhaustive vs MaxScore vs Block-Max-WAND through a
+# mapped BVIX3+impacts file) gates on ranking identity, real block
+# skipping (decode counters), and BMW wall-clock speedup.
 bench:
 	mkdir -p results
 	$(GO) test -run NONE -bench BenchmarkEngine -benchmem -json ./internal/ops > results/BENCH_engine.json
@@ -35,16 +38,20 @@ bench:
 	$(GO) test -run NONE -bench BenchmarkIndex -benchmem -json ./internal/index > results/BENCH_index.json
 	$(GO) test -run TestHybridBenchGate -count=1 ./internal/bench \
 		-args -hybrid.full -hybrid.out $(CURDIR)/results/BENCH_hybrid.json
+	$(GO) test -run TestTopKPruningGate -count=1 ./internal/bench \
+		-args -topk.full -topk.out $(CURDIR)/results/BENCH_topk.json
 	@for f in BENCH_engine BENCH_kernels BENCH_index; do \
 		if ! test -s results/$$f.json || ! grep -q 'ns/op' results/$$f.json; then \
 			echo "FATAL: results/$$f.json missing or contains no benchmark output (did the -bench pattern match?)" >&2; \
 			exit 1; \
 		fi; \
 	done
-	@if ! test -s results/BENCH_hybrid.json || ! grep -q '"pass": true' results/BENCH_hybrid.json; then \
-		echo "FATAL: results/BENCH_hybrid.json missing or gates failed" >&2; \
-		exit 1; \
-	fi
+	@for f in BENCH_hybrid BENCH_topk; do \
+		if ! test -s results/$$f.json || ! grep -q '"pass": true' results/$$f.json; then \
+			echo "FATAL: results/$$f.json missing or gates failed" >&2; \
+			exit 1; \
+		fi; \
+	done
 	$(GO) test -bench=. -benchmem -timeout 60m ./...
 
 # Full chaos-mode load run: 30s of open-loop zipfian traffic against a

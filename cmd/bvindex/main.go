@@ -8,9 +8,11 @@
 //	bvindex -build -in docs.txt -out docs.idx -codec Roaring
 //	bvindex -build -in docs.txt -out docs.idx -codec auto        # adaptive per-list selection
 //	bvindex -build -in docs.txt -out docs.idx -shards 8 -format bvix2
+//	bvindex -build -in docs.txt -out docs.idx -format bvix3+impacts  # ranked annotations
 //	bvindex -index docs.idx -query "compressed lists"            # AND
 //	bvindex -index docs.idx -query "bitmap inverted" -mode or
 //	bvindex -index docs.idx -query "compression" -mode topk -k 3
+//	bvindex -index docs.idx -query "compression" -mode topk -algo bmw
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"repro/internal/codecs"
 	"repro/internal/index"
+	"repro/internal/ops"
 )
 
 func main() {
@@ -33,11 +36,12 @@ func main() {
 		outFile   = flag.String("out", "", "output index file (build mode)")
 		indexFile = flag.String("index", "", "index file to query")
 		codecName = flag.String("codec", "Roaring", "codec for posting lists, or \"auto\" for adaptive per-list selection (build mode)")
-		format    = flag.String("format", "bvix3", "output format: bvix3 | bvix2 (build mode)")
+		format    = flag.String("format", "bvix3", "output format: bvix3 | bvix3+impacts | bvix2 (build mode)")
 		shards    = flag.Int("shards", 0, "tokenizer shards for parallel build (0 = GOMAXPROCS)")
 		query     = flag.String("query", "", "space-separated query terms")
 		mode      = flag.String("mode", "and", "query mode: and | or | topk")
 		k         = flag.Int("k", 5, "result count for -mode topk")
+		algo      = flag.String("algo", "auto", "top-k algorithm: auto | exhaustive | maxscore | bmw")
 	)
 	flag.Parse()
 	if err := validateFlags(flag.CommandLine); err != nil {
@@ -50,7 +54,7 @@ func main() {
 			fatal("%v", err)
 		}
 	case *query != "":
-		if err := runQuery(*indexFile, *query, *mode, *k, os.Stdout); err != nil {
+		if err := runQuery(*indexFile, *query, *mode, *k, *algo, os.Stdout); err != nil {
 			fatal("%v", err)
 		}
 	default:
@@ -68,11 +72,16 @@ func validateFlags(fs *flag.FlagSet) error {
 			return fmt.Errorf("-codec=%q: not a codec name (try one of %v, or \"auto\")", name, codecs.Names())
 		}
 	}
-	if f := get("format").(string); f != "bvix3" && f != "bvix2" {
-		return fmt.Errorf("-format=%q: want bvix3 or bvix2", f)
+	if f := get("format").(string); f != "bvix3" && f != "bvix3+impacts" && f != "bvix2" {
+		return fmt.Errorf("-format=%q: want bvix3, bvix3+impacts, or bvix2", f)
 	}
 	if m := get("mode").(string); m != "and" && m != "or" && m != "topk" {
 		return fmt.Errorf("-mode=%q: want and, or, or topk", m)
+	}
+	switch get("algo").(string) {
+	case "auto", "exhaustive", "maxscore", "bmw":
+	default:
+		return fmt.Errorf("-algo=%q: want auto, exhaustive, maxscore, or bmw", get("algo").(string))
 	}
 	if v := get("k").(int); v < 1 {
 		return fmt.Errorf("-k=%d: result count must be at least 1", v)
@@ -170,7 +179,7 @@ func formatMix(mix map[string]int) string {
 	return strings.Join(parts, " ")
 }
 
-func runQuery(indexFile, query, mode string, k int, w io.Writer) error {
+func runQuery(indexFile, query, mode string, k int, algo string, w io.Writer) error {
 	if indexFile == "" {
 		return fmt.Errorf("query mode needs -index")
 	}
@@ -196,14 +205,17 @@ func runQuery(indexFile, query, mode string, k int, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "OR%v -> %d docs: %v\n", terms, len(docs), docs)
 	case "topk":
-		results, err := idx.TopK(k, terms...)
+		var stats ops.TopKStats
+		results, err := idx.TopKWith(algo, k, &stats, terms...)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "TOP%d%v:\n", k, terms)
+		fmt.Fprintf(w, "TOP%d%v [%s]:\n", k, terms, stats.Mode)
 		for _, r := range results {
 			fmt.Fprintf(w, "  doc %d (score %d)\n", r.Doc, r.Score)
 		}
+		fmt.Fprintf(w, "  (%d/%d blocks decoded, %d docs scored)\n",
+			stats.BlocksDecoded, stats.BlocksTotal, stats.DocsScored)
 	default:
 		return fmt.Errorf("unknown mode %q (and | or | topk)", mode)
 	}

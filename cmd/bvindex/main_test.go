@@ -28,25 +28,62 @@ func TestBuildAndQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := runQuery(idxFile, "bitmap compression", "and", 5, &buf); err != nil {
+	if err := runQuery(idxFile, "bitmap compression", "and", 5, "auto", &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "1 docs: [2]") {
 		t.Errorf("AND output = %q", buf.String())
 	}
 	buf.Reset()
-	if err := runQuery(idxFile, "bitmap inverted", "or", 5, &buf); err != nil {
+	if err := runQuery(idxFile, "bitmap inverted", "or", 5, "auto", &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "3 docs") {
 		t.Errorf("OR output = %q", buf.String())
 	}
 	buf.Reset()
-	if err := runQuery(idxFile, "compression", "topk", 1, &buf); err != nil {
+	if err := runQuery(idxFile, "compression", "topk", 1, "auto", &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "doc 2 (score 2)") {
 		t.Errorf("TOPK output = %q", buf.String())
+	}
+}
+
+// TestBuildImpactsAndRankedQuery builds with the impacts format and
+// checks every pinned top-k algorithm agrees through the CLI, with the
+// pruning counters reported.
+func TestBuildImpactsAndRankedQuery(t *testing.T) {
+	docsFile := writeDocs(t, []string{
+		"compressed bitmap indexes",
+		"inverted lists for search",
+		"bitmap and inverted compression compression",
+	})
+	idxFile := filepath.Join(t.TempDir(), "out.idx")
+	if err := runBuild(docsFile, idxFile, "auto", "bvix3+impacts", 0); err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for _, algo := range []string{"exhaustive", "maxscore", "bmw", "auto"} {
+		var buf bytes.Buffer
+		if err := runQuery(idxFile, "compression bitmap", "topk", 2, algo, &buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "doc 2 (score 3)") {
+			t.Errorf("algo %s: output = %q", algo, out)
+		}
+		if !strings.Contains(out, "blocks decoded") {
+			t.Errorf("algo %s: no pruning counters in %q", algo, out)
+		}
+		// All algorithms must rank identically (only the bracketed mode
+		// line may differ).
+		ranks := out[strings.Index(out, "\n"):]
+		if want == "" {
+			want = ranks
+		} else if ranks != want {
+			t.Errorf("algo %s ranking diverged:\n%s\nwant:\n%s", algo, ranks, want)
+		}
 	}
 }
 
@@ -69,7 +106,7 @@ func TestBuildErrors(t *testing.T) {
 
 func TestQueryErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runQuery("", "x", "and", 5, &buf); err == nil {
+	if err := runQuery("", "x", "and", 5, "auto", &buf); err == nil {
 		t.Error("missing -index accepted")
 	}
 	docsFile := writeDocs(t, []string{"a doc"})
@@ -77,10 +114,10 @@ func TestQueryErrors(t *testing.T) {
 	if err := runBuild(docsFile, idxFile, "VB", "bvix2", 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := runQuery(idxFile, "doc", "nonsense", 5, &buf); err == nil {
+	if err := runQuery(idxFile, "doc", "nonsense", 5, "auto", &buf); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := runQuery(docsFile, "doc", "and", 5, &buf); err == nil {
+	if err := runQuery(docsFile, "doc", "and", 5, "auto", &buf); err == nil {
 		t.Error("non-index file accepted")
 	}
 }

@@ -187,7 +187,7 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 	}
 
 	if o.writeIndex != "" {
-		if err := idx.WriteFile(o.writeIndex, index.FormatBVIX3); err != nil {
+		if err := idx.WriteFile(o.writeIndex, index.FormatBVIX3Impacts); err != nil {
 			return err
 		}
 		logger.Printf("wrote %s (%d docs, %d terms); serve it with: bvserve -index %s",
@@ -211,7 +211,7 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 		}
 		defer os.RemoveAll(dir)
 		idxPath := filepath.Join(dir, "load.bvix")
-		if err := idx.WriteFile(idxPath, index.FormatBVIX3); err != nil {
+		if err := idx.WriteFile(idxPath, index.FormatBVIX3Impacts); err != nil {
 			return err
 		}
 		if o.serveBin != "" {

@@ -1,0 +1,286 @@
+// Ranked top-k benchmark matrix: the pruned document-at-a-time
+// algorithms (MaxScore, Block-Max-WAND) against the exhaustive
+// reference scorer, evaluated through the full serving path — a
+// BVIX3+impacts file opened zero-copy, impact cursors decoding
+// compressed blocks on demand. RunTopK both measures and gates:
+//
+//   - identity gate (always fatal): every algorithm must return the
+//     exact ranking the exhaustive scorer returns, cell by cell. The
+//     pruned paths are optimizations, never approximations.
+//   - skip gate (counter-based, race-safe): in at least one cell
+//     Block-Max-WAND must decode no more than MaxDecodedFrac of the
+//     posting blocks the exhaustive scorer decodes. Block skipping is
+//     the whole point of the impacts section; this is its proof.
+//   - speedup gate (timing, informational under -race): at least one
+//     cell where BMW beats exhaustive wall-clock by >= MinSpeedup.
+//
+// `make bench` runs the full matrix and writes results/BENCH_topk.json;
+// the quick matrix runs in the ordinary test suite.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/codecs"
+	"repro/internal/index"
+	"repro/internal/ops"
+)
+
+// topkAlgos are the pinned algorithms a matrix cell times, reference
+// first.
+var topkAlgos = []string{"exhaustive", "maxscore", "bmw"}
+
+// TopKConfig scales the ranked-retrieval matrix.
+type TopKConfig struct {
+	Docs    int   // corpus size
+	Commons int   // low-impact stopword-like terms (freq 1, ~70% of docs)
+	Rares   int   // high-impact selective terms (freq 4..7)
+	RareOdd int   // a rare term hits one doc in RareOdd
+	Trials  int   // timed repetitions (best is kept)
+	Ks      []int // result-set sizes
+	Seed    int64
+
+	// MinSpeedup is the wall-clock factor BMW must beat exhaustive by in
+	// at least one cell; MaxDecodedFrac is the block-decode fraction BMW
+	// must get under in at least one cell.
+	MinSpeedup     float64
+	MaxDecodedFrac float64
+}
+
+// DefaultTopK is the committed-results configuration (~seconds).
+func DefaultTopK() TopKConfig {
+	return TopKConfig{
+		Docs:           120000,
+		Commons:        6,
+		Rares:          4,
+		RareOdd:        2000,
+		Trials:         5,
+		Ks:             []int{10, 100, 1000},
+		Seed:           42,
+		MinSpeedup:     1.3,
+		MaxDecodedFrac: 0.6,
+	}
+}
+
+// QuickTopK shrinks the matrix for the ordinary test suite while
+// keeping the skewed shape that makes blocks skippable.
+func QuickTopK() TopKConfig {
+	c := DefaultTopK()
+	c.Docs = 20000
+	c.RareOdd = 1200
+	c.Trials = 3
+	c.Ks = []int{10}
+	return c
+}
+
+// TopKCell is one (query, k) row: per-algorithm wall time plus the
+// block-decode counters that prove (or disprove) skipping.
+type TopKCell struct {
+	Terms         []string `json:"terms"`
+	K             int      `json:"k"`
+	Results       int      `json:"results"`
+	ExhaustiveMS  float64  `json:"exhaustive_ms"`
+	MaxScoreMS    float64  `json:"maxscore_ms"`
+	BMWMS         float64  `json:"bmw_ms"`
+	BlocksTotal   int      `json:"blocks_total"`
+	BMWDecoded    int      `json:"bmw_blocks_decoded"`
+	DecodedFrac   float64  `json:"bmw_decoded_frac"`
+	SpeedupVsExh  float64  `json:"bmw_speedup"`
+	MaxScoreSpeed float64  `json:"maxscore_speedup"`
+}
+
+// TopKReport is the gated result of a matrix run.
+type TopKReport struct {
+	Docs           int        `json:"docs"`
+	Terms          int        `json:"terms"`
+	Trials         int        `json:"trials"`
+	Cells          []TopKCell `json:"cells"`
+	MaxSpeedup     float64    `json:"max_speedup"`
+	MinDecodedFrac float64    `json:"min_decoded_frac"`
+	Pass           bool       `json:"pass"`
+	Failures       []string   `json:"failures,omitempty"`
+}
+
+// buildTopKCorpus writes a skewed synthetic corpus shaped so pruning
+// has something to prune: common terms appear in ~70% of documents at
+// impact 1 (long lists whose block maxima are flat and low), rare
+// terms hit one doc in cfg.RareOdd with 4-7 repetitions (short lists
+// whose impacts set the heap threshold). With the threshold above any
+// common block's maximum, BMW can skip common blocks wholesale.
+//
+// The corpus is built with a list codec (VB) rather than the adaptive
+// advisor: block skipping is a property of the block-decoded list
+// path, and this matrix exists to measure exactly that path. (Bitmap
+// postings have no block frame to skip; their cursors honestly report
+// every block decoded, which would mask the counter this gate audits.)
+func buildTopKCorpus(cfg TopKConfig) (*index.Builder, error) {
+	codec, err := codecs.ByName("VB")
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := index.NewBuilder(codec)
+	var sb strings.Builder
+	for d := 0; d < cfg.Docs; d++ {
+		sb.Reset()
+		for c := 0; c < cfg.Commons; c++ {
+			if rng.Float64() < 0.7 {
+				fmt.Fprintf(&sb, "common%d ", c)
+			}
+		}
+		for r := 0; r < cfg.Rares; r++ {
+			if rng.Intn(cfg.RareOdd) == 0 {
+				reps := 4 + rng.Intn(4)
+				for i := 0; i < reps; i++ {
+					fmt.Fprintf(&sb, "rare%d ", r)
+				}
+			}
+		}
+		if sb.Len() == 0 {
+			sb.WriteString("filler")
+		}
+		b.AddDocument(sb.String())
+	}
+	return b, nil
+}
+
+// topkQueries is the query matrix: selective rare terms paired with
+// long common lists (the prunable shape), plus an all-common query
+// where pruning has nothing to cut — the matrix should show both.
+func topkQueries(cfg TopKConfig) [][]string {
+	return [][]string{
+		{"rare0", "common0"},
+		{"rare1", "common0", "common1"},
+		{"rare2", "rare3", "common2"},
+		{"common0", "common1"},
+	}
+}
+
+// RunTopK builds the corpus, publishes it as a BVIX3+impacts file,
+// reopens it zero-copy, and runs the gated matrix against the mapping —
+// the same path a production server serves from.
+func RunTopK(cfg TopKConfig) (*TopKReport, error) {
+	b, err := buildTopKCorpus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	built, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "bench-topk-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "topk.bvix")
+	if err := built.WriteFile(path, index.FormatBVIX3Impacts); err != nil {
+		return nil, err
+	}
+	idx, err := index.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer idx.Close()
+
+	rep := &TopKReport{Docs: idx.Docs(), Terms: idx.Terms(), Trials: cfg.Trials, Pass: true}
+	rep.MinDecodedFrac = 1
+	for _, terms := range topkQueries(cfg) {
+		for _, k := range cfg.Ks {
+			cell, err := runTopKCell(cfg, idx, terms, k, rep)
+			if err != nil {
+				return nil, err
+			}
+			rep.Cells = append(rep.Cells, cell)
+			if cell.SpeedupVsExh > rep.MaxSpeedup {
+				rep.MaxSpeedup = cell.SpeedupVsExh
+			}
+			if cell.BlocksTotal > 0 && cell.DecodedFrac < rep.MinDecodedFrac {
+				rep.MinDecodedFrac = cell.DecodedFrac
+			}
+		}
+	}
+	if rep.MinDecodedFrac > cfg.MaxDecodedFrac {
+		rep.Pass = false
+		rep.Failures = append(rep.Failures, fmt.Sprintf(
+			"no cell decoded <= %.0f%% of its blocks (best %.0f%%): block-max skipping is not engaging",
+			100*cfg.MaxDecodedFrac, 100*rep.MinDecodedFrac))
+	}
+	if rep.MaxSpeedup < cfg.MinSpeedup {
+		rep.Pass = false
+		rep.Failures = append(rep.Failures, fmt.Sprintf(
+			"no cell reached %.2fx BMW speedup over exhaustive (max %.2fx)",
+			cfg.MinSpeedup, rep.MaxSpeedup))
+	}
+	return rep, nil
+}
+
+// runTopKCell measures one (query, k) cell and enforces the identity
+// gate: every algorithm's full (doc, score) ranking must equal the
+// exhaustive reference's. An identity failure poisons the whole run —
+// it is reported through rep.Failures AND fails the cell hard, because
+// a pruned algorithm returning different results is a correctness bug
+// no timing can excuse.
+func runTopKCell(cfg TopKConfig, idx *index.Index, terms []string, k int, rep *TopKReport) (TopKCell, error) {
+	cell := TopKCell{Terms: terms, K: k}
+	var ref []index.Result
+	for _, algo := range topkAlgos {
+		var stats ops.TopKStats
+		res, err := idx.TopKWith(algo, k, &stats, terms...)
+		if err != nil {
+			return cell, fmt.Errorf("topk %v k=%d %s: %w", terms, k, algo, err)
+		}
+		switch algo {
+		case "exhaustive":
+			ref = res
+			cell.Results = len(res)
+			cell.BlocksTotal = stats.BlocksTotal
+		case "bmw":
+			cell.BMWDecoded = stats.BlocksDecoded
+			if stats.BlocksTotal > 0 {
+				cell.DecodedFrac = float64(stats.BlocksDecoded) / float64(stats.BlocksTotal)
+			}
+		}
+		if algo != "exhaustive" && !sameRanking(ref, res) {
+			return cell, fmt.Errorf("topk %v k=%d: %s ranking diverges from exhaustive", terms, k, algo)
+		}
+		ms := timePerOp(cfg.Trials, 2, func() {
+			res, err = idx.TopKWith(algo, k, nil, terms...)
+		})
+		if err != nil {
+			return cell, err
+		}
+		switch algo {
+		case "exhaustive":
+			cell.ExhaustiveMS = ms
+		case "maxscore":
+			cell.MaxScoreMS = ms
+		case "bmw":
+			cell.BMWMS = ms
+		}
+	}
+	if cell.BMWMS > 0 {
+		cell.SpeedupVsExh = cell.ExhaustiveMS / cell.BMWMS
+	}
+	if cell.MaxScoreMS > 0 {
+		cell.MaxScoreSpeed = cell.ExhaustiveMS / cell.MaxScoreMS
+	}
+	return cell, nil
+}
+
+// sameRanking reports exact (doc, score) sequence equality.
+func sameRanking(a, b []index.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

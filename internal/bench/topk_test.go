@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var (
+	topkOut  = flag.String("topk.out", "", "write the top-k matrix report JSON to this path")
+	topkFull = flag.Bool("topk.full", false, "run the committed-results matrix instead of the quick one")
+)
+
+// TestTopKPruningGate runs the ranked-retrieval matrix through a
+// mapped BVIX3+impacts file and applies the gates: every pruned
+// algorithm must reproduce the exhaustive ranking exactly (fatal,
+// always), Block-Max-WAND must demonstrably skip blocks (the decode
+// counter is deterministic, so this gate binds even under -race), and
+// BMW must beat exhaustive wall-clock in at least one cell (timing,
+// informational under -race). `make bench` runs this with -topk.full
+// -topk.out to (re)generate results/BENCH_topk.json.
+func TestTopKPruningGate(t *testing.T) {
+	cfg := QuickTopK()
+	if *topkFull {
+		cfg = DefaultTopK()
+	}
+	rep, err := RunTopK(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *topkOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(*topkOut, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cells, max speedup %.1fx, min decoded %.0f%%)",
+			*topkOut, len(rep.Cells), rep.MaxSpeedup, 100*rep.MinDecodedFrac)
+	}
+	for _, c := range rep.Cells {
+		t.Logf("%-24s k=%-4d exh %8.3fms  ms %8.3fms  bmw %8.3fms (%5.1fx)  blocks %d/%d",
+			strings.Join(c.Terms, " "), c.K, c.ExhaustiveMS, c.MaxScoreMS, c.BMWMS, c.SpeedupVsExh, c.BMWDecoded, c.BlocksTotal)
+	}
+	if rep.Pass {
+		return
+	}
+	for _, f := range rep.Failures {
+		// The block-decode gate is counter-based and race-safe; only the
+		// wall-clock gate goes informational under instrumentation.
+		if raceEnabled && strings.Contains(f, "speedup") {
+			t.Logf("race detector enabled, timing gate informational: %s", f)
+		} else {
+			t.Error(f)
+		}
+	}
+}

@@ -141,6 +141,27 @@ type BucketProber interface {
 	AppendBucket(i int, dst []uint32) []uint32
 }
 
+// BlockDecoder is implemented by list postings stored in the fixed
+// block frame (intlist.Blocked): the posting exposes its physical
+// blocks so ranked-retrieval cursors can decode only the blocks whose
+// block-max impact can still beat the running top-k heap threshold.
+// Block b holds the values [b*BlockSpan(), ...) of the sorted list;
+// every block except possibly the last holds exactly BlockSpan()
+// values, so positional impact blocks cut at the same width line up
+// one-to-one with physical blocks.
+type BlockDecoder interface {
+	Posting
+	// BlockSpan reports the frame's cut width (values per full block).
+	BlockSpan() int
+	// NumBlocks reports the number of blocks (ceil(Len/BlockSpan)).
+	NumBlocks() int
+	// BlockFirst returns the first value of block b without decoding it.
+	BlockFirst(b int) uint32
+	// DecodeBlock fills buf with block b's values and returns
+	// buf[:blockLen]. buf must have room for BlockSpan values.
+	DecodeBlock(b int, buf []uint32) []uint32
+}
+
 // Seeker is implemented by list postings with skip pointers: SeekGEQ
 // support is what makes SvS intersection skip whole blocks (§B, App. B),
 // and what lets PEF intersect without decompressing entire blocks.

@@ -15,24 +15,29 @@ import (
 	"repro/internal/index/mapfile"
 )
 
-// BVIX3 is the serving-oriented on-disk index format: three
-// section-aligned, length-prefixed, CRC-checked segments laid out so a
-// file can be opened zero-copy from an mmap and queried before any
-// posting is decoded.
+// BVIX3 is the serving-oriented on-disk index format: section-aligned,
+// length-prefixed, CRC-checked segments laid out so a file can be
+// opened zero-copy from an mmap and queried before any posting is
+// decoded. Version 3 files carry three sections (dict, frames,
+// payload); version 4 files append an optional fourth — the impacts
+// section — carrying quantized ranking impacts and per-block maxima
+// for Block-Max pruning. Impact-less writes stay byte-identical to
+// version 3, and readers accept both.
 //
-// File layout (little-endian throughout):
+// File layout (little-endian throughout; S = section count, 3 or 4):
 //
 //	[0,5)    magic "BVIX3"
-//	[5]      format version (1)
+//	[5]      format version (3 = no impacts, 4 = impacts section)
 //	[6,8)    zero padding
 //	[8,12)   document count u32
 //	[12,16)  term count u32
 //	[16,20)  skip-frame length u32 (terms per frame; writer uses 64)
-//	[20,24)  section count u32 (always 3)
-//	[24,84)  section table: 3 × { off u64, len u64, crc32c u32 }
-//	         in file order dict, frames, payload; offsets absolute
-//	[84,88)  crc32c over bytes [5,84) — the header checksum
-//	[88,…)   zero padding to the 64-byte-aligned dict section
+//	[20,24)  section count u32 (3 for v3, 4 for v4)
+//	[24,24+20S)   section table: S × { off u64, len u64, crc32c u32 }
+//	              in file order dict, frames, payload[, impacts];
+//	              offsets absolute
+//	[24+20S,+4)   crc32c over bytes [5,24+20S) — the header checksum
+//	[…,128)       zero padding to the 64-byte-aligned dict section
 //
 // Sections, each 64-byte aligned with zero padding between them:
 //
@@ -62,39 +67,71 @@ import (
 //	         payload (2 × count bytes). Records tile the section
 //	         exactly — open re-derives every record boundary and
 //	         rejects files whose dict disagrees with the payload.
+//	impacts: (v4 only) a per-term u64 offset table (term count × 8
+//	         bytes, dict order, impacts-section-relative), then one
+//	         8-byte-aligned impact record per term tiling the rest of
+//	         the section. See impacts.go for the record layout, the
+//	         quantization scheme, and the per-record CRC that makes
+//	         degraded opens quarantine a corrupt impacts section
+//	         without losing the docid postings.
 //
 // Every byte of the file is covered by a check: the magic by equality,
-// [5,84) by the header CRC, each section by its table CRC, and all
+// the header by its CRC, each section by its table CRC, and all
 // padding by an explicit zeros check. A single flipped bit anywhere
 // surfaces as an error (core.ErrChecksum for CRC-covered ranges).
 const (
-	bvix3Version    = 3 // v2 added per-record payload CRCs; v3 the codec byte
-	bvix3HeaderSize = 88
-	bvix3DataStart  = 128 // first section offset: align64(headerSize)
-	bvix3Align      = 64
-	bvix3RecAlign   = 8
-	bvix3FrameLen   = 64
+	bvix3Version        = 3   // v2 added per-record payload CRCs; v3 the codec byte
+	bvix3VersionImpacts = 4   // v4 added the optional impacts section
+	bvix3HeaderSize     = 88  // v3 header: 24 + 3×20 + 4
+	bvix3DataStart      = 128 // first section offset: align64 of either header size
+	bvix3Align          = 64
+	bvix3RecAlign       = 8
+	bvix3FrameLen       = 64
 	// bvix3RecordFixed is a dict record's size net of the name bytes:
 	// name length u16, count u32, payload offset u64, blob length u32,
 	// payload record CRC u32, codec byte u8.
 	bvix3RecordFixed = 2 + 4 + 8 + 4 + 4 + 1
 )
 
+// bvix3HeaderSizeFor is the byte size of the header (magic through
+// header CRC) for a given section count.
+func bvix3HeaderSizeFor(sections int) int { return 24 + sections*20 + 4 }
+
 var bvix3Magic = []byte("BVIX3")
 
 func align(n, a uint64) uint64 { return (n + a - 1) &^ (a - 1) }
 
-// WriteBVIX3 serializes the index in the BVIX3 format. Output depends
-// only on index contents: a parallel build writes byte-identical files
-// to a serial one. Lazily opened indexes are materialized in full
-// (every posting decoded, then re-marshaled), so WriteBVIX3 also works
-// as a format converter.
+// WriteBVIX3 serializes the index in the BVIX3 format (version 3, no
+// impacts section — byte-identical to what previous builds wrote).
+// Output depends only on index contents: a parallel build writes
+// byte-identical files to a serial one. Lazily opened indexes are
+// materialized in full (every posting decoded, then re-marshaled), so
+// WriteBVIX3 also works as a format converter.
 func (idx *Index) WriteBVIX3(w io.Writer) (int64, error) {
+	return idx.writeBVIX3(w, false)
+}
+
+// WriteBVIX3Impacts serializes the index as BVIX3 version 4: the three
+// v3 sections plus the impacts section (quantized ranking impacts and
+// block-max metadata). Impacts are recomputed deterministically from
+// the stored frequencies, so converting any readable index — including
+// impact-less v3 files — produces a fully impact-annotated one.
+func (idx *Index) WriteBVIX3Impacts(w io.Writer) (int64, error) {
+	return idx.writeBVIX3(w, true)
+}
+
+func (idx *Index) writeBVIX3(w io.Writer, withImpacts bool) (int64, error) {
 	names, entries, err := idx.sortedEntries()
 	if err != nil {
 		return 0, err
 	}
-	var dict, frames, payload []byte
+	var dict, frames, payload, impacts []byte
+	if withImpacts {
+		// The impacts section opens with the per-term record offset
+		// table; record offsets are known only after encoding, so the
+		// table is filled in as records land.
+		impacts = make([]byte, 8*len(names))
+	}
 	for i, name := range names {
 		if i%bvix3FrameLen == 0 {
 			frames = binary.LittleEndian.AppendUint64(frames, uint64(len(dict)))
@@ -119,23 +156,39 @@ func (idx *Index) WriteBVIX3(w io.Writer) (int64, error) {
 		dict = binary.LittleEndian.AppendUint32(dict, uint32(len(blob)))
 		dict = binary.LittleEndian.AppendUint32(dict, crc32.Checksum(payload[payOff:], castagnoli))
 		dict = append(dict, codecByteFor(e, blob))
+		if withImpacts {
+			binary.LittleEndian.PutUint64(impacts[8*i:], uint64(len(impacts)))
+			meta := buildImpactMeta(e.posting.Decompress(), e.freqs)
+			impacts = appendImpactsRecord(impacts, meta, e.codec)
+		}
 	}
 
-	dictOff := uint64(bvix3DataStart)
-	framesOff := align(dictOff+uint64(len(dict)), bvix3Align)
-	payloadOff := align(framesOff+uint64(len(frames)), bvix3Align)
+	version := byte(bvix3Version)
+	secs := []struct {
+		off uint64
+		b   []byte
+	}{{0, dict}, {0, frames}, {0, payload}}
+	if withImpacts {
+		version = bvix3VersionImpacts
+		secs = append(secs, struct {
+			off uint64
+			b   []byte
+		}{0, impacts})
+	}
+	off := uint64(bvix3DataStart)
+	for i := range secs {
+		secs[i].off = off
+		off = align(off+uint64(len(secs[i].b)), bvix3Align)
+	}
 
-	hdr := make([]byte, 0, bvix3HeaderSize)
+	hdr := make([]byte, 0, bvix3HeaderSizeFor(len(secs)))
 	hdr = append(hdr, bvix3Magic...)
-	hdr = append(hdr, bvix3Version, 0, 0)
+	hdr = append(hdr, version, 0, 0)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(idx.Docs()))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(names)))
 	hdr = binary.LittleEndian.AppendUint32(hdr, bvix3FrameLen)
-	hdr = binary.LittleEndian.AppendUint32(hdr, 3)
-	for _, sec := range []struct {
-		off uint64
-		b   []byte
-	}{{dictOff, dict}, {framesOff, frames}, {payloadOff, payload}} {
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(secs)))
+	for _, sec := range secs {
 		hdr = binary.LittleEndian.AppendUint64(hdr, sec.off)
 		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(sec.b)))
 		hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(sec.b, castagnoli))
@@ -154,16 +207,14 @@ func (idx *Index) WriteBVIX3(w io.Writer) (int64, error) {
 		}
 		return nil
 	}
-	for _, step := range []func() error{
-		func() error { return emit(hdr) },
-		func() error { return pad(dictOff) },
-		func() error { return emit(dict) },
-		func() error { return pad(framesOff) },
-		func() error { return emit(frames) },
-		func() error { return pad(payloadOff) },
-		func() error { return emit(payload) },
-	} {
-		if err := step(); err != nil {
+	if err := emit(hdr); err != nil {
+		return n, err
+	}
+	for _, sec := range secs {
+		if err := pad(sec.off); err != nil {
+			return n, err
+		}
+		if err := emit(sec.b); err != nil {
 			return n, err
 		}
 	}
@@ -192,13 +243,15 @@ func (idx *Index) sortedEntries() ([]string, []termEntry, error) {
 // bvix3Geometry is the validated shape of one BVIX3 file: borrowed
 // section slices plus the aggregates the dict walk established.
 type bvix3Geometry struct {
-	docs      int
-	terms     int
-	frameLen  int
-	dict      []byte
-	frames    []byte
-	payload   []byte
-	sizeBytes int // sum of posting blob lengths
+	docs       int
+	terms      int
+	frameLen   int
+	dict       []byte
+	frames     []byte
+	payload    []byte
+	impacts    []byte // v4 impacts section; nil for v3 files
+	hasImpacts bool
+	sizeBytes  int // sum of posting blob lengths
 }
 
 // codecByteFor resolves the codec byte for one dict record: the
@@ -263,7 +316,7 @@ type bvix3Section struct {
 }
 
 // bvix3SectionNames index the section table for quarantine reporting.
-var bvix3SectionNames = [3]string{"dict", "frames", "payload"}
+var bvix3SectionNames = [4]string{"dict", "frames", "payload", "impacts"}
 
 // parseBVIX3 validates a whole BVIX3 file: header checksum, section
 // geometry and checksums, zero padding, and a full dictionary walk
@@ -288,6 +341,11 @@ func parseBVIX3(data []byte) (*bvix3Geometry, error) {
 	if valid != g.terms {
 		return nil, fmt.Errorf("index: BVIX3 dict walk validated %d of %d terms", valid, g.terms)
 	}
+	if g.hasImpacts {
+		if err := g.walkImpacts(); err != nil {
+			return nil, err
+		}
+	}
 	return g, nil
 }
 
@@ -296,36 +354,49 @@ func parseBVIX3(data []byte) (*bvix3Geometry, error) {
 // version, section geometry, padding zeros, and frame-table sizing.
 // It is the part of open that must hold even for degraded-mode
 // recovery — a file whose shell fails has no trustworthy map of its
-// own bytes and cannot be salvaged section by section.
-func parseBVIX3Shell(data []byte) (*bvix3Geometry, [3]bvix3Section, error) {
-	var secs [3]bvix3Section
+// own bytes and cannot be salvaged section by section. The returned
+// slice has one entry per section: 3 for v3 files, 4 for v4.
+func parseBVIX3Shell(data []byte) (*bvix3Geometry, []bvix3Section, error) {
 	if len(data) < bvix3DataStart {
-		return nil, secs, fmt.Errorf("index: %w: %d bytes is shorter than a BVIX3 header", core.ErrChecksum, len(data))
+		return nil, nil, fmt.Errorf("index: %w: %d bytes is shorter than a BVIX3 header", core.ErrChecksum, len(data))
 	}
 	if !bytes.Equal(data[:len(bvix3Magic)], bvix3Magic) {
-		return nil, secs, fmt.Errorf("index: bad magic %q", data[:len(bvix3Magic)])
+		return nil, nil, fmt.Errorf("index: bad magic %q", data[:len(bvix3Magic)])
 	}
-	if got := binary.LittleEndian.Uint32(data[bvix3HeaderSize-4:]); got != crc32.Checksum(data[len(bvix3Magic):bvix3HeaderSize-4], castagnoli) {
-		return nil, secs, fmt.Errorf("index: %w: BVIX3 header checksum mismatch", core.ErrChecksum)
+	// The version byte positions the section table and header CRC, so
+	// it is read before the CRC check; an unsupported value fails here,
+	// and a corrupted-but-supported one fails the CRC at its layout.
+	nSec := 0
+	switch data[5] {
+	case bvix3Version:
+		nSec = 3
+	case bvix3VersionImpacts:
+		nSec = 4
+	default:
+		return nil, nil, fmt.Errorf("index: %w: BVIX3 file declares version %d, this build reads versions %d and %d",
+			core.ErrVersion, data[5], bvix3Version, bvix3VersionImpacts)
 	}
-	if v := data[5]; v != bvix3Version {
-		return nil, secs, fmt.Errorf("index: %w: BVIX3 file declares version %d, this build reads version %d", core.ErrVersion, v, bvix3Version)
+	hdrSize := bvix3HeaderSizeFor(nSec)
+	if got := binary.LittleEndian.Uint32(data[hdrSize-4:]); got != crc32.Checksum(data[len(bvix3Magic):hdrSize-4], castagnoli) {
+		return nil, nil, fmt.Errorf("index: %w: BVIX3 header checksum mismatch", core.ErrChecksum)
 	}
 	if data[6] != 0 || data[7] != 0 {
-		return nil, secs, fmt.Errorf("index: BVIX3 header padding not zero")
+		return nil, nil, fmt.Errorf("index: BVIX3 header padding not zero")
 	}
 	g := &bvix3Geometry{
-		docs:     int(binary.LittleEndian.Uint32(data[8:])),
-		terms:    int(binary.LittleEndian.Uint32(data[12:])),
-		frameLen: int(binary.LittleEndian.Uint32(data[16:])),
+		docs:       int(binary.LittleEndian.Uint32(data[8:])),
+		terms:      int(binary.LittleEndian.Uint32(data[12:])),
+		frameLen:   int(binary.LittleEndian.Uint32(data[16:])),
+		hasImpacts: nSec == 4,
 	}
-	if sc := binary.LittleEndian.Uint32(data[20:]); sc != 3 {
-		return nil, secs, fmt.Errorf("index: BVIX3 declares %d sections, want 3", sc)
+	if sc := binary.LittleEndian.Uint32(data[20:]); sc != uint32(nSec) {
+		return nil, nil, fmt.Errorf("index: BVIX3 version %d declares %d sections, want %d", data[5], sc, nSec)
 	}
 	if g.terms > 0 && g.frameLen <= 0 {
-		return nil, secs, fmt.Errorf("index: BVIX3 frame length %d invalid", g.frameLen)
+		return nil, nil, fmt.Errorf("index: BVIX3 frame length %d invalid", g.frameLen)
 	}
 
+	secs := make([]bvix3Section, nSec)
 	for i := range secs {
 		p := 24 + i*20
 		secs[i] = bvix3Section{
@@ -339,38 +410,41 @@ func parseBVIX3Shell(data []byte) (*bvix3Geometry, [3]bvix3Section, error) {
 	want := uint64(bvix3DataStart)
 	for i, s := range secs {
 		if s.off != want {
-			return nil, secs, fmt.Errorf("index: BVIX3 section %d at offset %d, want %d", i, s.off, want)
+			return nil, nil, fmt.Errorf("index: BVIX3 section %d at offset %d, want %d", i, s.off, want)
 		}
 		if s.off+s.length < s.off || s.off+s.length > uint64(len(data)) {
-			return nil, secs, fmt.Errorf("index: %w: BVIX3 section %d overruns file", core.ErrChecksum, i)
+			return nil, nil, fmt.Errorf("index: %w: BVIX3 section %d overruns file", core.ErrChecksum, i)
 		}
 		want = align(s.off+s.length, bvix3Align)
 	}
-	if end := secs[2].off + secs[2].length; end != uint64(len(data)) {
-		return nil, secs, fmt.Errorf("index: %d trailing bytes after BVIX3 payload section", uint64(len(data))-end)
+	last := secs[nSec-1]
+	if end := last.off + last.length; end != uint64(len(data)) {
+		return nil, nil, fmt.Errorf("index: %d trailing bytes after BVIX3 %s section", uint64(len(data))-end, bvix3SectionNames[nSec-1])
 	}
-	zeroRuns := [][2]uint64{
-		{bvix3HeaderSize, secs[0].off},
-		{secs[0].off + secs[0].length, secs[1].off},
-		{secs[1].off + secs[1].length, secs[2].off},
+	zeroRuns := [][2]uint64{{uint64(hdrSize), secs[0].off}}
+	for i := 1; i < nSec; i++ {
+		zeroRuns = append(zeroRuns, [2]uint64{secs[i-1].off + secs[i-1].length, secs[i].off})
 	}
 	for _, run := range zeroRuns {
 		for _, b := range data[run[0]:run[1]] {
 			if b != 0 {
-				return nil, secs, fmt.Errorf("index: BVIX3 padding bytes not zero")
+				return nil, nil, fmt.Errorf("index: BVIX3 padding bytes not zero")
 			}
 		}
 	}
 	g.dict = data[secs[0].off : secs[0].off+secs[0].length]
 	g.frames = data[secs[1].off : secs[1].off+secs[1].length]
 	g.payload = data[secs[2].off : secs[2].off+secs[2].length]
+	if g.hasImpacts {
+		g.impacts = data[secs[3].off : secs[3].off+secs[3].length]
+	}
 
 	frameCount := 0
 	if g.terms > 0 {
 		frameCount = (g.terms + g.frameLen - 1) / g.frameLen
 	}
 	if len(g.frames) != 8*frameCount {
-		return nil, secs, fmt.Errorf("index: BVIX3 frames section is %d bytes, want %d for %d terms", len(g.frames), 8*frameCount, g.terms)
+		return nil, nil, fmt.Errorf("index: BVIX3 frames section is %d bytes, want %d for %d terms", len(g.frames), 8*frameCount, g.terms)
 	}
 	return g, secs, nil
 }
@@ -507,7 +581,7 @@ func readBVIX3(data []byte) (*Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		e, err := g.materialize(rec)
+		e, err := g.materializeAt(rec, i)
 		if err != nil {
 			return nil, err
 		}
@@ -515,6 +589,22 @@ func readBVIX3(data []byte) (*Index, error) {
 		cur = rec.next
 	}
 	return idx, nil
+}
+
+// materializeAt is materialize plus the term's impact annotations when
+// the file carries them; ordinal is the term's position in dict order
+// (the impacts offset-table key).
+func (g *bvix3Geometry) materializeAt(rec dictRecord, ordinal int) (termEntry, error) {
+	e, err := g.materialize(rec)
+	if err != nil || !g.hasImpacts {
+		return e, err
+	}
+	m, err := g.materializeImpacts(rec, ordinal)
+	if err != nil {
+		return termEntry{}, err
+	}
+	e.impacts = m
+	return e, nil
 }
 
 // lazyIndex backs an Index opened from a BVIX3 mapping: terms
@@ -529,9 +619,13 @@ type lazyIndex struct {
 
 	// degraded marks an index salvaged by OpenFileDegraded; quarantined
 	// names (payload records that failed verification) are reported
-	// absent without touching the mapping. Both are fixed at open time.
-	degraded    bool
-	quarantined map[string]struct{}
+	// absent without touching the mapping, and impactsQuarantined names
+	// are served WITHOUT their impact annotations (postings intact,
+	// ranking falls back to frequency-derived impacts). All are fixed
+	// at open time.
+	degraded           bool
+	quarantined        map[string]struct{}
+	impactsQuarantined map[string]struct{}
 
 	mu     sync.RWMutex
 	ready  map[string]termEntry
@@ -556,11 +650,11 @@ func (lz *lazyIndex) entry(term string) (termEntry, bool) {
 		return termEntry{}, false
 	}
 	e, ok := func() (termEntry, bool) {
-		rec, ok := lz.locate(term)
+		rec, ordinal, ok := lz.locate(term)
 		if !ok {
 			return termEntry{}, false
 		}
-		e, err := lz.geo.materialize(rec)
+		e, err := lz.materializeFor(rec, ordinal)
 		return e, err == nil
 	}()
 	lz.mu.RUnlock()
@@ -577,13 +671,37 @@ func (lz *lazyIndex) entry(term string) (termEntry, bool) {
 	return e, true
 }
 
-// locate finds a term's dict record: binary search over the skip
-// frames on each frame's first name (read zero-copy from the dict),
-// then a scan of at most frameLen records. Caller holds the read lock.
-func (lz *lazyIndex) locate(term string) (dictRecord, bool) {
+// materializeFor resolves one record to a term entry, attaching impact
+// annotations when the file carries them. On a degraded index a term
+// whose impacts were quarantined (or fail to decode) still serves its
+// postings — ranking just falls back to frequency-derived impacts.
+func (lz *lazyIndex) materializeFor(rec dictRecord, ordinal int) (termEntry, error) {
+	e, err := lz.geo.materialize(rec)
+	if err != nil || !lz.geo.hasImpacts {
+		return e, err
+	}
+	if _, bad := lz.impactsQuarantined[string(rec.name)]; bad {
+		return e, nil
+	}
+	m, merr := lz.geo.materializeImpacts(rec, ordinal)
+	if merr != nil {
+		if lz.degraded {
+			return e, nil
+		}
+		return termEntry{}, merr
+	}
+	e.impacts = m
+	return e, nil
+}
+
+// locate finds a term's dict record and its dict-order ordinal (the
+// impacts offset-table key): binary search over the skip frames on
+// each frame's first name (read zero-copy from the dict), then a scan
+// of at most frameLen records. Caller holds the read lock.
+func (lz *lazyIndex) locate(term string) (dictRecord, int, bool) {
 	nFrames := len(lz.geo.frames) / 8
 	if nFrames == 0 {
-		return dictRecord{}, false
+		return dictRecord{}, 0, false
 	}
 	// First frame whose first name is > term; the record, if present,
 	// lives in the frame before it.
@@ -593,7 +711,7 @@ func (lz *lazyIndex) locate(term string) (dictRecord, bool) {
 		return err == nil && compareBytesString(rec.name, term) > 0
 	})
 	if f == 0 {
-		return dictRecord{}, false
+		return dictRecord{}, 0, false
 	}
 	f--
 	cur := int(binary.LittleEndian.Uint64(lz.geo.frames[8*f:]))
@@ -601,17 +719,17 @@ func (lz *lazyIndex) locate(term string) (dictRecord, bool) {
 	for i := 0; i < min(lz.geo.frameLen, remaining); i++ {
 		rec, err := parseDictRecord(lz.geo.dict, cur)
 		if err != nil {
-			return dictRecord{}, false
+			return dictRecord{}, 0, false
 		}
 		switch c := compareBytesString(rec.name, term); {
 		case c == 0:
-			return rec, true
+			return rec, f*lz.geo.frameLen + i, true
 		case c > 0:
-			return dictRecord{}, false
+			return dictRecord{}, 0, false
 		}
 		cur = rec.next
 	}
-	return dictRecord{}, false
+	return dictRecord{}, 0, false
 }
 
 // allEntries materializes every term in dict order (for format
@@ -636,7 +754,7 @@ func (lz *lazyIndex) allEntries() ([]string, []termEntry, error) {
 		if _, bad := lz.quarantined[string(rec.name)]; bad {
 			continue
 		}
-		e, err := lz.geo.materialize(rec)
+		e, err := lz.materializeFor(rec, i)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -653,7 +771,7 @@ func (lz *lazyIndex) close() error {
 		return nil
 	}
 	lz.closed = true
-	lz.geo.dict, lz.geo.frames, lz.geo.payload = nil, nil, nil
+	lz.geo.dict, lz.geo.frames, lz.geo.payload, lz.geo.impacts = nil, nil, nil, nil
 	if lz.closer != nil {
 		return lz.closer.Close()
 	}

@@ -25,6 +25,12 @@ import (
 //     decoded and cross-checked against its dict record up front;
 //     terms whose payload no longer decodes cleanly are quarantined by
 //     name, the rest are served from the verified decode.
+//   - impacts section corrupt (v4 files): every surviving term's
+//     impact record is re-verified against its own per-record CRC;
+//     terms whose impact bytes no longer checksum or decode keep
+//     serving their postings but lose the stored annotations — ranked
+//     queries on them fall back to frequency-derived impacts. Docid
+//     retrieval never degrades because of impact damage.
 //
 // A degraded index reports its salvage summary through Index.Health,
 // which the serving layer surfaces on /healthz. Terms it serves from a
@@ -44,6 +50,10 @@ type Health struct {
 	QuarantinedSections []string `json:"quarantinedSections,omitempty"`
 	// QuarantinedTerms counts terms withheld from serving.
 	QuarantinedTerms int `json:"quarantinedTerms,omitempty"`
+	// QuarantinedImpacts counts terms still serving their postings but
+	// stripped of stored impact annotations (ranking falls back to
+	// frequency-derived impacts for them).
+	QuarantinedImpacts int `json:"quarantinedImpacts,omitempty"`
 }
 
 // Health reports the index's salvage state: the zero value for any
@@ -96,7 +106,7 @@ func openBVIX3Degraded(data []byte, closer io.Closer) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	var bad [3]bool
+	bad := make([]bool, len(secs))
 	var badNames []string
 	for i, s := range secs {
 		if crc32.Checksum(data[s.off:s.off+s.length], castagnoli) != s.crc {
@@ -105,7 +115,8 @@ func openBVIX3Degraded(data []byte, closer io.Closer) (*Index, error) {
 		}
 	}
 	badDict, badFrames, badPayload := bad[0], bad[1], bad[2]
-	if !badDict && !badFrames && !badPayload {
+	badImpacts := g.hasImpacts && bad[3]
+	if !badDict && !badFrames && !badPayload && !badImpacts {
 		return openBVIX3Lazy(data, closer)
 	}
 
@@ -136,13 +147,14 @@ func openBVIX3Degraded(data []byte, closer io.Closer) (*Index, error) {
 	g.frames = frames
 
 	lz := &lazyIndex{
-		geo:         *g,
-		termCount:   valid,
-		sizeBytes:   g.sizeBytes,
-		degraded:    true,
-		quarantined: map[string]struct{}{},
-		ready:       make(map[string]termEntry),
-		closer:      closer,
+		geo:                *g,
+		termCount:          valid,
+		sizeBytes:          g.sizeBytes,
+		degraded:           true,
+		quarantined:        map[string]struct{}{},
+		impactsQuarantined: map[string]struct{}{},
+		ready:              make(map[string]termEntry),
+		closer:             closer,
 	}
 
 	// With a corrupt payload section nothing in it can be taken on
@@ -155,7 +167,17 @@ func openBVIX3Degraded(data []byte, closer io.Closer) (*Index, error) {
 	// structural checks remain as belt-and-suspenders behind it.
 	// (This forfeits lazy open's deferred decode — acceptable in a
 	// mode whose purpose is limping through damage.)
-	if badPayload {
+	//
+	// A corrupt impacts section gets the same per-record treatment, but
+	// quarantine is softer: impacts are ranking annotations, not
+	// postings, so a term whose impact record fails its CRC (or panics
+	// a decoder) is served without annotations instead of withheld.
+	// One caveat is inherent: the impacts offset table lives in the
+	// unverified section itself, so a corrupted table slot that happens
+	// to land on another structurally compatible, CRC-clean record is
+	// indistinguishable from the truth — the blast radius is a slightly
+	// wrong ranking in a mode meant for limping until rebuild.
+	if badPayload || badImpacts {
 		cur := 0
 		for i := 0; i < valid; i++ {
 			rec, err := parseDictRecord(g.dict, cur)
@@ -163,20 +185,35 @@ func openBVIX3Degraded(data []byte, closer io.Closer) (*Index, error) {
 				return nil, err // unreachable: the walk validated this prefix
 			}
 			cur = rec.next
-			payEnd := rec.payOff + uint64(rec.postLen) + 2*uint64(rec.count)
-			if crc32.Checksum(g.payload[rec.payOff:payEnd], castagnoli) != rec.payCRC {
-				lz.quarantined[string(rec.name)] = struct{}{}
-				continue
+			name := string(rec.name)
+			var e termEntry
+			if badPayload {
+				payEnd := rec.payOff + uint64(rec.postLen) + 2*uint64(rec.count)
+				if crc32.Checksum(g.payload[rec.payOff:payEnd], castagnoli) != rec.payCRC {
+					lz.quarantined[name] = struct{}{}
+					continue
+				}
+				var merr error
+				e, merr = materializeSalvage(&lz.geo, rec)
+				if merr == nil && !postingInRange(e.posting, g.docs) {
+					merr = fmt.Errorf("index: term %q: decoded postings out of range", rec.name)
+				}
+				if merr != nil {
+					lz.quarantined[name] = struct{}{}
+					continue
+				}
 			}
-			e, merr := materializeSalvage(&lz.geo, rec)
-			if merr == nil && !postingInRange(e.posting, g.docs) {
-				merr = fmt.Errorf("index: term %q: decoded postings out of range", rec.name)
+			if g.hasImpacts {
+				m, ierr := salvageImpacts(&lz.geo, rec, i, badImpacts)
+				if ierr != nil {
+					lz.impactsQuarantined[name] = struct{}{}
+				} else if badPayload {
+					e.impacts = m
+				}
 			}
-			if merr != nil {
-				lz.quarantined[string(rec.name)] = struct{}{}
-				continue
+			if badPayload {
+				lz.ready[name] = e
 			}
-			lz.ready[string(rec.name)] = e
 		}
 	}
 
@@ -187,6 +224,7 @@ func openBVIX3Degraded(data []byte, closer io.Closer) (*Index, error) {
 			Degraded:            true,
 			QuarantinedSections: badNames,
 			QuarantinedTerms:    (g.terms - valid) + len(lz.quarantined),
+			QuarantinedImpacts:  len(lz.impactsQuarantined),
 		},
 	}, nil
 }
@@ -203,4 +241,26 @@ func materializeSalvage(geo *bvix3Geometry, rec dictRecord) (e termEntry, err er
 		}
 	}()
 	return geo.materialize(rec)
+}
+
+// salvageImpacts materializes one term's impact annotations behind the
+// same panic barrier, additionally re-verifying the record's own CRC
+// when the impacts section checksum failed (checkCRC). Any error means
+// "serve this term without annotations", never "fail the open".
+func salvageImpacts(geo *bvix3Geometry, rec dictRecord, ordinal int, checkCRC bool) (m *impactMeta, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("index: term %q: decoder panic on corrupt impacts: %v", rec.name, r)
+		}
+	}()
+	if checkCRC {
+		ir, ierr := geo.impactsRecordFor(ordinal, rec.count)
+		if ierr != nil {
+			return nil, ierr
+		}
+		if !ir.crcOK() {
+			return nil, fmt.Errorf("index: term %q: impacts record checksum mismatch", rec.name)
+		}
+	}
+	return geo.materializeImpacts(rec, ordinal)
 }

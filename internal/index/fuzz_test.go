@@ -109,9 +109,35 @@ func FuzzBVIX3Read(f *testing.F) {
 		fuzzResealDict(bent)
 		f.Add(bent)
 	}
+	// Impacts-section (v4) seeds: the pristine file, truncations landing
+	// inside the impacts section, a flipped impact byte (CRC rejection),
+	// and resealed doctored variants that start the fuzzer at the
+	// walkImpacts geometry validation — a lying offset table and a bent
+	// section length.
+	var v4Buf bytes.Buffer
+	if _, err := autoIdx.WriteBVIX3Impacts(&v4Buf); err != nil {
+		f.Fatal(err)
+	}
+	v4 := v4Buf.Bytes()
+	f.Add(v4)
+	impOff := binary.LittleEndian.Uint64(v4[24+3*20:])
+	f.Add(v4[:impOff+8])
+	f.Add(v4[:len(v4)-1])
+	bent := append([]byte{}, v4...)
+	bent[impOff+16] ^= 0xFF // an impact record byte; section CRC now fails
+	f.Add(bent)
+	bent = append([]byte{}, v4...)
+	binary.LittleEndian.PutUint64(bent[impOff:], 4) // misaligned table entry
+	fuzzResealImpacts(bent)
+	f.Add(bent)
+	bent = append([]byte{}, v4...)
+	bent[24+3*20+8] ^= 0x0F // bend the impacts section length
+	fuzzReseal4Header(bent)
+	f.Add(bent)
 	f.Add([]byte{})
 	f.Add([]byte("BVIX3"))
 	f.Add(append([]byte("BVIX3\x01\x00\x00"), make([]byte, bvix3DataStart)...))
+	f.Add(append([]byte("BVIX3\x04\x00\x00"), make([]byte, bvix3DataStart)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if idx, err := Read(bytes.NewReader(data)); err == nil {
 			if idx.Docs() < 0 || idx.Terms() < 0 || idx.SizeBytes() < 0 {
@@ -123,12 +149,19 @@ func FuzzBVIX3Read(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Lazy-accepted: lookups and materialization must hold up.
+		// Lazy-accepted: lookups and materialization must hold up —
+		// including the ranked path, which exercises impact annotations
+		// and the block-decoding cursors on v4 inputs.
 		for _, probe := range []string{"compressed", "lists", "", "zzz"} {
 			_ = lazy.DecodedPostings(probe)
 		}
 		if _, err := lazy.Conjunctive("compressed", "lists"); err != nil {
 			t.Logf("conjunctive on accepted index: %v", err)
+		}
+		for _, algo := range []string{"exhaustive", "bmw"} {
+			if _, err := lazy.TopKWith(algo, 3, nil, "compressed", "the", "lists"); err != nil {
+				t.Logf("topk on accepted index: %v", err)
+			}
 		}
 		if lazy.SizeBytes() < 0 || lazy.Terms() < 0 {
 			t.Fatalf("lazy index with nonsense shape: terms=%d size=%d", lazy.Terms(), lazy.SizeBytes())
@@ -187,4 +220,21 @@ func fuzzResealDict(file []byte) {
 	binary.LittleEndian.PutUint32(file[24+16:],
 		crc32.Checksum(file[secs[0][0]:secs[0][0]+secs[0][1]], castagnoli))
 	reseal3Header(file)
+}
+
+// fuzzReseal4Header and fuzzResealImpacts are the v4 resealing twins:
+// the header checksum sits after a four-entry section table, and the
+// impacts section CRC lives in its table slot.
+func fuzzReseal4Header(file []byte) {
+	hs := bvix3HeaderSizeFor(4)
+	binary.LittleEndian.PutUint32(file[hs-4:],
+		crc32.Checksum(file[len(bvix3Magic):hs-4], castagnoli))
+}
+
+func fuzzResealImpacts(file []byte) {
+	off := binary.LittleEndian.Uint64(file[24+3*20:])
+	length := binary.LittleEndian.Uint64(file[24+3*20+8:])
+	binary.LittleEndian.PutUint32(file[24+3*20+16:],
+		crc32.Checksum(file[off:off+length], castagnoli))
+	fuzzReseal4Header(file)
 }

@@ -210,6 +210,11 @@ type termEntry struct {
 	posting core.Posting
 	freqs   []uint16 // payload aligned with the posting values
 	codec   string   // registry name of the posting's codec ("" when unknown)
+
+	// impacts carries the term's stored impact annotations when the
+	// backing file has an impacts section (BVIX3 v4); nil otherwise, in
+	// which case ranked queries derive impacts from freqs on the fly.
+	impacts *impactMeta
 }
 
 // Index answers boolean and top-k queries over compressed postings.
@@ -419,42 +424,49 @@ type Result struct {
 	Score int
 }
 
-// TopK implements §A.1's two-step top-k: intersect the query terms for
-// candidates (the dominant cost), then rank candidates by summed term
-// frequency. Each term's posting is decoded at most once per query
-// (served from the attached cache when hot) and candidates locate their
-// payload slot with one binary search per (candidate, term) pair — the
-// previous implementation re-decompressed the full posting for every
-// pair, O(candidates · terms · postingLen).
+// TopK ranks the documents matching at least one query term by summed
+// quantized impact, descending (ascending docid on ties), and returns
+// the best k. It runs the engine's pruned document-at-a-time evaluation:
+// Block-Max-WAND when every term carries stored impact annotations over
+// a block-frame posting (a BVIX3 v4 index), so only posting blocks that
+// can beat the heap threshold are ever decompressed; exhaustive
+// evaluation otherwise, with impacts derived from the frequency payload
+// (or pure document counting when no frequencies exist). Terms absent
+// from the index simply contribute nothing.
 func (idx *Index) TopK(k int, terms ...string) ([]Result, error) {
-	candidates, err := idx.Conjunctive(terms...)
-	if err != nil || len(candidates) == 0 {
-		return nil, err
-	}
-	type scorer struct {
-		vals  []uint32
-		freqs []uint16
-	}
-	scorers := make([]scorer, 0, len(terms))
-	for _, t := range terms {
-		if e, ok := idx.entry(t); ok {
-			scorers = append(scorers, scorer{vals: idx.DecodedPostings(t), freqs: e.freqs})
+	return idx.TopKWith("auto", k, nil, terms...)
+}
+
+// TopKWith is TopK with the pruning algorithm pinned and optional work
+// accounting. algo is one of "auto" (or ""), "exhaustive", "maxscore",
+// "bmw"; every algorithm returns the identical result list, so pinning
+// is for benchmarking and differential testing. When stats is non-nil
+// it is filled with the evaluation's work counters.
+func (idx *Index) TopKWith(algo string, k int, stats *ops.TopKStats, terms ...string) ([]Result, error) {
+	var mode ops.TopKMode
+	lists, native := idx.topkLists(terms)
+	switch algo {
+	case "", "auto":
+		mode = ops.TopKExhaustive
+		if native {
+			mode = ops.TopKBlockMax
 		}
+	case "exhaustive":
+		mode = ops.TopKExhaustive
+	case "maxscore":
+		mode = ops.TopKMaxScore
+	case "bmw":
+		mode = ops.TopKBlockMax
+	default:
+		return nil, fmt.Errorf("index: unknown top-k algorithm %q", algo)
 	}
-	results := make([]Result, len(candidates))
-	for i, doc := range candidates {
-		s := 0
-		for _, sc := range scorers {
-			j := sort.Search(len(sc.vals), func(j int) bool { return sc.vals[j] >= doc })
-			if j < len(sc.vals) && sc.vals[j] == doc {
-				s += int(sc.freqs[j])
-			}
-		}
-		results[i] = Result{Doc: doc, Score: s}
+	docs := ops.Default().TopK(mode, k, lists, stats)
+	if len(docs) == 0 {
+		return nil, nil
 	}
-	sort.SliceStable(results, func(i, j int) bool { return results[i].Score > results[j].Score })
-	if k < len(results) {
-		results = results[:k]
+	results := make([]Result, len(docs))
+	for i, d := range docs {
+		results[i] = Result{Doc: d.Doc, Score: int(d.Score)}
 	}
 	return results, nil
 }

@@ -25,6 +25,10 @@ type Format string
 const (
 	// FormatBVIX3 is the section-aligned mmap serving format.
 	FormatBVIX3 Format = "bvix3"
+	// FormatBVIX3Impacts is BVIX3 with the v4 impacts section: ranked
+	// top-k annotations (quantized impacts + block-max frame) alongside
+	// the postings, enabling Block-Max pruning straight off the mapping.
+	FormatBVIX3Impacts Format = "bvix3+impacts"
 	// FormatBVIX2 is the versioned checksummed streaming format.
 	FormatBVIX2 Format = "bvix2"
 )
@@ -34,10 +38,12 @@ func (idx *Index) writeFunc(format Format) (func(io.Writer) (int64, error), erro
 	switch format {
 	case FormatBVIX3:
 		return idx.WriteBVIX3, nil
+	case FormatBVIX3Impacts:
+		return idx.WriteBVIX3Impacts, nil
 	case FormatBVIX2:
 		return idx.WriteTo, nil
 	default:
-		return nil, fmt.Errorf("index: unknown format %q (bvix3 | bvix2)", format)
+		return nil, fmt.Errorf("index: unknown format %q (bvix3 | bvix3+impacts | bvix2)", format)
 	}
 }
 

@@ -170,6 +170,21 @@ func (p *listPosting) numBlocks() int          { return len(p.skips) }
 func (p *listPosting) blockFirst(b int) uint32 { return p.skips[b].first }
 func (p *listPosting) noSkipMode() bool        { return p.noSkips }
 
+// BlockSpan implements core.BlockDecoder (values per full block).
+func (p *listPosting) BlockSpan() int { return p.bs }
+
+// NumBlocks implements core.BlockDecoder.
+func (p *listPosting) NumBlocks() int { return len(p.skips) }
+
+// BlockFirst implements core.BlockDecoder.
+func (p *listPosting) BlockFirst(b int) uint32 { return p.skips[b].first }
+
+// DecodeBlock implements core.BlockDecoder: ranked-retrieval cursors
+// use it to materialize only the blocks that survive block-max pruning.
+func (p *listPosting) DecodeBlock(b int, buf []uint32) []uint32 {
+	return p.decodeBlock(b, buf)
+}
+
 func (p *listPosting) Decompress() []uint32 {
 	return p.DecompressAppend(make([]uint32, 0, p.n))
 }

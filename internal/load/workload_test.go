@@ -87,9 +87,16 @@ func TestBuildWorkloadGroundTruth(t *testing.T) {
 					t.Fatalf("query %d: topk rank %d mismatch", i, j)
 				}
 			}
-			cand, _ := idx.Conjunctive(q.Terms...)
+			// Candidates are the disjunctive match set: top-k scores
+			// any document containing at least one query term.
+			cand, _ := idx.Disjunctive(q.Terms...)
 			if !equalU32(q.Candidates, cand) {
 				t.Fatalf("query %d: candidates mismatch", i)
+			}
+			switch q.Algo {
+			case "", "exhaustive", "maxscore", "bmw":
+			default:
+				t.Fatalf("query %d: unknown topk algo %q", i, q.Algo)
 			}
 		default:
 			t.Fatalf("query %d: unknown mode %q", i, q.Mode)

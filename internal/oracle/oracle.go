@@ -20,7 +20,11 @@
 //     BVIX3 reopen, on and/or/top-k queries;
 //   - the engine's mixed bitmap×list and galloping SvS intersection
 //     kernels vs the reference ops.Intersect and the plain sorted-slice
-//     merge, across skews up to 10^4:1.
+//     merge, across skews up to 10^4:1;
+//   - the pruned ranked-retrieval algorithms (MaxScore, Block-Max-WAND)
+//     vs exhaustive evaluation, in memory and through a BVIX3 v4
+//     (impact-annotated) write and reopen — result lists must be
+//     identical, down to the deterministic docid tie-break.
 //
 // Each check is deterministic in its seed: oracle.Run(seed, dir) either
 // passes or returns an error describing the first divergence, and the
@@ -64,6 +68,9 @@ func Run(seed int64, dir string) error {
 	}
 	if err := CheckMixedIntersect(seed); err != nil {
 		return fmt.Errorf("mixed intersect: %w", err)
+	}
+	if err := CheckTopK(seed, dir); err != nil {
+		return fmt.Errorf("ranked top-k: %w", err)
 	}
 	return nil
 }
@@ -550,6 +557,67 @@ func CheckMixedIntersect(seed int64) error {
 			if len(got) != len(want) || diffU32(got, want) >= 0 {
 				return fmt.Errorf("ratio %d %s×%s: engine %d docs != reference %d",
 					ratio, bmCodec.Name(), listCodec.Name(), len(got), len(want))
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTopK drives the pruned ranked-retrieval algorithms against
+// exhaustive evaluation on randomized corpora and query mixes — in
+// memory (derived impacts) and through a BVIX3 v4 write and reopen
+// (stored impact annotations, lazy block-decoding cursors). Every
+// algorithm must return the identical result list: same documents,
+// same scores, same order, including the ascending-docid tie-break and
+// k far beyond the result count. The exhaustive evaluation is itself
+// cross-checked between the two views, so a divergence pins the failure
+// to either the pruning logic or the impacts persistence, not both.
+func CheckTopK(seed int64, dir string) error {
+	mem, vocab, codecName, err := oracleCorpus(seed)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("oracle_topk_%d.bvix", seed))
+	if err := mem.WriteFile(path, index.FormatBVIX3Impacts); err != nil {
+		return fmt.Errorf("%s: WriteFile bvix3+impacts: %w", codecName, err)
+	}
+	mapped, err := index.OpenFile(path)
+	if err != nil {
+		return fmt.Errorf("%s: OpenFile bvix3+impacts: %w", codecName, err)
+	}
+	defer mapped.Close()
+
+	rng := rand.New(rand.NewSource(seed + 6))
+	ks := []int{1, 5, 20, 100000}
+	for q := 0; q < 24; q++ {
+		terms := make([]string, 1+rng.Intn(4))
+		for i := range terms {
+			terms[i] = vocab[rng.Intn(len(vocab))]
+		}
+		k := ks[rng.Intn(len(ks))]
+		want, err := mem.TopKWith("exhaustive", k, nil, terms...)
+		if err != nil {
+			return fmt.Errorf("%s: exhaustive k=%d %v: %w", codecName, k, terms, err)
+		}
+		for _, view := range []struct {
+			name string
+			idx  *index.Index
+		}{{"in-memory", mem}, {"v4-mapped", mapped}} {
+			for _, algo := range []string{"exhaustive", "maxscore", "bmw", "auto"} {
+				got, err := view.idx.TopKWith(algo, k, nil, terms...)
+				if err != nil {
+					return fmt.Errorf("%s: %s %s k=%d %v: %w", codecName, view.name, algo, k, terms, err)
+				}
+				if len(got) != len(want) {
+					return fmt.Errorf("%s: %s %s k=%d %v: %d results, exhaustive %d",
+						codecName, view.name, algo, k, terms, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						return fmt.Errorf("%s: %s %s k=%d %v rank %d: %+v, exhaustive %+v",
+							codecName, view.name, algo, k, terms, i, got[i], want[i])
+					}
+				}
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"repro/internal/index"
+	"repro/internal/ops"
 )
 
 // Handler builds the full route set. Application routes (/search,
@@ -50,6 +51,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":              "degraded",
 		"quarantinedSections": h.QuarantinedSections,
 		"quarantinedTerms":    h.QuarantinedTerms,
+		"quarantinedImpacts":  h.QuarantinedImpacts,
 	})
 }
 
@@ -110,13 +112,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// searchResponse is the /search JSON shape.
+// searchResponse is the /search JSON shape. TopK carries the pruning
+// work counters for ranked queries, so callers (and the load harness)
+// can see how many blocks the chosen algorithm actually decoded.
 type searchResponse struct {
 	Query   []string       `json:"query"`
 	Mode    string         `json:"mode"`
 	Docs    []uint32       `json:"docs,omitempty"`
 	Ranked  []index.Result `json:"ranked,omitempty"`
 	Matches int            `json:"matches"`
+	TopK    *ops.TopKStats `json:"topk,omitempty"`
 }
 
 // handleSearch answers conjunctive/disjunctive/top-k queries against
@@ -174,12 +179,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			})
 			return
 		}
-		ranked, err := idx.TopK(k, terms...)
+		algo := r.URL.Query().Get("algo")
+		switch algo {
+		case "", "auto", "exhaustive", "maxscore", "bmw":
+		default:
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": "algo must be auto | exhaustive | maxscore | bmw",
+			})
+			return
+		}
+		var stats ops.TopKStats
+		ranked, err := idx.TopKWith(algo, k, &stats, terms...)
 		if err != nil {
 			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 			return
 		}
 		resp.Ranked, resp.Matches = ranked, len(ranked)
+		resp.TopK = &stats
 	default:
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "mode must be and | or | topk"})
 		return
