@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures experiments loadtest oracle clean
+.PHONY: all build vet test race bench shardbench figures experiments loadtest oracle clean
 
 all: build vet test
 
@@ -40,19 +40,30 @@ bench:
 		-args -hybrid.full -hybrid.out $(CURDIR)/results/BENCH_hybrid.json
 	$(GO) test -run TestTopKPruningGate -count=1 ./internal/bench \
 		-args -topk.full -topk.out $(CURDIR)/results/BENCH_topk.json
+	$(GO) test -run TestShardBenchGate -count=1 ./internal/bench \
+		-args -shard.full -shard.out $(CURDIR)/results/BENCH_shard.json
 	@for f in BENCH_engine BENCH_kernels BENCH_index; do \
 		if ! test -s results/$$f.json || ! grep -q 'ns/op' results/$$f.json; then \
 			echo "FATAL: results/$$f.json missing or contains no benchmark output (did the -bench pattern match?)" >&2; \
 			exit 1; \
 		fi; \
 	done
-	@for f in BENCH_hybrid BENCH_topk; do \
+	@for f in BENCH_hybrid BENCH_topk BENCH_shard; do \
 		if ! test -s results/$$f.json || ! grep -q '"pass": true' results/$$f.json; then \
 			echo "FATAL: results/$$f.json missing or gates failed" >&2; \
 			exit 1; \
 		fi; \
 	done
 	$(GO) test -bench=. -benchmem -timeout 60m ./...
+
+# Scale-out serving matrix alone: identity through the router at 4
+# shards, modeled fleet-capacity scaling at 1/2/4/8 shards, and the
+# hedged-request matrix under an injected straggler replica. Writes
+# (and gates on) results/BENCH_shard.json.
+shardbench:
+	mkdir -p results
+	$(GO) test -run TestShardBenchGate -count=1 -v ./internal/bench \
+		-args -shard.full -shard.out $(CURDIR)/results/BENCH_shard.json
 
 # Full chaos-mode load run: 30s of open-loop zipfian traffic against a
 # real bvserve subprocess while the orchestrator hot-reloads it (SIGHUP

@@ -9,6 +9,7 @@
 //	bvindex -build -in docs.txt -out docs.idx -codec auto        # adaptive per-list selection
 //	bvindex -build -in docs.txt -out docs.idx -shards 8 -format bvix2
 //	bvindex -build -in docs.txt -out docs.idx -format bvix3+impacts  # ranked annotations
+//	bvindex -build -in docs.txt -partition 4 -out shards/shards.json # doc-partitioned shards
 //	bvindex -index docs.idx -query "compressed lists"            # AND
 //	bvindex -index docs.idx -query "bitmap inverted" -mode or
 //	bvindex -index docs.idx -query "compression" -mode topk -k 3
@@ -21,12 +22,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"repro/internal/codecs"
 	"repro/internal/index"
 	"repro/internal/ops"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -38,6 +41,7 @@ func main() {
 		codecName = flag.String("codec", "Roaring", "codec for posting lists, or \"auto\" for adaptive per-list selection (build mode)")
 		format    = flag.String("format", "bvix3", "output format: bvix3 | bvix3+impacts | bvix2 (build mode)")
 		shards    = flag.Int("shards", 0, "tokenizer shards for parallel build (0 = GOMAXPROCS)")
+		partition = flag.Int("partition", 0, "split the corpus across N doc-partitioned serving shards, writing shard-XXXX.bvix files plus a checksummed shard-map manifest at -out (build mode; 0 = single index)")
 		query     = flag.String("query", "", "space-separated query terms")
 		mode      = flag.String("mode", "and", "query mode: and | or | topk")
 		k         = flag.Int("k", 5, "result count for -mode topk")
@@ -49,6 +53,10 @@ func main() {
 	}
 
 	switch {
+	case *build && *partition > 0:
+		if err := runPartition(*inFile, *outFile, *codecName, *format, *shards, *partition); err != nil {
+			fatal("%v", err)
+		}
 	case *build:
 		if err := runBuild(*inFile, *outFile, *codecName, *format, *shards); err != nil {
 			fatal("%v", err)
@@ -89,22 +97,39 @@ func validateFlags(fs *flag.FlagSet) error {
 	if v := get("shards").(int); v < 0 || v > 4096 {
 		return fmt.Errorf("-shards=%d: want 0 (one per CPU) through 4096", v)
 	}
+	if v := get("partition").(int); v < 0 || v > shard.MaxShards {
+		return fmt.Errorf("-partition=%d: want 0 (single index) through %d", v, shard.MaxShards)
+	}
+	if v := get("partition").(int); v > 0 && !get("build").(bool) {
+		return fmt.Errorf("-partition=%d: only meaningful with -build", v)
+	}
 	return nil
 }
 
-func runBuild(inFile, outFile, codecName, format string, shards int) error {
-	if outFile == "" {
-		return fmt.Errorf("build mode needs -out")
-	}
+// newBuilder constructs the configured posting builder ("auto" picks
+// the adaptive per-list selector).
+func newBuilder(codecName string, shards int) (*index.Builder, error) {
 	var builder *index.Builder
 	if codecName == "auto" {
 		builder = index.NewAutoBuilder()
 	} else {
 		codec, err := codecs.ByName(codecName)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		builder = index.NewBuilder(codec)
+	}
+	builder.SetShards(shards)
+	return builder, nil
+}
+
+func runBuild(inFile, outFile, codecName, format string, shards int) error {
+	if outFile == "" {
+		return fmt.Errorf("build mode needs -out")
+	}
+	builder, err := newBuilder(codecName, shards)
+	if err != nil {
+		return err
 	}
 	var r io.Reader = os.Stdin
 	if inFile != "" {
@@ -115,7 +140,6 @@ func runBuild(inFile, outFile, codecName, format string, shards int) error {
 		defer f.Close()
 		r = f
 	}
-	builder.SetShards(shards)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	docs := 0
@@ -150,6 +174,89 @@ func runBuild(inFile, outFile, codecName, format string, shards int) error {
 	if codecName == "auto" {
 		fmt.Printf("codec mix: %s\n", formatMix(idx.CodecMix()))
 	}
+	return nil
+}
+
+// readDocs loads the corpus into memory, one non-blank line per
+// document — partitioning needs the whole corpus before it can deal
+// documents round-robin.
+func readDocs(inFile string) ([]string, error) {
+	var r io.Reader = os.Stdin
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var docs []string
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			docs = append(docs, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return docs, nil
+}
+
+// runPartition builds the doc-partitioned serving layout: one
+// independently compressed BVIX3 index per shard (shard-XXXX.bvix next
+// to the manifest) plus the checksummed shard-map manifest at outFile.
+// Each shard's lists are re-advised independently when -codec auto is
+// in play: density is per-shard, so the adaptive builder may pick
+// different codecs for the same term on different shards.
+func runPartition(inFile, outFile, codecName, format string, shards, n int) error {
+	if outFile == "" {
+		return fmt.Errorf("partition mode needs -out (the shard-map manifest path)")
+	}
+	docs, err := readDocs(inFile)
+	if err != nil {
+		return err
+	}
+	if len(docs) == 0 {
+		return fmt.Errorf("empty corpus: no non-blank documents in input, refusing to write %s", outFile)
+	}
+	// Partition refuses counts that would create empty shards (n >
+	// number of documents) with a one-line cause.
+	parts, err := shard.Partition(docs, n)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(outFile)
+	m := &shard.Map{Version: shard.MapVersion, Partition: "mod", Shards: n, Docs: len(docs)}
+	for s, part := range parts {
+		builder, err := newBuilder(codecName, shards)
+		if err != nil {
+			return err
+		}
+		for _, d := range part {
+			builder.AddDocument(d)
+		}
+		idx, err := builder.Build()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		path := filepath.Join(dir, shard.FileName(s))
+		if err := idx.WriteFile(path, index.Format(format)); err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		entry, err := shard.EntryFor(path, idx.Docs(), idx.Terms())
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		m.Entries = append(m.Entries, entry)
+		fmt.Printf("shard %d: %d documents, %d terms, %d compressed posting bytes -> %s\n",
+			s, idx.Docs(), idx.Terms(), idx.SizeBytes(), path)
+	}
+	if err := shard.WriteMap(outFile, m); err != nil {
+		return err
+	}
+	fmt.Printf("partitioned %d documents across %d shards -> %s\n", len(docs), n, outFile)
 	return nil
 }
 

@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/index"
+	"repro/internal/shard"
 )
 
 func writeDocs(t *testing.T, docs []string) string {
@@ -119,6 +122,91 @@ func TestQueryErrors(t *testing.T) {
 	}
 	if err := runQuery(docsFile, "doc", "and", 5, "auto", &buf); err == nil {
 		t.Error("non-index file accepted")
+	}
+}
+
+// TestPartitionBuild: -partition N writes one shard file per shard
+// plus a verifiable manifest, and the shards reopen as servable
+// indexes that jointly cover the corpus.
+func TestPartitionBuild(t *testing.T) {
+	docs := []string{
+		"compressed bitmap indexes",
+		"inverted lists for search",
+		"bitmap and inverted compression compression",
+		"roaring bitmap compression",
+		"search over compressed lists",
+		"bitmap search",
+		"inverted index compression",
+	}
+	docsFile := writeDocs(t, docs)
+	dir := t.TempDir()
+	mapPath := filepath.Join(dir, "shards.json")
+	if err := runPartition(docsFile, mapPath, "auto", "bvix3+impacts", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	m, err := shard.LoadMap(mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != 3 || m.Docs != len(docs) {
+		t.Fatalf("manifest shape: %+v", m)
+	}
+	if err := m.VerifyFiles(dir); err != nil {
+		t.Fatalf("fresh shard files fail verification: %v", err)
+	}
+	total := 0
+	for s, e := range m.Entries {
+		idx, err := index.OpenFile(filepath.Join(dir, e.File))
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		total += idx.Docs()
+		// Shard s holds globals s, s+3, ... — its local doc 0 is the
+		// corpus document s.
+		wantFirst := index.Tokenize(docs[s])
+		got, err := idx.Conjunctive(wantFirst...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, d := range got {
+			if d == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("shard %d local doc 0 does not match corpus doc %d", s, s)
+		}
+		idx.Close()
+	}
+	if total != len(docs) {
+		t.Fatalf("shards cover %d docs, corpus has %d", total, len(docs))
+	}
+}
+
+// TestPartitionRefusals: empty-shard partitions and missing outputs
+// are one-line errors, and no partial layout is left behind on the
+// empty-shard refusal.
+func TestPartitionRefusals(t *testing.T) {
+	docsFile := writeDocs(t, []string{"one doc", "two doc"})
+	dir := t.TempDir()
+	mapPath := filepath.Join(dir, "shards.json")
+	err := runPartition(docsFile, mapPath, "Roaring", "bvix3", 0, 5)
+	if err == nil {
+		t.Fatal("5 shards over 2 docs accepted")
+	}
+	if !strings.Contains(err.Error(), "empty shards") {
+		t.Fatalf("error does not name the cause: %v", err)
+	}
+	if _, serr := os.Stat(mapPath); !os.IsNotExist(serr) {
+		t.Fatal("refused partition left a manifest behind")
+	}
+	if err := runPartition(docsFile, "", "Roaring", "bvix3", 0, 2); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	empty := writeDocs(t, []string{"", "  "})
+	if err := runPartition(empty, mapPath, "Roaring", "bvix3", 0, 2); err == nil {
+		t.Fatal("empty corpus accepted")
 	}
 }
 

@@ -13,6 +13,7 @@
 //
 //	bvload -chaos -duration 30s -rate 150 -out results/LOAD_chaos.json
 //	bvload -serve-bin bin/bvserve -chaos -out results/LOAD_chaos.json
+//	bvload -router 4 -chaos -out results/LOAD_router.json
 //	bvload -write-index /tmp/load.bvix            # emit corpus index, then:
 //	bvload -target http://127.0.0.1:8080 -rate 200
 //
@@ -22,6 +23,15 @@
 // chaos). With -target it replays against an external server, which
 // must be serving the index emitted by -write-index with the same
 // -seed/-docs/-vocab/-codec (the ground truth is recomputed locally).
+//
+// With -router N the corpus is doc-partitioned across N shard servers
+// fronted by an in-process bvrouter, and the load replays against the
+// router; ground truth still comes from the full unpartitioned index,
+// so the run proves the scatter-gather merge is exact. -chaos in this
+// mode runs the scale-out drill instead of the single-server storm: it
+// SIGKILLs one shard mid-run (a real subprocess when -serve-bin is
+// set) and requires every response during the outage to classify as
+// correct or degraded-partial — the router never blasts.
 //
 // The exit status is 0 only when every SLO gate passed; the full
 // machine-readable report lands at -out.
@@ -57,6 +67,7 @@ type options struct {
 	serveBin   string
 	writeIndex string
 	chaos      bool
+	router     int
 
 	codec string
 	docs  int
@@ -85,6 +96,7 @@ func parseFlags(args []string, logger *log.Logger) (*options, error) {
 	fs.StringVar(&o.serveBin, "serve-bin", "", "bvserve binary to manage as a subprocess")
 	fs.StringVar(&o.writeIndex, "write-index", "", "write the generated corpus index to this path and exit")
 	fs.BoolVar(&o.chaos, "chaos", false, "run the chaos orchestrator during the load run (managed server only)")
+	fs.IntVar(&o.router, "router", 0, "partition the corpus across this many shards behind an in-process router (0 = single server)")
 
 	fs.StringVar(&o.codec, "codec", "Roaring", "posting-list codec for the generated index")
 	fs.IntVar(&o.docs, "docs", 2000, "generated corpus size in documents")
@@ -131,6 +143,12 @@ func validate(o *options) error {
 		return fmt.Errorf("-timeout=%s: request budget must be positive", o.timeout)
 	case o.maxErrorRate < 0 || o.maxErrorRate > 1:
 		return fmt.Errorf("-max-error-rate=%g: must be a fraction in [0,1]", o.maxErrorRate)
+	case o.router < 0:
+		return fmt.Errorf("-router=%d: shard count cannot be negative", o.router)
+	case o.router > 0 && o.target != "":
+		return fmt.Errorf("-router manages its own shard topology; it cannot front an external -target")
+	case o.router > 0 && o.router > o.docs:
+		return fmt.Errorf("-router=%d over %d docs would create empty shards", o.router, o.docs)
 	case o.target != "" && o.serveBin != "":
 		return fmt.Errorf("-target and -serve-bin are mutually exclusive")
 	case o.target != "" && o.chaos:
@@ -200,11 +218,28 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 		return err
 	}
 
-	// Resolve the target: external URL, bvserve subprocess, or the
-	// in-process server.
+	// Resolve the target: external URL, a sharded router fleet, a
+	// bvserve subprocess, or the in-process server.
 	baseURL := o.target
 	var ctrl load.Controller
-	if baseURL == "" {
+	var rig *load.RouterRig
+	if o.router > 0 {
+		dir, err := os.MkdirTemp("", "bvload-shards-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		rig, err = load.NewRouterRig(dir, docs, o.codec, o.router, o.serveBin, logger)
+		if err != nil {
+			return err
+		}
+		if err := rig.Start(ctx); err != nil {
+			return err
+		}
+		defer rig.Stop()
+		baseURL = rig.BaseURL()
+		logger.Printf("router fronting %d shards ready at %s", o.router, baseURL)
+	} else if baseURL == "" {
 		dir, err := os.MkdirTemp("", "bvload-*")
 		if err != nil {
 			return err
@@ -232,7 +267,20 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 
 	win := load.NewWindows()
 	var chaosDone chan []load.Event
-	if o.chaos {
+	switch {
+	case o.chaos && rig != nil:
+		chaosDone = make(chan []load.Event, 1)
+		go func() {
+			events, cerr := load.RunRouterChaos(ctx, load.RouterChaosConfig{
+				Duration: o.duration,
+			}, rig, win)
+			if cerr != nil {
+				logger.Printf("router chaos aborted: %v", cerr)
+			}
+			chaosDone <- events
+		}()
+		logger.Printf("shard-kill drill scheduled across %s", o.duration)
+	case o.chaos:
 		chaosDone = make(chan []load.Event, 1)
 		go func() {
 			events, cerr := load.RunChaos(ctx, load.ChaosConfig{

@@ -36,6 +36,9 @@ func TestValidateRejectsNonsense(t *testing.T) {
 		{[]string{"-mix", "a,b,c,d"}, "-mix"},
 		{[]string{"-target", "http://x", "-serve-bin", "y"}, "mutually exclusive"},
 		{[]string{"-target", "http://x", "-chaos"}, "-chaos"},
+		{[]string{"-router", "-1"}, "-router"},
+		{[]string{"-router", "2", "-target", "http://x"}, "-router"},
+		{[]string{"-router", "8", "-docs", "4"}, "empty shards"},
 	}
 	for _, c := range cases {
 		if _, err := parseFlags(c.args, discard()); err == nil {
@@ -140,5 +143,92 @@ func TestRunChaosInProcess(t *testing.T) {
 	}
 	if len(rep.Windows) != 2 {
 		t.Fatalf("expected degraded+blast windows, got %+v", rep.Windows)
+	}
+}
+
+// TestRunRouterInProcess: -router partitions the corpus behind an
+// in-process router fleet and the full mixed workload replays against
+// it; ground truth comes from the unpartitioned index, so a clean pass
+// proves the scatter-gather merge is exact under live HTTP load.
+func TestRunRouterInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a 3-shard fleet and a 2s load run")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "LOAD_router_test.json")
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	err := run(ctx, []string{
+		"-router", "3",
+		"-docs", "200", "-vocab", "40", "-queries", "64",
+		"-rate", "80", "-duration", "2s",
+		"-slo-p99", "2s", "-min-requests", "50",
+		"-out", out,
+	}, discard())
+	if err != nil {
+		t.Fatalf("router run failed: %v", err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep load.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.Requests < 50 {
+		t.Fatalf("pass=%v requests=%d classes=%v violations=%v",
+			rep.Pass, rep.Requests, rep.Classes, rep.Gates.Violations)
+	}
+	if rep.Classes["correct"] != rep.Requests {
+		t.Fatalf("not every response correct: %v", rep.Classes)
+	}
+}
+
+// TestRunRouterChaos: -router -chaos SIGKILLs one shard mid-run; the
+// report must show the shard-kill drill with zero incorrect, zero
+// unclassified errors, and zero blast amnesty.
+func TestRunRouterChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("router chaos run takes several seconds")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "LOAD_router_chaos_test.json")
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	err := run(ctx, []string{
+		"-router", "4", "-chaos",
+		"-docs", "300", "-vocab", "50", "-queries", "128",
+		"-rate", "100", "-duration", "4s",
+		"-slo-p99", "2s", "-min-requests", "200",
+		"-out", out,
+	}, discard())
+	if err != nil {
+		t.Fatalf("router chaos run failed: %v", err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep load.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("violations: %v", rep.Gates.Violations)
+	}
+	if len(rep.Events) != 2 {
+		t.Fatalf("expected 2 chaos events, got %d: %+v", len(rep.Events), rep.Events)
+	}
+	for _, e := range rep.Events {
+		if e.Err != "" {
+			t.Errorf("chaos step %s failed: %s", e.Name, e.Err)
+		}
+	}
+	if rep.Classes["incorrect"] != 0 || rep.Classes["error"] != 0 || rep.Classes["blast"] != 0 {
+		t.Fatalf("bad classes: %v", rep.Classes)
+	}
+	if rep.Classes["degradedPartial"] == 0 {
+		t.Fatalf("shard kill left no observable degraded partials: %v", rep.Classes)
 	}
 }

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codecs"
+	"repro/internal/index"
+	"repro/internal/shard"
+)
+
+// writeShardLayout partitions a small corpus and writes the shard
+// files + manifest the way `bvindex -partition` does.
+func writeShardLayout(t *testing.T, docs []string, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	parts, err := shard.Partition(docs, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := codecs.ByName("VB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &shard.Map{Version: shard.MapVersion, Partition: "mod", Shards: n, Docs: len(docs)}
+	for s, part := range parts {
+		b := index.NewBuilder(codec)
+		for _, d := range part {
+			b.AddDocument(d)
+		}
+		idx, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, shard.FileName(s))
+		if err := idx.WriteFile(path, index.FormatBVIX3Impacts); err != nil {
+			t.Fatal(err)
+		}
+		e, err := shard.EntryFor(path, idx.Docs(), idx.Terms())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	mapPath := filepath.Join(dir, "shards.json")
+	if err := shard.WriteMap(mapPath, m); err != nil {
+		t.Fatal(err)
+	}
+	return mapPath
+}
+
+func testDocs() []string {
+	docs := make([]string, 40)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("common doc%d", i)
+		if i%2 == 0 {
+			docs[i] += " even"
+		}
+		if i%3 == 0 {
+			docs[i] += " third third"
+		}
+	}
+	return docs
+}
+
+func parseArgs(t *testing.T, args []string) *flag.FlagSet {
+	t.Helper()
+	fs := flag.NewFlagSet("bvrouter", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.String("addr", ":8090", "")
+	fs.String("map", "", "")
+	fs.String("shards", "", "")
+	fs.Bool("no-verify", false, "")
+	fs.Bool("hedge", true, "")
+	fs.Duration("hedge-min", time.Millisecond, "")
+	fs.Duration("hedge-max", 50*time.Millisecond, "")
+	fs.Duration("shard-timeout", 2*time.Second, "")
+	fs.Int("max-terms", 16, "")
+	fs.Int("max-k", 100000, "")
+	fs.Duration("drain", 10*time.Second, "")
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestValidateFlags(t *testing.T) {
+	bad := [][]string{
+		{},                                   // neither -map nor -shards
+		{"-map", "x", "-shards", "http://a"}, // both
+		{"-shards", "http://a;;http://b"},    // empty shard
+		{"-shards", "ftp://a"},               // bad scheme
+		{"-map", "x", "-hedge-min", "-1ms"},
+		{"-map", "x", "-hedge-min", "10ms", "-hedge-max", "5ms"},
+		{"-map", "x", "-shard-timeout", "0s"},
+		{"-map", "x", "-max-k", "0"},
+		{"-map", "x", "-addr", ""},
+	}
+	for _, args := range bad {
+		if err := validateFlags(parseArgs(t, args)); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	if err := validateFlags(parseArgs(t, []string{"-map", "shards.json"})); err != nil {
+		t.Errorf("good -map args rejected: %v", err)
+	}
+	if err := validateFlags(parseArgs(t, []string{"-shards", "http://a:1,http://b:2;http://c:3"})); err != nil {
+		t.Errorf("good -shards args rejected: %v", err)
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	got, err := parseTopology("http://a:1, http://b:2 ; http://c:3/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[0]) != 2 || len(got[1]) != 1 {
+		t.Fatalf("topology shape = %v", got)
+	}
+	if got[1][0] != "http://c:3" {
+		t.Fatalf("trailing slash not trimmed: %q", got[1][0])
+	}
+}
+
+// TestRunLocalMap boots the router over a real partitioned layout and
+// queries it end-to-end through HTTP.
+func TestRunLocalMap(t *testing.T) {
+	mapPath := writeShardLayout(t, testDocs(), 3)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // run re-binds; a race with another process is vanishingly unlikely in CI
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-map", mapPath, "-addr", addr}, log.New(io.Discard, "", 0))
+	}()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router never became ready")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/search?q=even+third&mode=and")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var sr struct {
+		Docs    []uint32 `json:"docs"`
+		Matches int      `json:"matches"`
+		Partial bool     `json:"partial"`
+		Shards  int      `json:"shards"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("bad /search JSON: %v (%s)", err, body)
+	}
+	// even+third = multiples of 6 among 0..39: 0,6,12,18,24,30,36.
+	if sr.Matches != 7 || sr.Partial || sr.Shards != 3 {
+		t.Fatalf("search = %+v, want 7 matches over 3 shards, not partial", sr)
+	}
+	for i, d := range sr.Docs {
+		if d%6 != 0 {
+			t.Fatalf("doc %d is not a multiple of 6", d)
+		}
+		if i > 0 && sr.Docs[i-1] >= d {
+			t.Fatal("merged postings not sorted")
+		}
+	}
+}
+
+// TestRunRefusals: startup failures are one-line errors, not serving
+// processes.
+func TestRunRefusals(t *testing.T) {
+	ctx := context.Background()
+	logger := log.New(io.Discard, "", 0)
+	if err := run(ctx, []string{}, logger); err == nil {
+		t.Error("no -map/-shards accepted")
+	}
+	if err := run(ctx, []string{"-map", filepath.Join(t.TempDir(), "missing.json")}, logger); err == nil {
+		t.Error("missing map accepted")
+	}
+	// A tampered shard file must be refused at startup (verify on).
+	mapPath := writeShardLayout(t, testDocs(), 2)
+	shardFile := filepath.Join(filepath.Dir(mapPath), shard.FileName(1))
+	blob, err := os.ReadFile(shardFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xff
+	if err := os.WriteFile(shardFile, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(ctx, []string{"-map", mapPath, "-addr", "127.0.0.1:0"}, logger)
+	if err == nil || !strings.Contains(err.Error(), "crc32c") {
+		t.Errorf("tampered shard file accepted: %v", err)
+	}
+}
+
+// TestMainBinaryValidation: the built binary exits non-zero with a
+// one-line cause on bad flags (the bvserve convention).
+func TestMainBinaryValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary build in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "bvrouter")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v (%s)", err, out)
+	}
+	out, err := exec.Command(bin, "-shards", "ftp://nope").CombinedOutput()
+	if err == nil {
+		t.Fatalf("bad scheme exited zero: %s", out)
+	}
+	if !strings.Contains(string(out), "http(s)://") {
+		t.Fatalf("error does not name the cause: %s", out)
+	}
+}

@@ -1,0 +1,390 @@
+// Scale-out serving benchmark: doc-partitioned shards behind the
+// scatter-gather router, measured on three axes. RunShard both
+// measures and gates:
+//
+//   - identity gate (always fatal): every query answered through the
+//     real router path at 4 shards must be byte-identical to the
+//     unpartitioned index — and/or postings and top-k rankings alike.
+//     Scatter-gather is a topology change, never an approximation.
+//   - throughput scaling (modeled fleet capacity, informational under
+//     -race): per-shard service times for a fixed query mix are
+//     measured at 1/2/4/8 shards, and fleet capacity is derived as the
+//     bottleneck shard's service rate — the throughput an N-machine
+//     deployment sustains, since shards evaluate in parallel and a
+//     query completes when its slowest shard answers. This models
+//     horizontal scale-out honestly on a small CI box: wall-clock
+//     speedup from goroutines on shared cores would measure the
+//     scheduler, not the architecture.
+//   - hedging matrix (real wall-clock): 4 shards x 2 replicas with one
+//     replica an injected straggler (sleep-delayed, so the straggler
+//     burns latency, not CPU). The same closed-loop query stream runs
+//     with hedging off and on; hedged backups must actually win races
+//     (counter-based, race-safe) and must cut the straggler's p99
+//     (timing, informational under -race).
+//
+// `make shardbench` runs the full matrix and writes
+// results/BENCH_shard.json; the quick matrix runs in the ordinary
+// test suite.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/codecs"
+	"repro/internal/index"
+	"repro/internal/load"
+	"repro/internal/shard"
+)
+
+// ShardConfig scales the scale-out serving matrix.
+type ShardConfig struct {
+	Docs        int   // corpus size
+	Vocab       int   // vocabulary size
+	Seed        int64 // corpus + query seed
+	Queries     int   // distinct queries in the measurement mix
+	ShardCounts []int // partition sizes for the scaling sweep
+
+	Trials       int           // timed repetitions per shard (best kept)
+	HedgeQueries int           // closed-loop queries per hedging run
+	Straggler    time.Duration // injected delay on one replica
+	HedgeMax     time.Duration // router hedge-delay ceiling
+
+	// MinScaling4 is the modeled capacity factor the 4-shard fleet
+	// must reach over 1 shard; MaxHedgedP99Frac is the fraction of the
+	// unhedged p99 the hedged run must get under.
+	MinScaling4      float64
+	MaxHedgedP99Frac float64
+}
+
+// DefaultShard is the committed-results configuration (~seconds).
+func DefaultShard() ShardConfig {
+	return ShardConfig{
+		Docs:             60000,
+		Vocab:            80,
+		Seed:             42,
+		Queries:          48,
+		ShardCounts:      []int{1, 2, 4, 8},
+		Trials:           5,
+		HedgeQueries:     400,
+		Straggler:        20 * time.Millisecond,
+		HedgeMax:         5 * time.Millisecond,
+		MinScaling4:      2.5,
+		MaxHedgedP99Frac: 0.6,
+	}
+}
+
+// QuickShard shrinks the matrix for the ordinary test suite.
+func QuickShard() ShardConfig {
+	c := DefaultShard()
+	c.Docs = 12000
+	c.Queries = 24
+	c.Trials = 3
+	c.HedgeQueries = 120
+	c.Straggler = 10 * time.Millisecond
+	c.HedgeMax = 3 * time.Millisecond
+	return c
+}
+
+// ScalingRow is one shard count in the throughput sweep.
+type ScalingRow struct {
+	Shards int `json:"shards"`
+	// BottleneckMS is the slowest shard's mean service time over the
+	// query mix — the term that bounds fleet throughput.
+	BottleneckMS float64 `json:"bottleneck_ms"`
+	// CapacityQPS is the modeled fleet throughput: 1000/BottleneckMS,
+	// each shard being an independent machine in the deployment model.
+	CapacityQPS float64 `json:"capacity_qps"`
+	// Scaling is CapacityQPS relative to the 1-shard row.
+	Scaling float64 `json:"scaling"`
+}
+
+// HedgeRow is one arm of the hedging matrix.
+type HedgeRow struct {
+	Hedge     bool    `json:"hedge"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	Hedged    int64   `json:"hedged"`
+	HedgeWins int64   `json:"hedge_wins"`
+}
+
+// ShardReport is the gated result of a scale-out matrix run.
+type ShardReport struct {
+	Docs           int          `json:"docs"`
+	Queries        int          `json:"queries"`
+	IdentityChecks int          `json:"identity_checks"`
+	Scaling        []ScalingRow `json:"scaling"`
+	Scaling4       float64      `json:"scaling_4"`
+	Hedge          []HedgeRow   `json:"hedge"`
+	HedgedP99Frac  float64      `json:"hedged_p99_frac"`
+	Pass           bool         `json:"pass"`
+	Failures       []string     `json:"failures,omitempty"`
+}
+
+// shardQuery is one measurement-mix entry.
+type shardQuery struct {
+	mode  string
+	terms []string
+	k     int
+}
+
+// buildShardMix derives a deterministic and/or/topk mix from the
+// corpus vocabulary (zipfian term popularity via load.BuildWorkload's
+// corpus shape: low term ids are hot).
+func buildShardMix(cfg ShardConfig, vocab []string) []shardQuery {
+	qs := make([]shardQuery, 0, cfg.Queries)
+	for i := 0; i < cfg.Queries; i++ {
+		t1 := vocab[i%len(vocab)]
+		t2 := vocab[(i*7+3)%len(vocab)]
+		switch i % 4 {
+		case 0:
+			qs = append(qs, shardQuery{mode: "and", terms: []string{t1}})
+		case 1:
+			qs = append(qs, shardQuery{mode: "and", terms: []string{t1, t2}})
+		case 2:
+			qs = append(qs, shardQuery{mode: "or", terms: []string{t1, t2}})
+		default:
+			qs = append(qs, shardQuery{mode: "topk", terms: []string{t1, t2}, k: 10})
+		}
+	}
+	return qs
+}
+
+// buildShardIndexes partitions docs and builds one index per shard.
+func buildShardIndexes(docs []string, n int) ([]*index.Index, error) {
+	parts, err := shard.Partition(docs, n)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := codecs.ByName("VB")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*index.Index, n)
+	for s, part := range parts {
+		b := index.NewBuilder(codec)
+		for _, d := range part {
+			b.AddDocument(d)
+		}
+		if out[s], err = b.Build(); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return out, nil
+}
+
+// RunShard builds the corpus, runs the identity, scaling, and hedging
+// phases, and applies the gates.
+func RunShard(cfg ShardConfig) (*ShardReport, error) {
+	docs, vocab := load.GenCorpus(cfg.Seed, cfg.Docs, cfg.Vocab)
+	codec, err := codecs.ByName("VB")
+	if err != nil {
+		return nil, err
+	}
+	b := index.NewBuilder(codec)
+	for _, d := range docs {
+		b.AddDocument(d)
+	}
+	mono, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	mix := buildShardMix(cfg, vocab)
+	rep := &ShardReport{Docs: cfg.Docs, Queries: len(mix), Pass: true}
+	ctx := context.Background()
+
+	// Phase 1 — identity through the real router path at 4 shards.
+	// A mismatch is a hard error: no timing result can excuse it.
+	idxs4, err := buildShardIndexes(docs, 4)
+	if err != nil {
+		return nil, err
+	}
+	router4, err := routerOverIndexes(idxs4, shard.RouterConfig{})
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range mix {
+		if err := checkIdentity(ctx, router4, mono, q); err != nil {
+			return nil, err
+		}
+		rep.IdentityChecks++
+	}
+
+	// Phase 2 — throughput scaling from measured per-shard service
+	// times. Each shard is timed serially (so shards never contend for
+	// the box's cores) and the fleet capacity is the bottleneck
+	// shard's service rate.
+	var base float64
+	for _, n := range cfg.ShardCounts {
+		idxs, err := buildShardIndexes(docs, n)
+		if err != nil {
+			return nil, err
+		}
+		row := ScalingRow{Shards: n}
+		for s := range idxs {
+			be := &shard.IndexBackend{Idx: idxs[s], Label: fmt.Sprintf("shard-%d", s)}
+			ms := timePerOp(cfg.Trials, 1, func() {
+				for _, q := range mix {
+					be.Search(ctx, shard.Request{Mode: q.mode, Terms: q.terms, K: q.k})
+				}
+			}) / float64(len(mix))
+			if ms > row.BottleneckMS {
+				row.BottleneckMS = ms
+			}
+		}
+		if row.BottleneckMS > 0 {
+			row.CapacityQPS = 1000 / row.BottleneckMS
+		}
+		if n == cfg.ShardCounts[0] {
+			base = row.CapacityQPS
+		}
+		if base > 0 {
+			row.Scaling = row.CapacityQPS / base
+		}
+		rep.Scaling = append(rep.Scaling, row)
+		if n == 4 {
+			rep.Scaling4 = row.Scaling
+		}
+	}
+
+	// Phase 3 — hedging under an injected straggler: 4 shards x 2
+	// replicas, one replica sleep-delayed. Same closed-loop stream,
+	// hedging off then on.
+	for _, hedge := range []bool{false, true} {
+		row, err := runHedgeArm(ctx, cfg, docs, mix, hedge)
+		if err != nil {
+			return nil, err
+		}
+		rep.Hedge = append(rep.Hedge, *row)
+	}
+	off, on := rep.Hedge[0], rep.Hedge[1]
+	if off.P99MS > 0 {
+		rep.HedgedP99Frac = on.P99MS / off.P99MS
+	}
+
+	if rep.Scaling4 < cfg.MinScaling4 {
+		rep.Pass = false
+		rep.Failures = append(rep.Failures, fmt.Sprintf(
+			"4-shard fleet capacity scaled only %.2fx over 1 shard (want >= %.2fx)",
+			rep.Scaling4, cfg.MinScaling4))
+	}
+	if on.HedgeWins == 0 {
+		rep.Pass = false
+		rep.Failures = append(rep.Failures, fmt.Sprintf(
+			"hedging fired %d backups but won zero races against a %s straggler",
+			on.Hedged, cfg.Straggler))
+	}
+	if rep.HedgedP99Frac > cfg.MaxHedgedP99Frac {
+		rep.Pass = false
+		rep.Failures = append(rep.Failures, fmt.Sprintf(
+			"hedged p99 %.2fms is %.0f%% of unhedged %.2fms (want <= %.0f%%): hedging speedup not demonstrated",
+			on.P99MS, 100*rep.HedgedP99Frac, off.P99MS, 100*cfg.MaxHedgedP99Frac))
+	}
+	return rep, nil
+}
+
+// routerOverIndexes wraps per-shard indexes as single-replica backends.
+func routerOverIndexes(idxs []*index.Index, cfg shard.RouterConfig) (*shard.Router, error) {
+	replicas := make([][]shard.Backend, len(idxs))
+	for s, idx := range idxs {
+		replicas[s] = []shard.Backend{&shard.IndexBackend{Idx: idx, Label: fmt.Sprintf("shard-%d", s)}}
+	}
+	return shard.NewRouter(cfg, replicas)
+}
+
+// checkIdentity compares one routed query against the unpartitioned
+// reference, element by element.
+func checkIdentity(ctx context.Context, r *shard.Router, mono *index.Index, q shardQuery) error {
+	m, err := r.Search(ctx, shard.Request{Mode: q.mode, Terms: q.terms, K: q.k})
+	if err != nil || m.Partial {
+		return fmt.Errorf("router %s %v: partial=%v err=%v", q.mode, q.terms, m.Partial, err)
+	}
+	if q.mode == "topk" {
+		want, err := mono.TopKWith("exhaustive", q.k, nil, q.terms...)
+		if err != nil {
+			return err
+		}
+		if len(m.Ranked) != len(want) {
+			return fmt.Errorf("router topk %v: %d results, reference %d", q.terms, len(m.Ranked), len(want))
+		}
+		for i := range want {
+			if m.Ranked[i] != want[i] {
+				return fmt.Errorf("router topk %v rank %d: %+v, reference %+v", q.terms, i, m.Ranked[i], want[i])
+			}
+		}
+		return nil
+	}
+	var want []uint32
+	if q.mode == "and" {
+		want, err = mono.Conjunctive(q.terms...)
+	} else {
+		want, err = mono.Disjunctive(q.terms...)
+	}
+	if err != nil {
+		return err
+	}
+	if len(m.Docs) != len(want) {
+		return fmt.Errorf("router %s %v: %d docs, reference %d", q.mode, q.terms, len(m.Docs), len(want))
+	}
+	for i := range want {
+		if m.Docs[i] != want[i] {
+			return fmt.Errorf("router %s %v doc %d: %d, reference %d", q.mode, q.terms, i, m.Docs[i], want[i])
+		}
+	}
+	return nil
+}
+
+// runHedgeArm runs the closed-loop stream against a 4-shard x
+// 2-replica router where shard 1's second replica is the straggler.
+func runHedgeArm(ctx context.Context, cfg ShardConfig, docs []string, mix []shardQuery, hedge bool) (*HedgeRow, error) {
+	idxs, err := buildShardIndexes(docs, 4)
+	if err != nil {
+		return nil, err
+	}
+	replicas := make([][]shard.Backend, len(idxs))
+	for s, idx := range idxs {
+		replicas[s] = []shard.Backend{
+			&shard.IndexBackend{Idx: idx, Label: fmt.Sprintf("shard-%d-a", s)},
+		}
+		if s == 1 {
+			replicas[s] = append(replicas[s], &shard.IndexBackend{
+				Idx:   idx,
+				Label: "shard-1-straggler",
+				Delay: cfg.Straggler,
+			})
+		} else {
+			replicas[s] = append(replicas[s], &shard.IndexBackend{
+				Idx: idx, Label: fmt.Sprintf("shard-%d-b", s),
+			})
+		}
+	}
+	router, err := shard.NewRouter(shard.RouterConfig{
+		Hedge:    hedge,
+		HedgeMax: cfg.HedgeMax,
+	}, replicas)
+	if err != nil {
+		return nil, err
+	}
+	lats := make([]float64, 0, cfg.HedgeQueries)
+	for i := 0; i < cfg.HedgeQueries; i++ {
+		q := mix[i%len(mix)]
+		start := time.Now()
+		if _, err := router.Search(ctx, shard.Request{Mode: q.mode, Terms: q.terms, K: q.k}); err != nil {
+			return nil, fmt.Errorf("hedge arm (hedge=%v) query %d: %w", hedge, i, err)
+		}
+		lats = append(lats, float64(time.Since(start).Nanoseconds())/1e6)
+	}
+	sort.Float64s(lats)
+	row := &HedgeRow{
+		Hedge: hedge,
+		P50MS: lats[len(lats)/2],
+		P99MS: lats[len(lats)*99/100],
+	}
+	for _, st := range router.Stats() {
+		row.Hedged += st.Hedged
+		row.HedgeWins += st.HedgeWins
+	}
+	return row, nil
+}

@@ -212,31 +212,44 @@ func httpReload(ctx context.Context, base string, timeout time.Duration) error {
 	return nil
 }
 
-// reloadCount reads the hot-swap counter from /stats.
-func reloadCount(ctx context.Context, base string) (int64, error) {
+// reloadCount reads the hot-swap counter and the snapshot generation
+// from /stats.
+func reloadCount(ctx context.Context, base string) (reloads, generation int64, err error) {
 	var stats struct {
-		Reloads int64 `json:"reloads"`
+		Reloads    int64 `json:"reloads"`
+		Generation int64 `json:"generation"`
 	}
 	if err := getJSON(ctx, base+"/stats", &stats); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return stats.Reloads, nil
+	return stats.Reloads, stats.Generation, nil
 }
 
 // verifyReloadBumps fires the asynchronous signal reload and polls
-// /stats until the reload counter increments.
+// /stats until the reload counter increments. It also asserts the
+// snapshot generation: /stats must name WHICH index version is
+// answering, and the invariant generation == reloads + 1 (boot
+// generation 1, +1 per successful swap) must hold before and after —
+// that is what lets this harness attribute any response during a
+// reload storm to a specific index version.
 func verifyReloadBumps(ctx context.Context, base string, timeout time.Duration, fire func() error) error {
-	before, err := reloadCount(ctx, base)
+	before, gen, err := reloadCount(ctx, base)
 	if err != nil {
 		return fmt.Errorf("reading /stats before signal reload: %w", err)
+	}
+	if gen != before+1 {
+		return fmt.Errorf("/stats generation %d inconsistent with %d reloads (want generation == reloads+1)", gen, before)
 	}
 	if err := fire(); err != nil {
 		return fmt.Errorf("firing signal reload: %w", err)
 	}
 	deadline := time.Now().Add(timeout)
 	for {
-		after, err := reloadCount(ctx, base)
+		after, gen, err := reloadCount(ctx, base)
 		if err == nil && after > before {
+			if gen != after+1 {
+				return fmt.Errorf("/stats generation %d inconsistent with %d reloads after swap (want generation == reloads+1)", gen, after)
+			}
 			return nil
 		}
 		if time.Now().After(deadline) {

@@ -1,0 +1,143 @@
+package load
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRouterRigIdentity: with every shard healthy, the router must be
+// indistinguishable from a single server — every response over the
+// full mixed workload classifies Correct against ground truth computed
+// on the unpartitioned index.
+func TestRouterRigIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load run takes seconds")
+	}
+	docs, _ := GenCorpus(11, 300, 50)
+	idx, vocab := buildTestIndex(t, 11, 300, 50)
+	w, err := BuildWorkload(idx, vocab, 128, 5, DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rig, err := NewRouterRig(t.TempDir(), docs, "Roaring", 3, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := rig.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer rig.Stop()
+
+	rep, err := Run(ctx, w, Options{
+		BaseURL:  rig.BaseURL(),
+		Rate:     200,
+		Duration: 1500 * time.Millisecond,
+		Seed:     17,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rep.Classes[ClassCorrect.String()]; n != rep.Requests {
+		t.Errorf("%d/%d correct; classes %v; failures %+v", n, rep.Requests, rep.Classes, rep.Failures)
+	}
+}
+
+// TestRouterChaosEndToEnd is the scale-out drill: load runs against
+// the router while one shard is SIGKILLed mid-run and restarted. The
+// router must absorb the outage — every response during it is either
+// still correct or a documented degraded partial (a subset of the
+// healthy answer). There is no blast window: a transport error or 5xx
+// anywhere in the run is a failure.
+func TestRouterChaosEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run takes several seconds")
+	}
+	docs, _ := GenCorpus(23, 400, 60)
+	idx, vocab := buildTestIndex(t, 23, 400, 60)
+	w, err := BuildWorkload(idx, vocab, 256, 9, DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rig, err := NewRouterRig(t.TempDir(), docs, "Roaring", 4, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := rig.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer rig.Stop()
+
+	const duration = 4 * time.Second
+	win := NewWindows()
+	chaosDone := make(chan []Event, 1)
+	go func() {
+		events, cerr := RunRouterChaos(ctx, RouterChaosConfig{Duration: duration}, rig, win)
+		if cerr != nil {
+			t.Errorf("router chaos: %v", cerr)
+		}
+		chaosDone <- events
+	}()
+
+	rep, err := Run(ctx, w, Options{
+		BaseURL:  rig.BaseURL(),
+		Rate:     120,
+		Duration: duration,
+		Seed:     31,
+	}, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Events = <-chaosDone
+
+	names := map[string]bool{}
+	for _, e := range rep.Events {
+		names[e.Name] = true
+		if e.Err != "" {
+			t.Errorf("chaos step %s failed: %s", e.Name, e.Err)
+		}
+	}
+	for _, want := range []string{"shard-kill", "shard-restart"} {
+		if !names[want] {
+			t.Errorf("chaos step %s never ran (events: %v)", want, names)
+		}
+	}
+
+	// The no-blast contract: nothing incorrect, nothing unexplained,
+	// no transport errors or 5xx at all — the router answered 200
+	// through the whole outage.
+	for _, c := range []Class{ClassIncorrect, ClassError, ClassBlast, ClassShed} {
+		if n := rep.Classes[c.String()]; n != 0 {
+			t.Errorf("%d %s responses; failures: %+v", n, c, rep.Failures)
+		}
+	}
+	if rep.FiveXXOnHealthy != 0 {
+		t.Errorf("%d 5xx during the run", rep.FiveXXOnHealthy)
+	}
+	// The outage was observable: some answers lost the dead shard's
+	// documents and classified as degraded partials.
+	if n := rep.Classes[ClassDegradedPartial.String()]; n == 0 {
+		t.Errorf("no degraded partials observed; classes %v", rep.Classes)
+	}
+	if n := rep.Classes[ClassCorrect.String()]; n < rep.Requests/2 {
+		t.Errorf("only %d/%d correct responses", n, rep.Requests)
+	}
+
+	// Exactly one degraded window, zero blast windows, all closed.
+	kinds := map[string]int{}
+	for _, wr := range rep.Windows {
+		kinds[wr.Kind]++
+		if wr.End.IsZero() {
+			t.Errorf("window %s/%s never closed", wr.Kind, wr.Label)
+		}
+	}
+	if kinds["degraded"] != 1 || kinds["blast"] != 0 {
+		t.Errorf("windows = %v, want exactly one degraded and no blast", kinds)
+	}
+}

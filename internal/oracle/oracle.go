@@ -24,7 +24,11 @@
 //   - the pruned ranked-retrieval algorithms (MaxScore, Block-Max-WAND)
 //     vs exhaustive evaluation, in memory and through a BVIX3 v4
 //     (impact-annotated) write and reopen — result lists must be
-//     identical, down to the deterministic docid tie-break.
+//     identical, down to the deterministic docid tie-break;
+//   - the doc-partitioned scatter-gather router vs the unpartitioned
+//     index, across 1/2/4/8 shards on and/or/top-k (every algorithm,
+//     k up to 100000), including a shard-file + manifest disk
+//     roundtrip — merged answers must be byte-identical.
 //
 // Each check is deterministic in its seed: oracle.Run(seed, dir) either
 // passes or returns an error describing the first divergence, and the
@@ -33,6 +37,7 @@ package oracle
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -45,6 +50,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/load"
 	"repro/internal/ops"
+	"repro/internal/shard"
 )
 
 // Run executes one full differential pass for seed, using dir for
@@ -71,6 +77,9 @@ func Run(seed int64, dir string) error {
 	}
 	if err := CheckTopK(seed, dir); err != nil {
 		return fmt.Errorf("ranked top-k: %w", err)
+	}
+	if err := CheckSharded(seed, dir); err != nil {
+		return fmt.Errorf("sharded router: %w", err)
 	}
 	return nil
 }
@@ -627,4 +636,161 @@ func CheckTopK(seed int64, dir string) error {
 // sortU32 is an insertion-free ascending sort for oracle scratch.
 func sortU32(a []uint32) {
 	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+// CheckSharded compares the doc-partitioned scatter-gather router
+// against the unpartitioned index it was split from: the merge must be
+// byte-identical, not merely equivalent. The corpus is partitioned
+// round-robin across 1, 2, 4, and 8 shards (each shard its own index,
+// codec rotating with the seed) and queried through shard.Router on
+// and/or (sorted merged postings vs Conjunctive/Disjunctive) and top-k
+// under every algorithm and k in {1, 5, 20, 100000} vs exhaustive
+// evaluation. For the 4-shard split the shard files and checksummed
+// manifest also make a disk roundtrip — written the way `bvindex
+// -partition` writes them, verified, reopened via mmap — and must
+// still agree.
+func CheckSharded(seed int64, dir string) error {
+	docs, vocab := load.GenCorpus(seed, 130+int(seed%5)*20, 30)
+	all := append(codecs.All(), codecs.Extensions()...)
+	codec := all[int(seed)%len(all)]
+	b := index.NewBuilder(codec)
+	for _, d := range docs {
+		b.AddDocument(d)
+	}
+	mem, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("building with %s: %w", codec.Name(), err)
+	}
+
+	buildShards := func(n int) ([]*index.Index, error) {
+		parts, err := shard.Partition(docs, n)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*index.Index, n)
+		for s, part := range parts {
+			sb := index.NewBuilder(codec)
+			for _, d := range part {
+				sb.AddDocument(d)
+			}
+			if out[s], err = sb.Build(); err != nil {
+				return nil, fmt.Errorf("shard %d: %w", s, err)
+			}
+		}
+		return out, nil
+	}
+	routerOver := func(idxs []*index.Index) (*shard.Router, error) {
+		replicas := make([][]shard.Backend, len(idxs))
+		for s, idx := range idxs {
+			replicas[s] = []shard.Backend{&shard.IndexBackend{Idx: idx, Label: fmt.Sprintf("shard-%d", s)}}
+		}
+		return shard.NewRouter(shard.RouterConfig{}, replicas)
+	}
+
+	ctx := context.Background()
+	ks := []int{1, 5, 20, 100000}
+	verify := func(r *shard.Router, n int, qseed int64, rounds int) error {
+		rng := rand.New(rand.NewSource(qseed))
+		for q := 0; q < rounds; q++ {
+			terms := make([]string, 1+rng.Intn(4))
+			for i := range terms {
+				terms[i] = vocab[rng.Intn(len(vocab))]
+			}
+			wantAnd, _ := mem.Conjunctive(terms...)
+			gotAnd, err := r.Search(ctx, shard.Request{Mode: "and", Terms: terms})
+			if err != nil || gotAnd.Partial {
+				return fmt.Errorf("%s n=%d: and %v: partial=%v err=%v", codec.Name(), n, terms, gotAnd.Partial, err)
+			}
+			if len(gotAnd.Docs) != len(wantAnd) || diffU32(gotAnd.Docs, wantAnd) >= 0 {
+				return fmt.Errorf("%s n=%d: and %v: %d docs, reference %d", codec.Name(), n, terms, len(gotAnd.Docs), len(wantAnd))
+			}
+			wantOr, _ := mem.Disjunctive(terms...)
+			gotOr, err := r.Search(ctx, shard.Request{Mode: "or", Terms: terms})
+			if err != nil || gotOr.Partial {
+				return fmt.Errorf("%s n=%d: or %v: partial=%v err=%v", codec.Name(), n, terms, gotOr.Partial, err)
+			}
+			if len(gotOr.Docs) != len(wantOr) || diffU32(gotOr.Docs, wantOr) >= 0 {
+				return fmt.Errorf("%s n=%d: or %v: %d docs, reference %d", codec.Name(), n, terms, len(gotOr.Docs), len(wantOr))
+			}
+			k := ks[rng.Intn(len(ks))]
+			want, err := mem.TopKWith("exhaustive", k, nil, terms...)
+			if err != nil {
+				return fmt.Errorf("%s: exhaustive k=%d %v: %w", codec.Name(), k, terms, err)
+			}
+			for _, algo := range []string{"exhaustive", "maxscore", "bmw", "auto"} {
+				got, err := r.Search(ctx, shard.Request{Mode: "topk", Terms: terms, K: k, Algo: algo})
+				if err != nil || got.Partial {
+					return fmt.Errorf("%s n=%d: topk %s k=%d %v: partial=%v err=%v", codec.Name(), n, algo, k, terms, got.Partial, err)
+				}
+				if len(got.Ranked) != len(want) {
+					return fmt.Errorf("%s n=%d: topk %s k=%d %v: %d results, exhaustive %d",
+						codec.Name(), n, algo, k, terms, len(got.Ranked), len(want))
+				}
+				for i := range got.Ranked {
+					if got.Ranked[i] != want[i] {
+						return fmt.Errorf("%s n=%d: topk %s k=%d %v rank %d: %+v, exhaustive %+v",
+							codec.Name(), n, algo, k, terms, i, got.Ranked[i], want[i])
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	for _, n := range []int{1, 2, 4, 8} {
+		idxs, err := buildShards(n)
+		if err != nil {
+			return err
+		}
+		r, err := routerOver(idxs)
+		if err != nil {
+			return err
+		}
+		if err := verify(r, n, seed+int64(7+n), 16); err != nil {
+			return err
+		}
+	}
+
+	// Disk roundtrip at n=4: shard files + checksummed manifest, the
+	// exact layout `bvindex -partition` publishes, reopened via mmap.
+	const n = 4
+	idxs, err := buildShards(n)
+	if err != nil {
+		return err
+	}
+	m := &shard.Map{Version: shard.MapVersion, Partition: "mod", Shards: n, Docs: len(docs)}
+	for s, idx := range idxs {
+		path := filepath.Join(dir, shard.FileName(s))
+		if err := idx.WriteFile(path, index.FormatBVIX3Impacts); err != nil {
+			return fmt.Errorf("%s: writing shard %d: %w", codec.Name(), s, err)
+		}
+		e, err := shard.EntryFor(path, idx.Docs(), idx.Terms())
+		if err != nil {
+			return err
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	mapPath := filepath.Join(dir, "oracle_shards.json")
+	if err := shard.WriteMap(mapPath, m); err != nil {
+		return err
+	}
+	loaded, err := shard.LoadMap(mapPath)
+	if err != nil {
+		return fmt.Errorf("reloading manifest: %w", err)
+	}
+	if err := loaded.VerifyFiles(dir); err != nil {
+		return fmt.Errorf("verifying shard files: %w", err)
+	}
+	mapped := make([]*index.Index, n)
+	for s, e := range loaded.Entries {
+		if mapped[s], err = index.OpenFile(filepath.Join(dir, e.File)); err != nil {
+			return fmt.Errorf("reopening shard %d: %w", s, err)
+		}
+		defer mapped[s].Close()
+	}
+	r, err := routerOver(mapped)
+	if err != nil {
+		return err
+	}
+	return verify(r, n, seed+29, 16)
 }

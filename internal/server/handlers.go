@@ -85,10 +85,11 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	defer snap.Release()
 	idx := snap.Index()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":  "reloaded",
-		"docs":    idx.Docs(),
-		"terms":   idx.Terms(),
-		"reloads": s.Reloads(),
+		"status":     "reloaded",
+		"docs":       idx.Docs(),
+		"terms":      idx.Terms(),
+		"reloads":    s.Reloads(),
+		"generation": s.Generation(),
 	})
 }
 
@@ -103,6 +104,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"compressedBytes": idx.SizeBytes(),
 		"inFlight":        s.inFlight.Load(),
 		"reloads":         s.Reloads(),
+		"generation":      s.Generation(),
 		"sheds":           s.Sheds(),
 		"ready":           s.Ready(),
 		"health":          idx.Health(),

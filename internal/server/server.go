@@ -102,7 +102,13 @@ type Server struct {
 	draining atomic.Bool
 	inFlight atomic.Int64
 	reloads  atomic.Int64
-	sem      chan struct{}
+	// generation numbers the served snapshot, starting at 1 for the
+	// index the server booted with and bumping on every successful hot
+	// swap. /stats exposes it so an observer (the chaos harness, a
+	// sharded router's operator) can assert WHICH index version answered
+	// during a reload storm, not merely how many swaps happened.
+	generation atomic.Int64
+	sem        chan struct{}
 
 	// Serving-side observability, exposed on /stats: a latency
 	// histogram over every completed request, per-status-class counters,
@@ -129,6 +135,7 @@ func New(idx *index.Index, cfg Config) *Server {
 		idx.AttachCache(s.cache)
 	}
 	s.snap.Store(index.NewSnapshot(idx))
+	s.generation.Store(1)
 	return s
 }
 
@@ -212,6 +219,11 @@ func (s *Server) observe(status int, d time.Duration) {
 // Reloads reports how many successful hot swaps have happened.
 func (s *Server) Reloads() int64 { return s.reloads.Load() }
 
+// Generation reports the serial number of the snapshot being served:
+// 1 for the boot index, +1 per successful hot swap. A failed reload
+// (rollback) does not bump it — the old generation is still answering.
+func (s *Server) Generation() int64 { return s.generation.Load() }
+
 // Reload loads a replacement index through the configured loader and
 // swaps it in atomically. In-flight requests keep whichever snapshot
 // they started with; no request observes a half-swapped index. If the
@@ -245,6 +257,7 @@ func (s *Server) Reload() error {
 	}
 	old := s.snap.Swap(index.NewSnapshot(next))
 	s.reloads.Add(1)
+	s.generation.Add(1)
 	oldIdx := old.Index()
 	s.log.Printf("server: hot-reloaded index: %d docs, %d terms, %d compressed bytes (was %d docs, %d terms)",
 		next.Docs(), next.Terms(), next.SizeBytes(), oldIdx.Docs(), oldIdx.Terms())

@@ -147,6 +147,11 @@ func TestStats(t *testing.T) {
 	if body["reloads"].(float64) != 0 || body["ready"].(bool) {
 		t.Fatalf("serving gauges = %v", body)
 	}
+	// The boot snapshot is generation 1; /stats must name it so an
+	// observer can tell which index version answered.
+	if body["generation"].(float64) != 1 {
+		t.Fatalf("boot generation = %v, want 1", body["generation"])
+	}
 }
 
 func TestProbes(t *testing.T) {
@@ -197,10 +202,16 @@ func TestReloadSwapsAtomically(t *testing.T) {
 	if s.Index() != bigger || s.Reloads() != 1 {
 		t.Fatal("reload did not swap the served index")
 	}
+	if body["generation"].(float64) != 2 || s.Generation() != 2 {
+		t.Fatalf("generation after one swap = %v / %d, want 2", body["generation"], s.Generation())
+	}
 	// The new index serves immediately.
 	_, body = get(t, h, "/stats")
 	if body["documents"].(float64) != 5 {
 		t.Fatalf("stats after reload = %v", body)
+	}
+	if body["generation"].(float64) != 2 {
+		t.Fatalf("stats generation after reload = %v, want 2", body["generation"])
 	}
 }
 
@@ -213,6 +224,9 @@ func TestReloadRollsBackOnError(t *testing.T) {
 	}
 	if s.Index() != before || s.Reloads() != 0 {
 		t.Fatal("failed reload must keep the old index in place")
+	}
+	if s.Generation() != 1 {
+		t.Fatalf("failed reload bumped generation to %d; the old snapshot is still answering", s.Generation())
 	}
 	// Nil index from a buggy loader is also a rollback, not a swap.
 	s.SetLoader(func() (*index.Index, error) { return nil, nil })

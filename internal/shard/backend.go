@@ -1,0 +1,181 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/index"
+)
+
+// Request is one query as the router scatters it: boolean ("and"/"or")
+// or ranked ("topk" with K and an algorithm). Terms are already
+// tokenized. The same Request goes to every shard verbatim — doc
+// partitioning means shards differ in data, not in query.
+type Request struct {
+	Mode  string
+	Terms []string
+	K     int
+	Algo  string // topk only; "" means the server-side default
+}
+
+// Result is one shard replica's answer, in SHARD-LOCAL document ids.
+// The router maps ids back to the global space with GlobalID before
+// merging. Boolean answers fill Docs (sorted ascending); ranked
+// answers fill Ranked (score desc, local doc asc — the strict-beat
+// order every top-k algorithm in this repo emits).
+type Result struct {
+	Docs   []uint32
+	Ranked []index.Result
+}
+
+// Backend is one replica of one shard: something that can answer a
+// Request over that shard's documents. The two implementations are
+// IndexBackend (in-process, used by tests, the oracle, and `bvrouter
+// -local`) and HTTPBackend (a remote bvserve process, the deployment
+// topology). Search must honor ctx cancellation — hedging cancels the
+// losing attempt through it.
+type Backend interface {
+	Search(ctx context.Context, req Request) (Result, error)
+	Health(ctx context.Context) error
+	Name() string
+}
+
+// IndexBackend answers queries directly from an in-process index.
+type IndexBackend struct {
+	Idx   *index.Index
+	Label string
+	// Delay, when set, sleeps before answering — the straggler injection
+	// knob the hedging benchmark and tests use. Sleeps burn no CPU, so
+	// an injected straggler distorts latency without distorting the
+	// compute the measurement is about.
+	Delay time.Duration
+}
+
+func (b *IndexBackend) Name() string {
+	if b.Label != "" {
+		return b.Label
+	}
+	return "local"
+}
+
+func (b *IndexBackend) Health(ctx context.Context) error { return nil }
+
+func (b *IndexBackend) Search(ctx context.Context, req Request) (Result, error) {
+	if b.Delay > 0 {
+		t := time.NewTimer(b.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return Result{}, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	switch req.Mode {
+	case "and":
+		docs, err := b.Idx.Conjunctive(req.Terms...)
+		return Result{Docs: docs}, err
+	case "or":
+		docs, err := b.Idx.Disjunctive(req.Terms...)
+		return Result{Docs: docs}, err
+	case "topk":
+		algo := req.Algo
+		if algo == "" {
+			algo = "auto"
+		}
+		ranked, err := b.Idx.TopKWith(algo, req.K, nil, req.Terms...)
+		return Result{Ranked: ranked}, err
+	default:
+		return Result{}, fmt.Errorf("shard: unknown mode %q", req.Mode)
+	}
+}
+
+// HTTPBackend answers queries by calling a bvserve replica's /search
+// endpoint. It reuses the server's JSON response shape, so any bvserve
+// — local process or remote machine — can stand behind the router
+// unchanged.
+type HTTPBackend struct {
+	// Base is the replica's root URL, e.g. "http://10.0.0.7:8080".
+	Base   string
+	Client *http.Client
+}
+
+func (b *HTTPBackend) Name() string { return b.Base }
+
+func (b *HTTPBackend) client() *http.Client {
+	if b.Client != nil {
+		return b.Client
+	}
+	return http.DefaultClient
+}
+
+func (b *HTTPBackend) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.Base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.client().Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard: %s/readyz: %s", b.Base, resp.Status)
+	}
+	return nil
+}
+
+// searchWire mirrors server.searchResponse — the subset the router
+// consumes.
+type searchWire struct {
+	Docs   []uint32       `json:"docs"`
+	Ranked []index.Result `json:"ranked"`
+	Error  string         `json:"error"`
+}
+
+func (b *HTTPBackend) Search(ctx context.Context, req Request) (Result, error) {
+	q := url.Values{}
+	q.Set("q", strings.Join(req.Terms, " "))
+	q.Set("mode", req.Mode)
+	if req.Mode == "topk" {
+		q.Set("k", strconv.Itoa(req.K))
+		if req.Algo != "" {
+			q.Set("algo", req.Algo)
+		}
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, b.Base+"/search?"+q.Encode(), nil)
+	if err != nil {
+		return Result{}, err
+	}
+	resp, err := b.client().Do(hreq)
+	if err != nil {
+		return Result{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return Result{}, err
+	}
+	var wire searchWire
+	if jerr := json.Unmarshal(body, &wire); jerr != nil {
+		return Result{}, fmt.Errorf("shard: %s: bad /search response (%s): %w", b.Base, resp.Status, jerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := wire.Error
+		if msg == "" {
+			msg = resp.Status
+		}
+		return Result{}, fmt.Errorf("shard: %s: /search: %s", b.Base, msg)
+	}
+	return Result{Docs: wire.Docs, Ranked: wire.Ranked}, nil
+}

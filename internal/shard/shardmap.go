@@ -1,0 +1,194 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// castagnoli is the CRC32-C table every checksum in this module uses
+// (the BVIX formats use the same polynomial).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// MapVersion is the shard-map manifest format version this package
+// writes and reads.
+const MapVersion = 1
+
+// Entry describes one shard file in a Map: its name (relative to the
+// manifest), its document/term counts, and the size and CRC32-C of its
+// exact bytes, so a router or operator can verify a shard file before
+// serving it.
+type Entry struct {
+	File  string `json:"file"`
+	Docs  int    `json:"docs"`
+	Terms int    `json:"terms"`
+	Bytes int64  `json:"bytes"`
+	CRC   uint32 `json:"crc32c"`
+}
+
+// Map is the shard-map manifest `bvindex -partition N` writes next to
+// the shard files: the partition function, total document count, and a
+// verifiable entry per shard. The manifest itself is checksummed
+// (CRC32-C over its canonical JSON with Checksum zeroed), so a torn or
+// hand-edited map is detected at load, before any shard is opened.
+type Map struct {
+	Version   int     `json:"version"`
+	Partition string  `json:"partition"` // "mod": global g -> shard g % Shards, local g / Shards
+	Shards    int     `json:"shards"`
+	Docs      int     `json:"docs"`
+	Entries   []Entry `json:"entries"`
+	Checksum  uint32  `json:"checksum"`
+}
+
+// checksum computes the manifest self-checksum: CRC32-C over the
+// canonical JSON encoding with the Checksum field zeroed.
+func (m *Map) checksum() (uint32, error) {
+	c := *m
+	c.Checksum = 0
+	c.Entries = append([]Entry(nil), m.Entries...)
+	blob, err := json.Marshal(&c)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.Checksum(blob, castagnoli), nil
+}
+
+// validate applies the structural invariants shared by writers and
+// loaders; it does not touch the file system.
+func (m *Map) validate() error {
+	switch {
+	case m.Version != MapVersion:
+		return fmt.Errorf("shard: map version %d, want %d", m.Version, MapVersion)
+	case m.Partition != "mod":
+		return fmt.Errorf("shard: unknown partition scheme %q (want \"mod\")", m.Partition)
+	case m.Shards < 1 || m.Shards > MaxShards:
+		return fmt.Errorf("shard: map declares %d shards, want 1..%d", m.Shards, MaxShards)
+	case len(m.Entries) != m.Shards:
+		return fmt.Errorf("shard: map declares %d shards but lists %d entries", m.Shards, len(m.Entries))
+	}
+	total := 0
+	seen := make(map[string]bool, len(m.Entries))
+	for i, e := range m.Entries {
+		if e.File == "" || e.File != filepath.Base(e.File) {
+			return fmt.Errorf("shard: entry %d: file %q must be a bare name next to the manifest", i, e.File)
+		}
+		if seen[e.File] {
+			return fmt.Errorf("shard: entry %d: duplicate shard file %q", i, e.File)
+		}
+		seen[e.File] = true
+		if e.Docs < 1 {
+			return fmt.Errorf("shard: entry %d (%s): empty shard (%d docs)", i, e.File, e.Docs)
+		}
+		total += e.Docs
+	}
+	if total != m.Docs {
+		return fmt.Errorf("shard: map declares %d docs but entries sum to %d", m.Docs, total)
+	}
+	return nil
+}
+
+// WriteMap seals and atomically publishes the manifest at path
+// (temp + rename, the same publish discipline as index.WriteFile —
+// a crash leaves the old manifest or the new one, never a torn mix).
+// The Checksum field is computed here; any value already set is
+// overwritten.
+func WriteMap(path string, m *Map) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	sum, err := m.checksum()
+	if err != nil {
+		return err
+	}
+	m.Checksum = sum
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := fmt.Sprintf("%s.tmp.%d", path, os.Getpid())
+	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		if serr := f.Sync(); serr == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+			err = serr
+		}
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("shard: syncing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadMap reads and verifies a manifest: JSON shape, self-checksum,
+// and structural invariants. It does not open or verify the shard
+// files themselves; VerifyFiles does that.
+func LoadMap(path string) (*Map, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Map
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("shard: %s: not a shard map: %w", path, err)
+	}
+	want, err := m.checksum()
+	if err != nil {
+		return nil, err
+	}
+	if m.Checksum != want {
+		return nil, fmt.Errorf("shard: %s: manifest checksum mismatch (stored %08x, computed %08x)", path, m.Checksum, want)
+	}
+	if err := m.validate(); err != nil {
+		return nil, fmt.Errorf("shard: %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// EntryFor builds the manifest entry for a just-written shard file:
+// its bare name plus measured size and CRC32-C. docs and terms come
+// from the builder that produced the shard.
+func EntryFor(path string, docs, terms int) (Entry, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return Entry{}, err
+	}
+	return Entry{
+		File:  filepath.Base(path),
+		Docs:  docs,
+		Terms: terms,
+		Bytes: int64(len(blob)),
+		CRC:   crc32.Checksum(blob, castagnoli),
+	}, nil
+}
+
+// VerifyFiles checks every shard file listed in the map against its
+// recorded size and CRC32-C. dir is the manifest's directory. The
+// first damaged or missing shard is reported by name.
+func (m *Map) VerifyFiles(dir string) error {
+	for i, e := range m.Entries {
+		path := filepath.Join(dir, e.File)
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("shard: entry %d: %w", i, err)
+		}
+		if int64(len(blob)) != e.Bytes {
+			return fmt.Errorf("shard: %s: %d bytes on disk, manifest says %d", path, len(blob), e.Bytes)
+		}
+		if got := crc32.Checksum(blob, castagnoli); got != e.CRC {
+			return fmt.Errorf("shard: %s: crc32c %08x, manifest says %08x", path, got, e.CRC)
+		}
+	}
+	return nil
+}

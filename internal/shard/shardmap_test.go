@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/index"
+)
+
+// writeTestShards partitions a corpus, writes one BVIX3 file per shard
+// plus the manifest, and returns the directory and map.
+func writeTestShards(t *testing.T, docs []string, n int) (string, *Map) {
+	t.Helper()
+	dir := t.TempDir()
+	parts, err := Partition(docs, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Map{Version: MapVersion, Partition: "mod", Shards: n, Docs: len(docs)}
+	for s, part := range parts {
+		idx := buildIndex(t, part)
+		path := filepath.Join(dir, FileName(s))
+		if err := idx.WriteFile(path, index.FormatBVIX3Impacts); err != nil {
+			t.Fatal(err)
+		}
+		e, err := EntryFor(path, idx.Docs(), idx.Terms())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	if err := WriteMap(filepath.Join(dir, "shards.json"), m); err != nil {
+		t.Fatal(err)
+	}
+	return dir, m
+}
+
+func TestShardMapRoundtrip(t *testing.T) {
+	docs := testCorpus(100)
+	dir, wrote := writeTestShards(t, docs, 4)
+	m, err := LoadMap(filepath.Join(dir, "shards.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != 4 || m.Docs != 100 || len(m.Entries) != 4 {
+		t.Fatalf("loaded map shape wrong: %+v", m)
+	}
+	if m.Checksum != wrote.Checksum {
+		t.Fatalf("checksum drifted on load")
+	}
+	if err := m.VerifyFiles(dir); err != nil {
+		t.Fatalf("pristine shard files failed verification: %v", err)
+	}
+	// Every shard file must reopen as a servable index.
+	for s, e := range m.Entries {
+		idx, err := index.OpenFile(filepath.Join(dir, e.File))
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		if idx.Docs() != e.Docs {
+			t.Fatalf("shard %d: %d docs, manifest says %d", s, idx.Docs(), e.Docs)
+		}
+		idx.Close()
+	}
+}
+
+func TestShardMapDetectsTamperedManifest(t *testing.T) {
+	docs := testCorpus(50)
+	dir, _ := writeTestShards(t, docs, 2)
+	path := filepath.Join(dir, "shards.json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a digit inside the docs count — structurally valid JSON, wrong
+	// content; only the self-checksum can catch it.
+	tampered := strings.Replace(string(blob), `"docs": 50`, `"docs": 51`, 1)
+	if tampered == string(blob) {
+		t.Fatal("test setup: docs field not found")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMap(path); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered manifest must fail the checksum, got %v", err)
+	}
+}
+
+func TestShardMapDetectsDamagedShardFile(t *testing.T) {
+	docs := testCorpus(50)
+	dir, m := writeTestShards(t, docs, 2)
+	path := filepath.Join(dir, m.Entries[1].File)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xff
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyFiles(dir); err == nil || !strings.Contains(err.Error(), "crc32c") {
+		t.Fatalf("damaged shard file must fail crc verification, got %v", err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyFiles(dir); err == nil {
+		t.Fatal("missing shard file must fail verification")
+	}
+}
+
+func TestShardMapValidation(t *testing.T) {
+	good := func() *Map {
+		return &Map{
+			Version: MapVersion, Partition: "mod", Shards: 2, Docs: 10,
+			Entries: []Entry{
+				{File: "shard-0000.bvix", Docs: 5, Bytes: 1, CRC: 1},
+				{File: "shard-0001.bvix", Docs: 5, Bytes: 1, CRC: 1},
+			},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Map)
+	}{
+		{"bad version", func(m *Map) { m.Version = 99 }},
+		{"bad partition", func(m *Map) { m.Partition = "range" }},
+		{"zero shards", func(m *Map) { m.Shards = 0 }},
+		{"entry count mismatch", func(m *Map) { m.Shards = 3 }},
+		{"empty shard", func(m *Map) { m.Entries[0].Docs = 0 }},
+		{"docs sum mismatch", func(m *Map) { m.Docs = 11 }},
+		{"duplicate file", func(m *Map) { m.Entries[1].File = m.Entries[0].File }},
+		{"path traversal", func(m *Map) { m.Entries[0].File = "../shard-0000.bvix" }},
+	}
+	for _, tc := range cases {
+		m := good()
+		tc.mutate(m)
+		if err := m.validate(); err == nil {
+			t.Errorf("%s: validate accepted a broken map", tc.name)
+		}
+	}
+	if err := good().validate(); err != nil {
+		t.Fatalf("good map rejected: %v", err)
+	}
+}
