@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench shardbench figures experiments loadtest oracle clean
+.PHONY: all build vet test race bench shardbench walbench figures experiments loadtest oracle clean
 
 all: build vet test
 
@@ -42,13 +42,15 @@ bench:
 		-args -topk.full -topk.out $(CURDIR)/results/BENCH_topk.json
 	$(GO) test -run TestShardBenchGate -count=1 ./internal/bench \
 		-args -shard.full -shard.out $(CURDIR)/results/BENCH_shard.json
+	$(GO) test -run TestWALBenchGate -count=1 ./internal/bench \
+		-args -wal.full -wal.out $(CURDIR)/results/BENCH_wal.json
 	@for f in BENCH_engine BENCH_kernels BENCH_index; do \
 		if ! test -s results/$$f.json || ! grep -q 'ns/op' results/$$f.json; then \
 			echo "FATAL: results/$$f.json missing or contains no benchmark output (did the -bench pattern match?)" >&2; \
 			exit 1; \
 		fi; \
 	done
-	@for f in BENCH_hybrid BENCH_topk BENCH_shard; do \
+	@for f in BENCH_hybrid BENCH_topk BENCH_shard BENCH_wal; do \
 		if ! test -s results/$$f.json || ! grep -q '"pass": true' results/$$f.json; then \
 			echo "FATAL: results/$$f.json missing or gates failed" >&2; \
 			exit 1; \
@@ -65,17 +67,32 @@ shardbench:
 	$(GO) test -run TestShardBenchGate -count=1 -v ./internal/bench \
 		-args -shard.full -shard.out $(CURDIR)/results/BENCH_shard.json
 
+# WAL fsync-policy sweep alone: per-append fsync vs group-commit
+# windows under 8 concurrent appenders, gated on exact replay
+# round-trips and on group commit never being materially slower than
+# per-append sync. Writes (and gates on) results/BENCH_wal.json.
+walbench:
+	mkdir -p results
+	$(GO) test -run TestWALBenchGate -count=1 -v ./internal/bench \
+		-args -wal.full -wal.out $(CURDIR)/results/BENCH_wal.json
+
 # Full chaos-mode load run: 30s of open-loop zipfian traffic against a
 # real bvserve subprocess while the orchestrator hot-reloads it (SIGHUP
 # and POST /reload), swaps in a corrupted index to force a degraded-mode
 # transition, and SIGKILLs/restarts it mid-flight. Every response must
 # be correct, a clean shed, or a documented degraded partial; writes
 # results/LOAD_chaos.json and exits non-zero on any SLO gate violation.
+# Then the live-ingestion storm: bvserve -live under sentinel-verified
+# ingest/delete traffic, SIGKILLed mid-ingest twice and restarted over
+# the same directory, gated on zero lost acked writes, zero resurrected
+# deletes, and zero incorrect responses; writes results/LOAD_ingest.json.
 loadtest:
 	mkdir -p bin results
 	$(GO) build -o bin/bvserve ./cmd/bvserve
 	$(GO) run ./cmd/bvload -chaos -serve-bin bin/bvserve \
 		-duration 30s -rate 150 -slo-p99 250ms -out results/LOAD_chaos.json
+	$(GO) run ./cmd/bvload -ingest -serve-bin bin/bvserve \
+		-duration 20s -rate 120 -out results/LOAD_ingest.json
 
 # Differential correctness oracle: every optimized path vs its slow
 # reference across a randomized seed sweep (see internal/oracle).

@@ -14,6 +14,7 @@
 //	bvindex -index docs.idx -query "bitmap inverted" -mode or
 //	bvindex -index docs.idx -query "compression" -mode topk -k 3
 //	bvindex -index docs.idx -query "compression" -mode topk -algo bmw
+//	bvindex -from-wal data/live -out recovered.idx              # recover a live dir
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/codecs"
+	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/ops"
 	"repro/internal/shard"
@@ -35,6 +37,7 @@ import (
 func main() {
 	var (
 		build     = flag.Bool("build", false, "build an index instead of querying")
+		fromWAL   = flag.String("from-wal", "", "recover a live-ingestion directory (WAL + segments) and compact it into a single index at -out")
 		inFile    = flag.String("in", "", "input documents, one per line (default stdin)")
 		outFile   = flag.String("out", "", "output index file (build mode)")
 		indexFile = flag.String("index", "", "index file to query")
@@ -53,6 +56,10 @@ func main() {
 	}
 
 	switch {
+	case *fromWAL != "":
+		if err := runFromWAL(*fromWAL, *outFile, *codecName, *format); err != nil {
+			fatal("%v", err)
+		}
 	case *build && *partition > 0:
 		if err := runPartition(*inFile, *outFile, *codecName, *format, *shards, *partition); err != nil {
 			fatal("%v", err)
@@ -103,6 +110,52 @@ func validateFlags(fs *flag.FlagSet) error {
 	if v := get("partition").(int); v > 0 && !get("build").(bool) {
 		return fmt.Errorf("-partition=%d: only meaningful with -build", v)
 	}
+	if dir := get("from-wal").(string); dir != "" {
+		if get("build").(bool) {
+			return fmt.Errorf("-from-wal: mutually exclusive with -build")
+		}
+		if get("query").(string) != "" {
+			return fmt.Errorf("-from-wal: mutually exclusive with -query")
+		}
+		if f := get("format").(string); f == "bvix2" {
+			return fmt.Errorf("-from-wal: -format=bvix2 not supported; recovered exports are bvix3 or bvix3+impacts")
+		}
+	}
+	return nil
+}
+
+// runFromWAL opens a live-ingestion directory — replaying the WAL
+// tail, applying tombstones — and compacts the surviving documents
+// into one standalone index at outFile. This is the offline recovery
+// path: point it at the data directory of a crashed or retired
+// bvserve -live process and get a static, servable index back.
+func runFromWAL(dir, outFile, codecName, format string) error {
+	if outFile == "" {
+		return fmt.Errorf("-from-wal needs -out (the recovered index path)")
+	}
+	var codec core.Codec
+	if codecName != "auto" {
+		c, err := codecs.ByName(codecName)
+		if err != nil {
+			return err
+		}
+		codec = c
+	}
+	l, err := index.OpenLive(dir, index.LiveOptions{Codec: codec})
+	if err != nil {
+		return fmt.Errorf("opening live directory %s: %w", dir, err)
+	}
+	defer l.Close()
+	st := l.Stats()
+	idx, err := l.Export()
+	if err != nil {
+		return err
+	}
+	if err := idx.WriteFile(outFile, index.Format(format)); err != nil {
+		return err
+	}
+	fmt.Printf("recovered %d documents (%d sealed segments, %d tombstones applied, WAL seq %d) -> %s\n",
+		idx.Docs(), st.Segments, st.Tombstones, st.WALSeq, outFile)
 	return nil
 }
 

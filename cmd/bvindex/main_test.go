@@ -260,3 +260,68 @@ func TestBuildUnwritableOutput(t *testing.T) {
 		t.Fatal("failed build disturbed the previously published index")
 	}
 }
+
+// TestFromWAL drives the offline recovery path: a live directory with
+// sealed segments, a WAL tail, and tombstones compacts into a single
+// queryable static index; an empty or missing directory is refused
+// with a one-line cause.
+func TestFromWAL(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "live")
+	l, err := index.OpenLive(dir, index.LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range []string{
+		"compressed bitmap indexes",
+		"inverted lists for search",
+		"bitmap and inverted compression compression",
+	} {
+		if _, err := l.Add(text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	// A WAL-tail add and a tombstone that recovery must honor.
+	if _, err := l.Add("trailing bitmap document"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(t.TempDir(), "recovered.idx")
+	if err := runFromWAL(dir, out, "auto", "bvix3"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runQuery(out, "bitmap", "and", 5, "auto", &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Survivors renumber densely: docs 0, 2, 3 become 0, 1, 2.
+	if !strings.Contains(buf.String(), "3 docs: [0 1 2]") {
+		t.Errorf("recovered AND output = %q", buf.String())
+	}
+	buf.Reset()
+	if err := runQuery(out, "inverted", "and", 5, "auto", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 docs: [1]") {
+		t.Errorf("tombstoned doc resurfaced: %q", buf.String())
+	}
+
+	if err := runFromWAL(dir, "", "auto", "bvix3"); err == nil || !strings.Contains(err.Error(), "-out") {
+		t.Errorf("missing -out: err = %v", err)
+	}
+	empty := filepath.Join(t.TempDir(), "fresh")
+	if err := runFromWAL(empty, out, "auto", "bvix3"); err == nil {
+		t.Error("empty live dir exported")
+	}
+	if err := runFromWAL(dir, out, "NoSuchCodec", "bvix3"); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}

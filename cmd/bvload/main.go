@@ -33,6 +33,14 @@
 // set) and requires every response during the outage to classify as
 // correct or degraded-partial — the router never blasts.
 //
+// With -ingest the harness switches from read replay to the live
+// ingestion storm: it boots `bvserve -live` (requires -serve-bin),
+// streams ingest/delete/verify traffic with a unique sentinel term per
+// document, SIGKILLs the server mid-ingest twice, restarts it over the
+// same directory, and gates the run on zero lost acked writes, zero
+// resurrected acked deletes, and zero incorrect responses. The report
+// lands at -out (default results/LOAD_ingest.json in this mode).
+//
 // The exit status is 0 only when every SLO gate passed; the full
 // machine-readable report lands at -out.
 package main
@@ -67,6 +75,7 @@ type options struct {
 	serveBin   string
 	writeIndex string
 	chaos      bool
+	ingest     bool
 	router     int
 
 	codec string
@@ -96,6 +105,7 @@ func parseFlags(args []string, logger *log.Logger) (*options, error) {
 	fs.StringVar(&o.serveBin, "serve-bin", "", "bvserve binary to manage as a subprocess")
 	fs.StringVar(&o.writeIndex, "write-index", "", "write the generated corpus index to this path and exit")
 	fs.BoolVar(&o.chaos, "chaos", false, "run the chaos orchestrator during the load run (managed server only)")
+	fs.BoolVar(&o.ingest, "ingest", false, "run the live-ingestion kill/recovery storm instead of read replay (requires -serve-bin)")
 	fs.IntVar(&o.router, "router", 0, "partition the corpus across this many shards behind an in-process router (0 = single server)")
 
 	fs.StringVar(&o.codec, "codec", "Roaring", "posting-list codec for the generated index")
@@ -153,6 +163,16 @@ func validate(o *options) error {
 		return fmt.Errorf("-target and -serve-bin are mutually exclusive")
 	case o.target != "" && o.chaos:
 		return fmt.Errorf("-chaos needs a managed server; it cannot brutalize an external -target")
+	case o.ingest && o.serveBin == "":
+		return fmt.Errorf("-ingest SIGKILLs a real bvserve -live subprocess; it requires -serve-bin")
+	case o.ingest && o.chaos:
+		return fmt.Errorf("-ingest is its own storm; it cannot be combined with -chaos")
+	case o.ingest && o.router > 0:
+		return fmt.Errorf("-ingest drives a single live server; it cannot be combined with -router")
+	case o.ingest && o.target != "":
+		return fmt.Errorf("-ingest manages its own server lifecycle; it cannot target an external -target")
+	case o.ingest && o.writeIndex != "":
+		return fmt.Errorf("-ingest builds its index from live writes; -write-index does not apply")
 	}
 	if _, err := parseMix(o.mix); err != nil {
 		return err
@@ -183,6 +203,9 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 	o, err := parseFlags(args, logger)
 	if err != nil {
 		return err
+	}
+	if o.ingest {
+		return runIngest(ctx, o, logger)
 	}
 	mix, _ := parseMix(o.mix)
 
@@ -330,5 +353,46 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 		return fmt.Errorf("SLO gates failed:\n  %s", strings.Join(rep.Gates.Violations, "\n  "))
 	}
 	logger.Printf("PASS: all SLO gates held")
+	return nil
+}
+
+// runIngest is the -ingest mode: a live-ingestion kill/recovery storm
+// against a managed `bvserve -live` subprocess.
+func runIngest(ctx context.Context, o *options, logger *log.Logger) error {
+	out := o.out
+	if out == "results/LOAD_run.json" { // flag default; ingest mode has its own
+		out = "results/LOAD_ingest.json"
+	}
+	dir, err := os.MkdirTemp("", "bvload-live-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	logger.Printf("live ingest storm: %.0f ops/s for %s, seed %d, 2 SIGKILLs", o.rate, o.duration, o.seed)
+	rep, err := load.RunIngestChaos(ctx, load.IngestChaosConfig{
+		Bin:      o.serveBin,
+		Dir:      filepath.Join(dir, "live"),
+		Duration: o.duration,
+		Rate:     o.rate,
+		Seed:     o.seed,
+		LogTo:    logger.Writer(),
+	})
+	if rep != nil {
+		if werr := rep.WriteFile(out); werr != nil {
+			return werr
+		}
+		logger.Printf("%d ops: %d acked ingests, %d acked deletes, %d verifies, %d limbo, %d sheds, %d kills",
+			rep.Ops, rep.AckedAdds, rep.AckedDeletes, rep.Verifies,
+			rep.LimboAdds+rep.LimboDeletes, rep.Sheds, rep.Kills)
+		logger.Printf("final sweep: %d sentinels checked", rep.FinalSweepDocs)
+		logger.Printf("report: %s", out)
+	}
+	if err != nil {
+		return err
+	}
+	if !rep.Pass {
+		return fmt.Errorf("ingest gates failed:\n  %s", strings.Join(rep.Violations, "\n  "))
+	}
+	logger.Printf("PASS: zero lost acked writes, zero resurrected deletes, zero incorrect responses")
 	return nil
 }

@@ -39,6 +39,11 @@ func TestValidateRejectsNonsense(t *testing.T) {
 		{[]string{"-router", "-1"}, "-router"},
 		{[]string{"-router", "2", "-target", "http://x"}, "-router"},
 		{[]string{"-router", "8", "-docs", "4"}, "empty shards"},
+		{[]string{"-ingest"}, "-serve-bin"},
+		{[]string{"-ingest", "-serve-bin", "x", "-chaos"}, "-ingest"},
+		{[]string{"-ingest", "-serve-bin", "x", "-router", "2"}, "-router"},
+		{[]string{"-ingest", "-serve-bin", "x", "-target", "http://x"}, "mutually exclusive"},
+		{[]string{"-ingest", "-serve-bin", "x", "-write-index", "y"}, "-write-index"},
 	}
 	for _, c := range cases {
 		if _, err := parseFlags(c.args, discard()); err == nil {

@@ -8,6 +8,7 @@
 //
 //	bvserve -in docs.txt -addr :8080 -codec Roaring
 //	bvserve -index docs.idx -addr :8080
+//	bvserve -live data/live -addr :8080
 //
 //	GET  /search?q=compressed+lists&mode=and
 //	GET  /search?q=bitmap&mode=topk&k=3
@@ -16,7 +17,16 @@
 //	GET  /readyz         readiness probe (503 while starting or draining)
 //	POST /reload         hot-swap the index from the original source
 //
-// SIGHUP also triggers a hot reload; SIGINT/SIGTERM drain gracefully.
+// With -live DIR the server fronts the WAL-backed mutable index in DIR
+// instead of a static file: POST /ingest {"text": ...} and POST
+// /delete {"doc": N} become available (acked only after the WAL
+// fsync, so acked writes survive kill -9), /reload force-seals the
+// mutable segment, and /stats reports per-segment depth and WAL
+// gauges. -seal-docs, -fsync-window, -compact-segments, and
+// -ingest-queue tune it.
+//
+// SIGHUP also triggers a hot reload (a seal in live mode);
+// SIGINT/SIGTERM drain gracefully.
 package main
 
 import (
@@ -58,6 +68,12 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 		shards    = fs.Int("shards", 0, "tokenizer shards for parallel builds with -in (0 = GOMAXPROCS)")
 		addr      = fs.String("addr", ":8080", "listen address")
 
+		liveDir     = fs.String("live", "", "live-ingestion mode: WAL-backed mutable index directory (POST /ingest, /delete)")
+		sealDocs    = fs.Int("seal-docs", 50000, "live mode: auto-seal the mutable segment at this many documents (0 disables)")
+		fsyncWindow = fs.Duration("fsync-window", 0, "live mode: WAL group-commit window; 0 fsyncs every append")
+		compactSegs = fs.Int("compact-segments", 4, "live mode: compact when this many sealed segments accumulate (0 disables)")
+		ingestQueue = fs.Int("ingest-queue", 128, "live mode: admitted write requests before shedding with 429")
+
 		readTimeout  = fs.Duration("read-timeout", 5*time.Second, "max time to read a request")
 		writeTimeout = fs.Duration("write-timeout", 10*time.Second, "max time to write a response")
 		idleTimeout  = fs.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
@@ -82,6 +98,27 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 	}
 	if err := validateFlags(fs); err != nil {
 		return err
+	}
+
+	if *liveDir != "" {
+		return runLive(ctx, logger, *liveDir, *addr, server.Config{
+			ReadTimeout:    *readTimeout,
+			WriteTimeout:   *writeTimeout,
+			IdleTimeout:    *idleTimeout,
+			RequestTimeout: *reqTimeout,
+			DrainDeadline:  *drain,
+			MaxInFlight:    *maxInFlight,
+			MaxQueryTerms:  *maxTerms,
+			MaxK:           *maxK,
+			MaxURLBytes:    *maxURL,
+			IngestQueue:    *ingestQueue,
+			CacheBytes:     -1, // live postings are re-cut by seals; no decoded cache
+			Logger:         logger,
+		}, index.LiveOptions{
+			SyncEvery:       *fsyncWindow,
+			SealDocs:        *sealDocs,
+			CompactSegments: *compactSegs,
+		})
 	}
 
 	load := func() (*index.Index, error) {
@@ -139,6 +176,43 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 	return srv.Run(ctx, *addr)
 }
 
+// runLive opens (or creates) the WAL-backed live index directory,
+// replays whatever a previous process left behind — acked writes
+// survive kill -9 — and serves it with ingestion enabled. SIGHUP
+// force-seals the mutable segment, mirroring static mode's hot reload.
+func runLive(ctx context.Context, logger *log.Logger, dir, addr string, cfg server.Config, opts index.LiveOptions) error {
+	l, err := index.OpenLive(dir, opts)
+	if err != nil {
+		return fmt.Errorf("opening live index %s: %w", dir, err)
+	}
+	defer l.Close()
+	st := l.Stats()
+	logger.Printf("live index %s: %d documents across %d sealed segments (+%d mutable), %d tombstones, WAL seq %d",
+		dir, st.VisibleDocs, st.Segments, st.MemDocs, st.Tombstones, st.WALSeq)
+	if h := l.Health(); h.Degraded {
+		logger.Printf("bvserve: WARNING: serving DEGRADED live index: sealed segments %v quarantined, mutable segment live; see the live-ingestion runbook",
+			h.QuarantinedSegments)
+	}
+
+	srv := server.NewLive(l, cfg)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				if err := l.Seal(); err != nil {
+					logger.Printf("bvserve: SIGHUP seal: %v", err)
+				}
+			}
+		}
+	}()
+	return srv.Run(ctx, addr)
+}
+
 // validateFlags rejects nonsensical configurations right after parse,
 // before any index is loaded or socket bound, with a one-line cause.
 // (-cache-mb is exempt: zero and negative mean "cache disabled".)
@@ -162,6 +236,23 @@ func validateFlags(fs *flag.FlagSet) error {
 	}
 	if get("addr").(string) == "" {
 		return fmt.Errorf("-addr: listen address must not be empty")
+	}
+	if get("live").(string) != "" {
+		if get("in").(string) != "" || get("index").(string) != "" {
+			return fmt.Errorf("-live: mutually exclusive with -in and -index")
+		}
+		if v := get("seal-docs").(int); v < 0 {
+			return fmt.Errorf("-seal-docs=%d: want 0 (disabled) or a positive document count", v)
+		}
+		if v := get("compact-segments").(int); v < 0 {
+			return fmt.Errorf("-compact-segments=%d: want 0 (disabled) or a positive segment count", v)
+		}
+		if d := get("fsync-window").(time.Duration); d < 0 {
+			return fmt.Errorf("-fsync-window=%s: want 0 (fsync every append) or a positive window", d)
+		}
+		if v := get("ingest-queue").(int); v <= 0 {
+			return fmt.Errorf("-ingest-queue=%d: admission depth must be positive", v)
+		}
 	}
 	return nil
 }

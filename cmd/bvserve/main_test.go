@@ -225,6 +225,61 @@ func TestValidateFlags(t *testing.T) {
 	}
 }
 
+// TestValidateLiveFlags: the live-ingestion flags get the same
+// parse-time validation with one-line causes.
+func TestValidateLiveFlags(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-live", "d", "-in", "x.txt"}, "-live"},
+		{[]string{"-live", "d", "-index", "x.idx"}, "-live"},
+		{[]string{"-live", "d", "-seal-docs", "-1"}, "-seal-docs"},
+		{[]string{"-live", "d", "-compact-segments", "-2"}, "-compact-segments"},
+		{[]string{"-live", "d", "-fsync-window", "-1ms"}, "-fsync-window"},
+		{[]string{"-live", "d", "-ingest-queue", "0"}, "-ingest-queue"},
+	}
+	for _, c := range cases {
+		err := run(context.Background(), c.args, log.New(&syncBuffer{}, "", 0))
+		if err == nil {
+			t.Errorf("args %v accepted", c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("args %v: error %q does not name %s", c.args, err, c.want)
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Errorf("args %v: cause is not one line: %q", c.args, err)
+		}
+	}
+}
+
+// TestRunLiveLifecycle boots live mode on a fresh directory, waits for
+// the listener, force-seals via SIGHUP, and shuts down cleanly.
+func TestRunLiveLifecycle(t *testing.T) {
+	buf := &syncBuffer{}
+	logger := log.New(buf, "", 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-live", filepath.Join(t.TempDir(), "live"), "-addr", "127.0.0.1:0", "-drain", "2s"}, logger)
+	}()
+	waitFor(t, buf, "listening on")
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run = %v, want nil after graceful shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after context cancel")
+	}
+	if !strings.Contains(buf.String(), "live index") {
+		t.Fatalf("live boot not logged; log:\n%s", buf.String())
+	}
+}
+
 // TestLoadWithRetryTransient: transient failures back off and retry;
 // the call succeeds once the underlying condition clears.
 func TestLoadWithRetryTransient(t *testing.T) {

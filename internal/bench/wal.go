@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// WAL fsync-policy sweep: the same append workload — W concurrent
+// writers, R records of realistic addDoc-sized payloads — run once per
+// group-commit window, including window 0 (fsync every append). Every
+// policy offers the identical durability contract (ack after fsync);
+// what the window buys is amortization: appenders that land inside one
+// window share a single fsync. The sweep measures acked appends/sec
+// and replay throughput, and gates on two things: (1) every policy's
+// log replays back exactly — right record count, matching
+// order-insensitive payload digest — and (2) group commit is not
+// slower than per-append fsync beyond noise. The headline group-commit
+// gain is reported for the committed results/BENCH_wal.json.
+
+// WALConfig parameterizes the sweep.
+type WALConfig struct {
+	Records    int             // appends per policy
+	PayloadLen int             // bytes per record payload
+	Writers    int             // concurrent appenders
+	Windows    []time.Duration // group-commit windows; always measured against window 0
+	// MinGroupGain gates bestWindowed/perAppend throughput. Group commit
+	// must never be materially slower than per-append fsync; on file
+	// systems where fsync is nearly free the gain is ~1x, so the floor
+	// tolerates noise rather than demanding a speedup.
+	MinGroupGain float64
+}
+
+// QuickWAL is the CI-sized sweep.
+func QuickWAL() WALConfig {
+	return WALConfig{
+		Records:      2000,
+		PayloadLen:   96,
+		Writers:      8,
+		Windows:      []time.Duration{250 * time.Microsecond, time.Millisecond},
+		MinGroupGain: 0.75,
+	}
+}
+
+// DefaultWAL is the committed-results sweep.
+func DefaultWAL() WALConfig {
+	return WALConfig{
+		Records:      20000,
+		PayloadLen:   96,
+		Writers:      8,
+		Windows:      []time.Duration{250 * time.Microsecond, time.Millisecond, 4 * time.Millisecond},
+		MinGroupGain: 0.75,
+	}
+}
+
+// WALPolicy is one fsync policy's measurements.
+type WALPolicy struct {
+	WindowNs      int64   `json:"windowNs"` // 0 = fsync every append
+	Records       int     `json:"records"`
+	Writers       int     `json:"writers"`
+	ElapsedNs     int64   `json:"elapsedNs"`
+	AppendsPerSec float64 `json:"appendsPerSec"`
+	MBPerSec      float64 `json:"mbPerSec"`
+	MeanAckNs     int64   `json:"meanAckNs"` // mean per-append latency seen by a writer
+	LogBytes      int64   `json:"logBytes"`
+
+	ReplayNs      int64   `json:"replayNs"`
+	ReplayRecsSec float64 `json:"replayRecsPerSec"`
+	ReplayOK      bool    `json:"replayOK"` // count + digest matched
+}
+
+// WALReport is the sweep outcome written to results/BENCH_wal.json.
+type WALReport struct {
+	Config    WALConfig   `json:"config"`
+	Policies  []WALPolicy `json:"policies"`
+	GroupGain float64     `json:"groupGain"` // best windowed vs window-0 appends/sec
+	Failures  []string    `json:"failures,omitempty"`
+	Pass      bool        `json:"pass"`
+}
+
+// walPayload builds record i's payload: an index header so digests
+// can't collide across permutations of the same byte soup, then
+// deterministic filler.
+func walPayload(i, n int) []byte {
+	p := make([]byte, n)
+	binary.LittleEndian.PutUint64(p, uint64(i))
+	x := uint64(i)*2654435761 + 12345
+	for j := 8; j < n; j++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		p[j] = byte(x >> 56)
+	}
+	return p
+}
+
+// digestOf folds one payload into an order-insensitive digest term —
+// concurrent writers interleave nondeterministically, so the sweep
+// compares sums of per-record hashes, not a running hash.
+func digestOf(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}
+
+// runWALPolicy measures one fsync window.
+func runWALPolicy(dir string, cfg WALConfig, window time.Duration) (WALPolicy, error) {
+	pol := WALPolicy{WindowNs: int64(window), Records: cfg.Records, Writers: cfg.Writers}
+	path := filepath.Join(dir, fmt.Sprintf("bench-%d.wal", window))
+	l, recs, err := wal.Open(path, wal.Options{SyncEvery: window})
+	if err != nil {
+		return pol, err
+	}
+	if len(recs) != 0 {
+		l.Close()
+		return pol, fmt.Errorf("fresh log %s replayed %d records", path, len(recs))
+	}
+
+	var wantDigest uint64
+	for i := 0; i < cfg.Records; i++ {
+		wantDigest += digestOf(walPayload(i, cfg.PayloadLen))
+	}
+
+	perWriter := cfg.Records / cfg.Writers
+	var wg sync.WaitGroup
+	var ackNs, appendErrs int64
+	var mu sync.Mutex
+	start := time.Now()
+	for w := 0; w < cfg.Writers; w++ {
+		lo := w * perWriter
+		hi := lo + perWriter
+		if w == cfg.Writers-1 {
+			hi = cfg.Records
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var ns int64
+			errs := int64(0)
+			for i := lo; i < hi; i++ {
+				t0 := time.Now()
+				if err := l.Enqueue(walPayload(i, cfg.PayloadLen)).Wait(); err != nil {
+					errs++
+				}
+				ns += time.Since(t0).Nanoseconds()
+			}
+			mu.Lock()
+			ackNs += ns
+			appendErrs += errs
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	pol.LogBytes = l.Size()
+	if err := l.Close(); err != nil {
+		return pol, err
+	}
+	if appendErrs > 0 {
+		return pol, fmt.Errorf("window %s: %d appends failed", window, appendErrs)
+	}
+	pol.ElapsedNs = elapsed.Nanoseconds()
+	pol.AppendsPerSec = float64(cfg.Records) / elapsed.Seconds()
+	pol.MBPerSec = float64(pol.LogBytes) / (1 << 20) / elapsed.Seconds()
+	pol.MeanAckNs = ackNs / int64(cfg.Records)
+
+	// Replay the log cold and verify it round-trips exactly.
+	t0 := time.Now()
+	got, err := wal.Replay(nil, path)
+	if err != nil {
+		return pol, fmt.Errorf("window %s: replay: %w", window, err)
+	}
+	pol.ReplayNs = time.Since(t0).Nanoseconds()
+	pol.ReplayRecsSec = float64(len(got)) / time.Since(t0).Seconds()
+	var gotDigest uint64
+	for _, p := range got {
+		gotDigest += digestOf(p)
+	}
+	pol.ReplayOK = len(got) == cfg.Records && gotDigest == wantDigest
+	return pol, nil
+}
+
+// RunWAL runs the sweep. Replay-correctness failures always fail the
+// report; the timing gate is evaluated here and the caller decides
+// whether it binds (race instrumentation skews fsync-vs-CPU ratios).
+func RunWAL(cfg WALConfig) (*WALReport, error) {
+	if cfg.Writers < 1 || cfg.Records < cfg.Writers {
+		return nil, fmt.Errorf("bench: wal sweep needs at least one record per writer")
+	}
+	dir, err := os.MkdirTemp("", "walbench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	rep := &WALReport{Config: cfg}
+	windows := append([]time.Duration{0}, cfg.Windows...)
+	for _, w := range windows {
+		pol, err := runWALPolicy(dir, cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		rep.Policies = append(rep.Policies, pol)
+		if !pol.ReplayOK {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("window %s: replay mismatch (%d records expected)", w, cfg.Records))
+		}
+	}
+
+	base := rep.Policies[0].AppendsPerSec
+	for _, pol := range rep.Policies[1:] {
+		if gain := pol.AppendsPerSec / base; gain > rep.GroupGain {
+			rep.GroupGain = gain
+		}
+	}
+	if rep.GroupGain < cfg.MinGroupGain {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(
+			"group commit gained only %.2fx over per-append fsync, floor is %.2fx",
+			rep.GroupGain, cfg.MinGroupGain))
+	}
+	rep.Pass = len(rep.Failures) == 0
+	return rep, nil
+}

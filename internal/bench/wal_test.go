@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+	"time"
+)
+
+var (
+	walOut  = flag.String("wal.out", "", "write the WAL sweep report JSON to this path")
+	walFull = flag.Bool("wal.full", false, "run the committed-results sweep instead of the quick one")
+)
+
+// TestWALBenchGate sweeps the WAL fsync policies and applies the
+// gates: every policy's log must replay back exactly (count + digest),
+// and group commit must not be slower than per-append fsync beyond
+// noise. `make walbench` runs this with -wal.full -wal.out to
+// (re)generate results/BENCH_wal.json.
+func TestWALBenchGate(t *testing.T) {
+	cfg := QuickWAL()
+	if *walFull {
+		cfg = DefaultWAL()
+	}
+	rep, err := RunWAL(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *walOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(*walOut, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d policies, group gain %.2fx)", *walOut, len(rep.Policies), rep.GroupGain)
+	}
+	for _, p := range rep.Policies {
+		t.Logf("window %-8s %9.0f appends/s  %6.1f MB/s  ack %8s  replay %9.0f recs/s  ok=%v",
+			time.Duration(p.WindowNs), p.AppendsPerSec, p.MBPerSec,
+			time.Duration(p.MeanAckNs), p.ReplayRecsSec, p.ReplayOK)
+	}
+	for _, p := range rep.Policies {
+		// Replay correctness binds unconditionally: a log that does not
+		// round-trip is broken no matter how fast it appends.
+		if !p.ReplayOK {
+			t.Errorf("window %s: replay mismatch", time.Duration(p.WindowNs))
+		}
+	}
+	if !rep.Pass {
+		if raceEnabled {
+			t.Logf("race detector enabled, timing gates informational: %v", rep.Failures)
+		} else {
+			for _, f := range rep.Failures {
+				t.Error(f)
+			}
+		}
+	}
+}

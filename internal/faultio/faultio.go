@@ -83,6 +83,9 @@ type File interface {
 type FS interface {
 	// Create truncates-or-creates path for writing.
 	Create(path string) (File, error)
+	// OpenAppend opens-or-creates path for appending: every Write lands
+	// at the current end of file. The write-ahead log's open path.
+	OpenAppend(path string) (File, error)
 	// Rename atomically replaces newpath with oldpath.
 	Rename(oldpath, newpath string) error
 	// Remove deletes path.
@@ -100,6 +103,10 @@ var OS FS = osFS{}
 type osFS struct{}
 
 func (osFS) Create(path string) (File, error) { return os.Create(path) }
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
 
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 
@@ -277,6 +284,28 @@ func (in *Injector) Create(path string) (File, error) {
 		}
 	}
 	file, err := in.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{in: in, f: file}, nil
+}
+
+// OpenAppend implements FS. It counts under OpOpen, so kill matrices
+// cover the WAL's append-open distinctly from Create.
+func (in *Injector) OpenAppend(path string) (File, error) {
+	f, ok, err := in.before(OpOpen, 0)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		switch f.Mode {
+		case ModeDelay:
+			time.Sleep(f.Delay)
+		default:
+			return nil, fmt.Errorf("open append %s: %w", path, f.err())
+		}
+	}
+	file, err := in.base.OpenAppend(path)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,272 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faultio"
+)
+
+// liveOp is one step of the scripted recovery workload. Adds and
+// deletes are the logical mutations the recovery invariant is stated
+// over; seal and compact reorganize storage without changing the
+// visible document set.
+type liveOp struct {
+	kind byte // 'a' add, 'd' delete, 's' seal, 'c' compact
+	text string
+	doc  uint32
+}
+
+// recoveryScript exercises every protocol the live index runs: WAL
+// appends, two seals (so compaction has inputs), a tombstone against a
+// sealed segment, a physical mem delete, a compaction that consumes
+// the tombstone, and a post-compaction tail. Every add carries a
+// unique sentinel term so the recovered prefix is identifiable.
+var recoveryScript = []liveOp{
+	{kind: 'a', text: "sent0 alpha beta"},
+	{kind: 'a', text: "sent1 beta gamma"},
+	{kind: 'a', text: "sent2 alpha gamma delta"},
+	{kind: 's'},
+	{kind: 'a', text: "sent3 beta delta"},
+	{kind: 'd', doc: 1}, // tombstone a sealed doc
+	{kind: 'a', text: "sent4 gamma alpha"},
+	{kind: 'd', doc: 4}, // physical delete of a mem doc
+	{kind: 's'},
+	{kind: 'a', text: "sent5 delta beta"},
+	{kind: 'c'},
+	{kind: 'a', text: "sent6 alpha beta gamma"},
+}
+
+// mutationCount counts the logical mutations (adds + deletes) in the
+// script; seal/compact are excluded from prefix arithmetic.
+func mutationCount(script []liveOp) int {
+	n := 0
+	for _, op := range script {
+		if op.kind == 'a' || op.kind == 'd' {
+			n++
+		}
+	}
+	return n
+}
+
+// applyPrefix computes the document set after the first p mutations of
+// the script: docids are assigned in add order, exactly as Live does.
+func applyPrefix(script []liveOp, p int) map[uint32]string {
+	docs := map[uint32]string{}
+	next := uint32(0)
+	seen := 0
+	for _, op := range script {
+		if seen == p {
+			break
+		}
+		switch op.kind {
+		case 'a':
+			docs[next] = op.text
+			next++
+			seen++
+		case 'd':
+			delete(docs, op.doc)
+			seen++
+		}
+	}
+	return docs
+}
+
+// runLiveWorkload drives the script against a live index on fsys,
+// stopping at the first error (after a Kill fault fires, every
+// subsequent filesystem op fails, like a dead process's would). It
+// returns the number of logical mutations that were acked.
+func runLiveWorkload(fsys faultio.FS, dir string) (acked int, err error) {
+	l, err := OpenLive(dir, LiveOptions{FS: fsys})
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	for _, op := range recoveryScript {
+		switch op.kind {
+		case 'a':
+			if _, err := l.Add(op.text); err != nil {
+				return acked, err
+			}
+			acked++
+		case 'd':
+			if err := l.Delete(op.doc); err != nil {
+				return acked, err
+			}
+			acked++
+		case 's':
+			if err := l.Seal(); err != nil {
+				return acked, err
+			}
+		case 'c':
+			if err := l.Compact(); err != nil {
+				return acked, err
+			}
+		}
+	}
+	return acked, nil
+}
+
+// submittedAfter returns how many mutations had been handed to the
+// index when the workload stopped: the acked ones plus the one
+// in-flight mutation if the failing op was an add or delete. A record
+// for the in-flight mutation may or may not have reached the log —
+// both outcomes are legal recoveries.
+func submittedAfter(acked int, failed bool) int {
+	total := mutationCount(recoveryScript)
+	if !failed {
+		return acked
+	}
+	if acked < total {
+		return acked + 1
+	}
+	return total
+}
+
+// identifyPrefix finds which mutation prefix the recovered index
+// equals, probing the per-document sentinel terms. It fails the test
+// if no prefix in [lo, hi] matches — that would mean recovery lost an
+// acked mutation, resurrected an unacked one out of order, or left a
+// document half-applied.
+func identifyPrefix(t *testing.T, point string, l *Live, lo, hi int) int {
+	t.Helper()
+	for p := lo; p <= hi; p++ {
+		if prefixMatches(t, l, p) {
+			return p
+		}
+	}
+	t.Fatalf("%s: recovered state matches no mutation prefix in [%d, %d] (visible docs: %d)",
+		point, lo, hi, l.Docs())
+	return -1
+}
+
+func prefixMatches(t *testing.T, l *Live, p int) bool {
+	t.Helper()
+	want := applyPrefix(recoveryScript, p)
+	if l.Docs() != len(want) {
+		return false
+	}
+	// Every add in the whole script gets probed: its sentinel must hit
+	// exactly its docid when the doc is visible in this prefix and
+	// nothing otherwise.
+	next := uint32(0)
+	seen := 0
+	for _, op := range recoveryScript {
+		if op.kind != 'a' && op.kind != 'd' {
+			continue
+		}
+		if op.kind == 'a' {
+			sentinel := fmt.Sprintf("sent%d", next)
+			got, err := l.Conjunctive(sentinel)
+			if err != nil {
+				t.Fatalf("probing %s: %v", sentinel, err)
+			}
+			_, visible := want[next]
+			if visible && !(len(got) == 1 && got[0] == next) {
+				return false
+			}
+			if !visible && len(got) != 0 {
+				return false
+			}
+			next++
+		}
+		seen++
+	}
+	return true
+}
+
+// checkRecovered verifies one post-crash reopen: the state must be a
+// legal mutation prefix and the full query sweep over that prefix's
+// naive truth must agree, then the index must accept new writes.
+func checkRecovered(t *testing.T, point, dir string, acked int, failed bool) {
+	t.Helper()
+	l, err := OpenLive(dir, LiveOptions{})
+	if err != nil {
+		t.Fatalf("%s: reopen after crash failed: %v", point, err)
+	}
+	defer l.Close()
+	hi := submittedAfter(acked, failed)
+	p := identifyPrefix(t, point, l, acked, hi)
+	docs := applyPrefix(recoveryScript, p)
+	checkLiveMatches(t, l, docs, liveQueries)
+	// The recovered index must remain writable with a fresh docid.
+	id, err := l.Add("postcrash omega")
+	if err != nil {
+		t.Fatalf("%s: add after recovery: %v", point, err)
+	}
+	docs[id] = "postcrash omega"
+	checkLiveMatches(t, l, docs, liveQueries)
+}
+
+// TestLiveRecoveryMatrix is the acceptance gate for crash-safe
+// ingestion: learn the complete filesystem op trace of the scripted
+// workload, then for every op in that trace kill the process at that
+// op (all later I/O fails) and assert that reopening the live
+// directory recovers to exactly a legal mutation prefix — at least
+// everything acked, at most everything submitted, never a blend or a
+// half-applied document — and that a full query sweep over the
+// recovered state is byte-identical to a from-scratch rebuild.
+func TestLiveRecoveryMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery matrix is not a -short test")
+	}
+	// Learn the clean trace.
+	trace, err := faultio.Record(faultio.OS, func(fs faultio.FS) error {
+		_, err := runLiveWorkload(fs, t.TempDir())
+		return err
+	})
+	if err != nil {
+		t.Fatalf("clean workload failed: %v", err)
+	}
+	if len(trace) < 30 {
+		t.Fatalf("workload ran only %d filesystem ops: %v", len(trace), trace)
+	}
+	t.Logf("kill matrix over %d filesystem ops", len(trace))
+
+	for n := 1; n <= len(trace); n++ {
+		dir := t.TempDir()
+		inj := faultio.NewInjector(faultio.OS,
+			faultio.Fault{Op: faultio.OpAny, N: n, Mode: faultio.ModeErr, Kill: true})
+		acked, werr := runLiveWorkload(inj, dir)
+		point := fmt.Sprintf("kill@%d(%s)", n, trace[n-1].Op)
+		checkRecovered(t, point, dir, acked, werr != nil)
+	}
+}
+
+// TestLiveRecoveryTornWrites is the torn-write sub-matrix: every write
+// op in the trace dies mid-write at several byte offsets, modeling a
+// crash between write and fsync. The WAL's CRC framing and the
+// atomic-publish discipline must still recover a legal prefix.
+func TestLiveRecoveryTornWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery matrix is not a -short test")
+	}
+	trace, err := faultio.Record(faultio.OS, func(fs faultio.FS) error {
+		_, err := runLiveWorkload(fs, t.TempDir())
+		return err
+	})
+	if err != nil {
+		t.Fatalf("clean workload failed: %v", err)
+	}
+	writeIdx := 0
+	for _, rec := range trace {
+		if rec.Op != faultio.OpWrite {
+			continue
+		}
+		writeIdx++
+		for _, k := range []int{0, 1, rec.Bytes / 2, rec.Bytes - 1} {
+			if k < 0 || k >= rec.Bytes {
+				continue
+			}
+			dir := t.TempDir()
+			inj := faultio.NewInjector(faultio.OS,
+				faultio.Fault{Op: faultio.OpWrite, N: writeIdx, Mode: faultio.ModeTorn, TornBytes: k, Kill: true})
+			acked, werr := runLiveWorkload(inj, dir)
+			point := fmt.Sprintf("torn-write@%d+%db", writeIdx, k)
+			checkRecovered(t, point, dir, acked, werr != nil)
+		}
+	}
+	if writeIdx == 0 {
+		t.Fatal("trace contained no writes")
+	}
+}

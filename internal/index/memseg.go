@@ -1,0 +1,225 @@
+package index
+
+import (
+	"sort"
+)
+
+// MemSegment is the live index's mutable in-memory segment: an
+// uncompressed inverted index over global document IDs, holding every
+// document acked since the last seal. It stores the raw texts alongside
+// the postings so sealing can re-feed them through the sharded Builder
+// — the sealed BVIX3 segment is then byte-identical to a from-scratch
+// build of the same documents.
+//
+// Postings are kept sorted by global docid. Normal adds append (ids are
+// assigned monotonically), but a re-added document keeps its original
+// id, which may sort below the segment's tail — Add handles both.
+// Deletes of documents still in the mutable segment are physical:
+// the posting entries are removed outright, so tombstones only ever
+// target sealed segments.
+//
+// MemSegment does its own locking via the owning Live's mutex; it is
+// not safe for concurrent use on its own.
+type MemSegment struct {
+	postings map[string][]uint32
+	freqs    map[string][]uint16
+	texts    map[uint32]string
+}
+
+// NewMemSegment returns an empty mutable segment.
+func NewMemSegment() *MemSegment {
+	return &MemSegment{
+		postings: map[string][]uint32{},
+		freqs:    map[string][]uint16{},
+		texts:    map[uint32]string{},
+	}
+}
+
+// Add indexes text under the global docid. The tokenization and
+// frequency clamping match Builder.Build exactly, so a sealed segment
+// reproduces what the mutable segment was serving.
+func (m *MemSegment) Add(doc uint32, text string) {
+	m.texts[doc] = text
+	counts := map[string]int{}
+	for _, tok := range Tokenize(text) {
+		counts[tok]++
+	}
+	for t, f := range counts {
+		list := m.postings[t]
+		freq := uint16(min(f, 65535))
+		if n := len(list); n == 0 || list[n-1] < doc {
+			m.postings[t] = append(list, doc)
+			m.freqs[t] = append(m.freqs[t], freq)
+			continue
+		}
+		// Re-added docid below the tail: sorted insert.
+		i := sort.Search(len(list), func(i int) bool { return list[i] >= doc })
+		list = append(list, 0)
+		copy(list[i+1:], list[i:])
+		list[i] = doc
+		m.postings[t] = list
+		fr := append(m.freqs[t], 0)
+		copy(fr[i+1:], fr[i:])
+		fr[i] = freq
+		m.freqs[t] = fr
+	}
+}
+
+// Remove physically deletes the document from every posting list it
+// appears in. It reports whether the document was present.
+func (m *MemSegment) Remove(doc uint32) bool {
+	text, ok := m.texts[doc]
+	if !ok {
+		return false
+	}
+	delete(m.texts, doc)
+	seen := map[string]struct{}{}
+	for _, tok := range Tokenize(text) {
+		if _, dup := seen[tok]; dup {
+			continue
+		}
+		seen[tok] = struct{}{}
+		list := m.postings[tok]
+		i := sort.Search(len(list), func(i int) bool { return list[i] >= doc })
+		if i >= len(list) || list[i] != doc {
+			continue
+		}
+		if len(list) == 1 {
+			delete(m.postings, tok)
+			delete(m.freqs, tok)
+			continue
+		}
+		m.postings[tok] = append(list[:i], list[i+1:]...)
+		fr := m.freqs[tok]
+		m.freqs[tok] = append(fr[:i], fr[i+1:]...)
+	}
+	return true
+}
+
+// Has reports whether the document is live in this segment.
+func (m *MemSegment) Has(doc uint32) bool {
+	_, ok := m.texts[doc]
+	return ok
+}
+
+// Docs reports the number of live documents.
+func (m *MemSegment) Docs() int { return len(m.texts) }
+
+// Text returns the stored text for a live document.
+func (m *MemSegment) Text(doc uint32) string { return m.texts[doc] }
+
+// SortedDocIDs returns the live global docids in ascending order — the
+// sealing order, so the Builder's insertion-ordered local ids map back
+// to globals through a monotonic docmap.
+func (m *MemSegment) SortedDocIDs() []uint32 {
+	ids := make([]uint32, 0, len(m.texts))
+	for id := range m.texts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Postings returns the sorted global docid list and aligned frequency
+// payload for a term; both nil when the term is absent. The slices are
+// live — callers under the Live read lock must not mutate them.
+func (m *MemSegment) Postings(term string) ([]uint32, []uint16) {
+	return m.postings[term], m.freqs[term]
+}
+
+// memConjunctive intersects the segment's posting lists for terms.
+func memConjunctive(m *MemSegment, terms []string) []uint32 {
+	if len(terms) == 0 {
+		return nil
+	}
+	acc, _ := m.Postings(terms[0])
+	if acc == nil {
+		return nil
+	}
+	out := append([]uint32(nil), acc...)
+	for _, t := range terms[1:] {
+		next, _ := m.Postings(t)
+		if next == nil {
+			return nil
+		}
+		out = intersectSorted(out, next)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+// memDisjunctive unions the segment's posting lists for terms.
+func memDisjunctive(m *MemSegment, terms []string) []uint32 {
+	var out []uint32
+	for _, t := range terms {
+		list, _ := m.Postings(t)
+		if len(list) == 0 {
+			continue
+		}
+		if out == nil {
+			out = append([]uint32(nil), list...)
+			continue
+		}
+		out = unionSorted(out, list)
+	}
+	return out
+}
+
+// memScores accumulates quantized-impact scores for every document
+// matching at least one term — the mutable half of a live top-k, using
+// the same QuantizeImpact formula the sealed evaluation uses. Each term
+// occurrence contributes its list, duplicated terms included, exactly
+// as TopKWith treats its term slice.
+func memScores(m *MemSegment, terms []string) map[uint32]uint32 {
+	scores := map[uint32]uint32{}
+	for _, t := range terms {
+		list, freqs := m.Postings(t)
+		for i, d := range list {
+			scores[d] += uint32(QuantizeImpact(freqs[i]))
+		}
+	}
+	return scores
+}
+
+// intersectSorted intersects two sorted lists into a's storage.
+func intersectSorted(a, b []uint32) []uint32 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// unionSorted merges two sorted duplicate-free lists.
+func unionSorted(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

@@ -1,0 +1,72 @@
+package load
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildBvserve compiles the real server binary for subprocess chaos.
+func buildBvserve(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "bvserve")
+	out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/bvserve").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building bvserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestIngestChaosEndToEnd runs the full live-ingestion storm against a
+// real bvserve -live subprocess: sentinel-tagged ingests and deletes,
+// two SIGKILLs mid-ingest with restarts over the same directory, and
+// the exhaustive final sweep. The run must pass — zero lost acked
+// writes, zero resurrected deletes, zero incorrect responses.
+func TestIngestChaosEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ingest storm builds a binary and runs several seconds")
+	}
+	bin := buildBvserve(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	rep, err := RunIngestChaos(ctx, IngestChaosConfig{
+		Bin:      bin,
+		Dir:      filepath.Join(t.TempDir(), "live"),
+		Duration: 6 * time.Second,
+		Rate:     80,
+		Seed:     11,
+		SealDocs: 40, // force seals (and likely a compaction) during the storm
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("ingest storm failed gates: %v", rep.Violations)
+	}
+	if rep.Kills != 2 {
+		t.Fatalf("kills = %d, want 2", rep.Kills)
+	}
+	if rep.AckedAdds < 20 {
+		t.Fatalf("only %d acked ingests; storm was vacuous", rep.AckedAdds)
+	}
+	if rep.AckedDeletes == 0 {
+		t.Fatal("storm acked no deletes")
+	}
+	if rep.Verifies == 0 {
+		t.Fatal("storm ran no mid-run verifies")
+	}
+	// Every acked add ends in exactly one of acked/deleted/limbo-delete,
+	// and every limbo add is swept by sentinel, so the sweep visits
+	// AckedAdds + LimboAdds sentinels.
+	if rep.FinalSweepDocs != int(rep.AckedAdds)+int(rep.LimboAdds) {
+		t.Fatalf("final sweep checked %d sentinels, want %d",
+			rep.FinalSweepDocs, rep.AckedAdds+rep.LimboAdds)
+	}
+	if len(rep.LostAcked) != 0 || len(rep.Resurrected) != 0 || len(rep.Incorrect) != 0 {
+		t.Fatalf("violations: lost=%v resurrected=%v incorrect=%v",
+			rep.LostAcked, rep.Resurrected, rep.Incorrect)
+	}
+}

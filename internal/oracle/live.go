@@ -1,0 +1,211 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sort"
+
+	"repro/internal/codecs"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/load"
+)
+
+// CheckLiveIndex compares the multi-segment live index against a
+// from-scratch rebuild of the surviving documents: a random
+// add/delete/seal schedule is driven to 1, 2, and 4 sealed segments
+// (plus a mutable tail), with and without deletions, and every query
+// mode — conjunctive, disjunctive, ranked top-k — must return
+// identical answers to a plain Builder over exactly the documents that
+// survived, before compaction, after compaction, and after a
+// close/reopen that replays the WAL.
+func CheckLiveIndex(seed int64, dir string) error {
+	docs, vocab := load.GenCorpus(seed, 90+int(seed%5)*10, 30)
+	for _, segments := range []int{1, 2, 4} {
+		for _, deletions := range []bool{false, true} {
+			if err := checkLiveOne(seed, dir, docs, vocab, segments, deletions); err != nil {
+				return fmt.Errorf("segments=%d deletions=%v: %w", segments, deletions, err)
+			}
+		}
+	}
+	return nil
+}
+
+func checkLiveOne(seed int64, dir string, docs, vocab []string, segments int, deletions bool) error {
+	rng := rand.New(rand.NewSource(seed*31 + int64(segments)*7 + boolInt64(deletions)))
+	all := append(codecs.All(), codecs.Extensions()...)
+	var codec core.Codec
+	if pick := int(seed+int64(segments)) % (len(all) + 1); pick < len(all) {
+		codec = all[pick] // the +1 slot leaves the auto-selector in rotation
+	}
+
+	sub := filepath.Join(dir, fmt.Sprintf("live-%d-%v", segments, deletions))
+	l, err := index.OpenLive(sub, index.LiveOptions{Codec: codec})
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	defer l.Close()
+
+	// Random schedule: the corpus is fed in seal-sized runs; deletions,
+	// when enabled, strike both already-sealed and still-mutable
+	// documents between runs. A short tail stays in the mutable segment.
+	surviving := map[uint32]string{}
+	tail := 5 + rng.Intn(5)
+	perSeg := (len(docs) - tail) / segments
+	pos := 0
+	feed := func(n int) error {
+		for i := 0; i < n && pos < len(docs); i++ {
+			id, err := l.Add(docs[pos])
+			if err != nil {
+				return fmt.Errorf("add %d: %w", pos, err)
+			}
+			surviving[id] = docs[pos]
+			pos++
+		}
+		return nil
+	}
+	strike := func() error {
+		if !deletions || len(surviving) < 4 {
+			return nil
+		}
+		ids := make([]uint32, 0, len(surviving))
+		for id := range surviving {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for k := 0; k < 1+len(ids)/8; k++ {
+			victim := ids[rng.Intn(len(ids))]
+			if _, ok := surviving[victim]; !ok {
+				continue
+			}
+			if err := l.Delete(victim); err != nil {
+				return fmt.Errorf("delete %d: %w", victim, err)
+			}
+			delete(surviving, victim)
+		}
+		return nil
+	}
+	for s := 0; s < segments; s++ {
+		if err := feed(perSeg); err != nil {
+			return err
+		}
+		if err := strike(); err != nil {
+			return err
+		}
+		if err := l.Seal(); err != nil {
+			return fmt.Errorf("seal %d: %w", s, err)
+		}
+	}
+	if err := feed(len(docs) - pos); err != nil {
+		return err
+	}
+	if err := strike(); err != nil {
+		return err
+	}
+
+	if err := liveQueryDiff(rng, l, surviving, vocab, 12); err != nil {
+		return fmt.Errorf("pre-compaction: %w", err)
+	}
+	if segments >= 2 {
+		if err := l.Compact(); err != nil {
+			return fmt.Errorf("compact: %w", err)
+		}
+		if err := liveQueryDiff(rng, l, surviving, vocab, 12); err != nil {
+			return fmt.Errorf("post-compaction: %w", err)
+		}
+	}
+
+	// Close and reopen: recovery replays the manifest + WAL tail and
+	// must land on the same answers.
+	if err := l.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	l2, err := index.OpenLive(sub, index.LiveOptions{Codec: codec})
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	defer l2.Close()
+	if err := liveQueryDiff(rng, l2, surviving, vocab, 12); err != nil {
+		return fmt.Errorf("post-reopen: %w", err)
+	}
+	return nil
+}
+
+// liveQueryDiff rebuilds the surviving documents from scratch with the
+// plain Builder and requires the live index to agree on every query
+// mode, with docids mapped through the rebuild's dense assignment.
+func liveQueryDiff(rng *rand.Rand, l *index.Live, surviving map[uint32]string, vocab []string, rounds int) error {
+	ids := make([]uint32, 0, len(surviving))
+	for id := range surviving {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	b := index.NewAutoBuilder()
+	back := make(map[uint32]uint32, len(ids))
+	for local, id := range ids {
+		b.AddDocument(surviving[id])
+		back[uint32(local)] = id
+	}
+	ref, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("reference build: %w", err)
+	}
+	if l.Docs() != len(surviving) {
+		return fmt.Errorf("live reports %d docs, reference %d", l.Docs(), len(surviving))
+	}
+	toGlobal := func(locals []uint32) []uint32 {
+		out := make([]uint32, len(locals))
+		for i, lo := range locals {
+			out[i] = back[lo]
+		}
+		return out
+	}
+	ks := []int{1, 5, 20, 100000}
+	for q := 0; q < rounds; q++ {
+		terms := make([]string, 1+rng.Intn(4))
+		for i := range terms {
+			terms[i] = vocab[rng.Intn(len(vocab))]
+		}
+		wantAnd, _ := ref.Conjunctive(terms...)
+		gotAnd, err := l.Conjunctive(terms...)
+		if err != nil {
+			return fmt.Errorf("and %v: %w", terms, err)
+		}
+		if want := toGlobal(wantAnd); diffU32(gotAnd, want) >= 0 || len(gotAnd) != len(want) {
+			return fmt.Errorf("and %v: live %v, reference %v", terms, gotAnd, want)
+		}
+		wantOr, _ := ref.Disjunctive(terms...)
+		gotOr, err := l.Disjunctive(terms...)
+		if err != nil {
+			return fmt.Errorf("or %v: %w", terms, err)
+		}
+		if want := toGlobal(wantOr); diffU32(gotOr, want) >= 0 || len(gotOr) != len(want) {
+			return fmt.Errorf("or %v: live %v, reference %v", terms, gotOr, want)
+		}
+		k := ks[rng.Intn(len(ks))]
+		wantTop, err := ref.TopK(k, terms...)
+		if err != nil {
+			return fmt.Errorf("reference topk k=%d %v: %w", k, terms, err)
+		}
+		for i := range wantTop {
+			wantTop[i].Doc = back[wantTop[i].Doc]
+		}
+		gotTop, err := l.TopK(k, terms...)
+		if err != nil {
+			return fmt.Errorf("topk k=%d %v: %w", k, terms, err)
+		}
+		if !(len(gotTop) == 0 && len(wantTop) == 0) && !reflect.DeepEqual(gotTop, wantTop) {
+			return fmt.Errorf("topk k=%d %v: live %v, reference %v", k, terms, gotTop, wantTop)
+		}
+	}
+	return nil
+}
+
+func boolInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -28,7 +28,11 @@
 //   - the doc-partitioned scatter-gather router vs the unpartitioned
 //     index, across 1/2/4/8 shards on and/or/top-k (every algorithm,
 //     k up to 100000), including a shard-file + manifest disk
-//     roundtrip — merged answers must be byte-identical.
+//     roundtrip — merged answers must be byte-identical;
+//   - the WAL-backed multi-segment live index vs a from-scratch
+//     rebuild of the surviving documents, across 1/2/4 sealed segments
+//     with and without deletions, before compaction, after compaction,
+//     and after a close/reopen that replays the WAL.
 //
 // Each check is deterministic in its seed: oracle.Run(seed, dir) either
 // passes or returns an error describing the first divergence, and the
@@ -80,6 +84,9 @@ func Run(seed int64, dir string) error {
 	}
 	if err := CheckSharded(seed, dir); err != nil {
 		return fmt.Errorf("sharded router: %w", err)
+	}
+	if err := CheckLiveIndex(seed, dir); err != nil {
+		return fmt.Errorf("live index: %w", err)
 	}
 	return nil
 }

@@ -16,9 +16,17 @@ import (
 // and panic recovery wrap everything.
 func (s *Server) Handler() http.Handler {
 	app := http.NewServeMux()
-	app.HandleFunc("/search", s.handleSearch)
-	app.HandleFunc("/stats", s.handleStats)
-	app.HandleFunc("/reload", s.handleReload)
+	if s.live != nil {
+		app.HandleFunc("/search", s.handleLiveSearch)
+		app.HandleFunc("/stats", s.handleLiveStats)
+		app.HandleFunc("/reload", s.handleLiveSeal)
+		app.HandleFunc("/ingest", s.handleIngest)
+		app.HandleFunc("/delete", s.handleDelete)
+	} else {
+		app.HandleFunc("/search", s.handleSearch)
+		app.HandleFunc("/stats", s.handleStats)
+		app.HandleFunc("/reload", s.handleReload)
+	}
 	if s.cfg.Routes != nil {
 		s.cfg.Routes(app)
 	}
@@ -27,7 +35,11 @@ func (s *Server) Handler() http.Handler {
 	inner = s.validateURL(inner)
 
 	root := http.NewServeMux()
-	root.HandleFunc("/healthz", s.handleHealthz)
+	if s.live != nil {
+		root.HandleFunc("/healthz", s.handleLiveHealthz)
+	} else {
+		root.HandleFunc("/healthz", s.handleHealthz)
+	}
 	root.HandleFunc("/readyz", s.handleReadyz)
 	root.Handle("/", inner)
 	return s.logRequests(s.recoverPanics(root))

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/index"
+)
+
+// Live-ingestion serving mode: instead of a static, hot-reloadable
+// index snapshot, the server fronts an index.Live — the WAL-backed
+// multi-segment mutable index — and additionally accepts writes:
+//
+//	POST /ingest  {"text": "..."}   -> {"doc": N}   (acked after fsync)
+//	POST /delete  {"doc": N}        -> {"deleted": N}
+//
+// Reads (/search) scatter across the mutable segment and every sealed
+// segment with deletions masked; an ack from /ingest means the
+// document is durable — it survives kill -9 — and immediately visible.
+// Writes pass through a bounded admission gate sized by
+// Config.IngestQueue: when the gate is full the request is shed with
+// 429 + Retry-After instead of queueing into a commit-latency
+// collapse. POST /reload maps to a manual seal (flush the mutable
+// segment to an immutable BVIX3 segment) so operators can force a
+// flush without bouncing the process.
+
+// NewLive returns a server in live-ingestion mode, serving and
+// mutating l. The hot-reload loader machinery is disabled; /ingest,
+// /delete, and the live /stats and /healthz shapes are enabled.
+func NewLive(l *index.Live, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		log:  cfg.Logger,
+		sem:  make(chan struct{}, cfg.MaxInFlight),
+		live: l,
+	}
+	s.ingestSem = make(chan struct{}, cfg.ingestQueue())
+	return s
+}
+
+// Live returns the live index being served, or nil in static mode.
+func (s *Server) Live() *index.Live { return s.live }
+
+// IngestSheds reports how many write requests were turned away with
+// 429 by the ingest admission gate.
+func (s *Server) IngestSheds() int64 { return s.ingestSheds.Load() }
+
+// ingestGate admits one write request or sheds it. The returned
+// release func is nil when the request was shed (and the 429 has
+// already been written).
+func (s *Server) ingestGate(w http.ResponseWriter) func() {
+	select {
+	case s.ingestSem <- struct{}{}:
+		return func() { <-s.ingestSem }
+	default:
+		s.ingestSheds.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error": "ingest queue full, retry later",
+		})
+		return nil
+	}
+}
+
+// handleIngest appends one document. The 200 response carries the
+// assigned docid and is written only after the WAL fsync — an acked
+// ingest is durable.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "ingest requires POST"})
+		return
+	}
+	release := s.ingestGate(w)
+	if release == nil {
+		return
+	}
+	defer release()
+	var req struct {
+		Text string `json:"text"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if len(index.Tokenize(req.Text)) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "text has no indexable terms"})
+		return
+	}
+	doc, err := s.live.Add(req.Text)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"doc": doc})
+}
+
+// handleDelete tombstones one document; the ack is durable the same
+// way an ingest ack is.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "delete requires POST"})
+		return
+	}
+	release := s.ingestGate(w)
+	if release == nil {
+		return
+	}
+	defer release()
+	var req struct {
+		Doc *uint32 `json:"doc"`
+	}
+	if err := decodeBody(r, &req); err != nil || req.Doc == nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "body must be {\"doc\": N}"})
+		return
+	}
+	switch err := s.live.Delete(*req.Doc); {
+	case errors.Is(err, index.ErrNoSuchDoc):
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, map[string]interface{}{"deleted": *req.Doc})
+	}
+}
+
+// handleLiveSearch answers the same query surface as static /search,
+// scattered across the live index's segments with deletions masked.
+func (s *Server) handleLiveSearch(w http.ResponseWriter, r *http.Request) {
+	terms := index.Tokenize(r.URL.Query().Get("q"))
+	if len(terms) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing or empty q parameter"})
+		return
+	}
+	if len(terms) > s.cfg.MaxQueryTerms {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("query has %d terms, limit is %d", len(terms), s.cfg.MaxQueryTerms),
+		})
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "and"
+	}
+	resp := searchResponse{Query: terms, Mode: mode}
+	switch mode {
+	case "and":
+		docs, err := s.live.Conjunctive(terms...)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		resp.Docs, resp.Matches = docs, len(docs)
+	case "or":
+		docs, err := s.live.Disjunctive(terms...)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		resp.Docs, resp.Matches = docs, len(docs)
+	case "topk":
+		k := 10
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			var err error
+			if k, err = strconv.Atoi(ks); err != nil || k < 1 {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad k parameter"})
+				return
+			}
+		}
+		if k > s.cfg.MaxK {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("k=%d exceeds limit %d", k, s.cfg.MaxK),
+			})
+			return
+		}
+		ranked, err := s.live.TopK(k, terms...)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		resp.Ranked, resp.Matches = ranked, len(ranked)
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "mode must be and | or | topk"})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLiveSeal is live mode's POST /reload: force-seal the mutable
+// segment so its documents move to an immutable on-disk segment now.
+func (s *Server) handleLiveSeal(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "reload requires POST"})
+		return
+	}
+	if err := s.live.Seal(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "sealed",
+		"live":   s.live.Stats(),
+	})
+}
+
+// handleLiveStats is /stats in live mode: serving-side gauges plus the
+// per-segment live shape — segment count, WAL depth, seal/compaction
+// recency — the operator dashboards and the chaos harness read.
+func (s *Server) handleLiveStats(w http.ResponseWriter, r *http.Request) {
+	st := s.live.Stats()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"documents":   st.VisibleDocs,
+		"live":        st,
+		"inFlight":    s.inFlight.Load(),
+		"sheds":       s.Sheds(),
+		"ingestSheds": s.IngestSheds(),
+		"ready":       s.Ready(),
+		"health":      s.live.Health(),
+		"latency":     s.LatencySummary(),
+		"statuses":    s.StatusCounts(),
+	})
+}
+
+// handleLiveHealthz is the live-mode liveness probe. Degraded here
+// means some sealed segment failed its checksums and is quarantined;
+// the mutable segment (and every healthy sealed segment) is still
+// serving and still accepting writes, and the taxonomy says so.
+func (s *Server) handleLiveHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.live.Health()
+	if !h.Degraded {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":              "degraded",
+		"detail":              "sealed segment quarantined, mutable segment live",
+		"quarantinedSegments": h.QuarantinedSegments,
+		"mutableLive":         h.MutableLive,
+	})
+}
+
+// decodeBody parses a small JSON request body, rejecting oversized or
+// trailing input.
+func decodeBody(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad JSON body: %v", err)
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}

@@ -45,6 +45,10 @@ type Config struct {
 	MaxK          int // top-k limit before 400 (default 1000)
 	MaxURLBytes   int // request-URI bytes before 414 (default 8192)
 
+	// IngestQueue bounds concurrently admitted write requests in live
+	// mode (NewLive); excess writes are shed with 429 (default 128).
+	IngestQueue int
+
 	// CacheBytes bounds the decoded-posting cache shared across index
 	// generations: hot terms skip decompression on repeat queries, and
 	// hot reloads invalidate stale entries by generation. Default
@@ -91,6 +95,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// ingestQueue is the live-mode write-admission depth.
+func (c Config) ingestQueue() int {
+	if c.IngestQueue <= 0 {
+		return 128
+	}
+	return c.IngestQueue
+}
+
 // Server serves queries over a hot-swappable compressed index.
 type Server struct {
 	cfg Config
@@ -120,6 +132,12 @@ type Server struct {
 
 	reloadMu sync.Mutex
 	loadFn   func() (*index.Index, error)
+
+	// Live-ingestion mode (NewLive): the mutable index being served and
+	// the bounded write-admission gate. nil/unused in static mode.
+	live        *index.Live
+	ingestSem   chan struct{}
+	ingestSheds atomic.Int64
 }
 
 // New returns a server that serves idx. idx must be non-nil.
